@@ -1,0 +1,62 @@
+"""Extension — chunk-granularity trade-off for a fixed input.
+
+For a fixed stream, the thread count N trades three terms: the speculative
+execution phase shrinks as input/N, the frontier loop's fixed per-round
+overhead grows as N, and recovery work depends on coverage dynamics.  The
+total is U-shaped in N — the granularity choice behind the paper's
+latency-sensitive design.  (Distinct from `bench_scaling_threads.py`, which
+grows the *input* with N to isolate the PM-ratio trend.)
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.schemes import NFScheme
+
+INPUT = 65_536
+NS = (32, 64, 128, 256, 512, 1024)
+
+
+def test_chunk_granularity(benchmark, members):
+    def experiment():
+        member = members["snort"][2]  # snort3: converging, recovery-light
+        training = member.training_input(8_192)
+        data = member.generate_input(INPUT, seed=0)
+        truth = member.dfa.run(data)
+        rows = []
+        cycles = []
+        for n in NS:
+            scheme = NFScheme.for_dfa(
+                member.dfa, n_threads=n, training_input=training
+            )
+            result = scheme.run(data)
+            assert result.end_state == truth
+            cycles.append(result.cycles)
+            rows.append(
+                [
+                    n,
+                    INPUT // n,
+                    result.cycles,
+                    result.stats.recovery_rounds,
+                    result.stats.phase_cycles.get("speculative_execution", 0.0),
+                ]
+            )
+        table = render_table(
+            ["N", "chunk len", "total cycles", "recovery rounds", "spec-exec cycles"],
+            rows,
+            precision=0,
+            title=f"Chunk-granularity trade-off (NF on {member.name}, "
+            f"input {INPUT})",
+        )
+        emit("chunk_granularity", table)
+        return np.asarray(cycles, dtype=np.float64)
+
+    cycles = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    # U-shape: both extremes cost more than the best interior point.
+    best = int(np.argmin(cycles))
+    assert 0 < best < len(NS) - 1, f"optimum at boundary: N={NS[best]}"
+    assert cycles[0] > cycles[best]
+    assert cycles[-1] > cycles[best]

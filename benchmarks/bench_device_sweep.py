@@ -1,0 +1,74 @@
+"""Extension — device-robustness sweep.
+
+Re-runs the scheme race on four GPU models (Turing/Volta/Ampere consumer and
+datacenter parts, plus a small embedded chip).  The paper's conclusions
+should be architecture-robust: the per-FSM *winner* must not flip with the
+device, even though absolute cycle counts and the shared-memory hot fraction
+do move (A100's 164 KB shared memory caches twice the table the 2080 Ti
+can).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.gpu.presets import A100, DEVICE_PRESETS, EMBEDDED, RTX2080TI, RTX3090, V100
+from repro.schemes import NFScheme, PMScheme, SREScheme
+
+INPUT = 32_768
+DEVICES = (RTX2080TI, V100, RTX3090, A100, EMBEDDED)
+
+
+def race(member, device):
+    training = member.training_input(8_192)
+    data = member.generate_input(INPUT, seed=0)
+    out = {}
+    for cls in (PMScheme, SREScheme, NFScheme):
+        scheme = cls.for_dfa(
+            member.dfa, n_threads=128, training_input=training, device=device
+        )
+        result = scheme.run(data)
+        out[cls.__name__.replace("Scheme", "").lower()] = result
+    return out
+
+
+def test_device_sweep(benchmark, members):
+    def experiment():
+        picks = {
+            "pm-regime": members["snort"][0],
+            "sre-regime": members["snort"][2],
+            "rr-regime": members["snort"][7],
+        }
+        rows = []
+        winners = {}
+        for label, member in picks.items():
+            winners[label] = {}
+            for device in DEVICES:
+                results = race(member, device)
+                best = min(results, key=lambda k: results[k].cycles)
+                winners[label][device.name] = best
+                hot = results["nf"].stats.hot_access_fraction
+                rows.append(
+                    [label, device.name, best]
+                    + [results[k].time_ms for k in ("pm", "sre", "nf")]
+                    + [f"{hot:.0%}"]
+                )
+        table = render_table(
+            ["workload", "device", "winner", "pm ms", "sre ms", "nf ms", "shared hits"],
+            rows,
+            precision=3,
+            title="Device sweep — per-FSM winners across GPU models",
+        )
+        emit("device_sweep", table)
+        return winners
+
+    winners = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    # The winning scheme per workload class is device-invariant.
+    for label, by_device in winners.items():
+        assert len(set(by_device.values())) == 1, (label, by_device)
+    # And it is the regime's expected winner.
+    assert set(winners["pm-regime"].values()) == {"pm"}
+    assert set(winners["sre-regime"].values()) == {"sre"}
+    assert set(winners["rr-regime"].values()) == {"nf"}

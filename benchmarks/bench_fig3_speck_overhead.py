@@ -1,0 +1,64 @@
+"""Fig. 3 — Overhead of spec-k enumerative speculation.
+
+The paper plots the parallel speculative-execution time of spec-4/6/8
+normalized to spec-1, with verification and recovery excluded, and observes
+growing overhead with k (redundant transition paths).  We measure exactly
+that: the ``speculative_execution`` phase cycles of PM at each k.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import N_THREADS, emit
+from repro.analysis.tables import render_table
+from repro.schemes import PMScheme
+
+KS = (1, 4, 6, 8)
+INPUT = 32_768
+
+
+def spec_phase_cycles(member, k: int) -> float:
+    training = member.training_input(8_192)
+    data = member.generate_input(INPUT, seed=0)
+    scheme = PMScheme.for_dfa(
+        member.dfa, n_threads=N_THREADS, training_input=training, k=k
+    )
+    result = scheme.run(data)
+    return result.stats.phase_cycles["speculative_execution"]
+
+
+def test_fig3_speck_overhead(benchmark, members):
+    def experiment():
+        picks = [members["snort"][7], members["clamav"][10], members["poweren"][9]]
+        rows = []
+        normalized_all = {k: [] for k in KS}
+        for member in picks:
+            cycles = {k: spec_phase_cycles(member, k) for k in KS}
+            base = cycles[1]
+            rows.append([member.name] + [cycles[k] / base for k in KS])
+            for k in KS:
+                normalized_all[k].append(cycles[k] / base)
+
+        means = [float(np.mean(normalized_all[k])) for k in KS]
+        table = render_table(
+            ["fsm"] + [f"spec-{k}" for k in KS],
+            rows + [["mean"] + means],
+            title="Fig. 3 analogue — spec-k parallel execution time normalized "
+            "to spec-1 (no verification/recovery)",
+        )
+        emit("fig3_speck_overhead", table)
+        return means
+
+    means = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    # Shape: overhead grows monotonically with k and is substantial by k=8.
+    assert means[0] == pytest.approx(1.0)
+    assert means[1] > 1.5          # spec-4 clearly costs more than spec-1
+    assert means[1] < means[2] < means[3]  # monotone in k
+
+
+def test_fig3_spec4_kernel(benchmark, members):
+    member = members["poweren"][9]
+    benchmark.pedantic(
+        lambda: spec_phase_cycles(member, 4), rounds=1, iterations=1
+    )

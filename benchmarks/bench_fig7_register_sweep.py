@@ -1,0 +1,72 @@
+"""Fig. 7 — Sensitivity to the number of registers used for VR_i^others.
+
+The paper sweeps the register budget for foreign recovery records while
+running RR and finds a U-shape: too few registers lose recovery results
+(coverage drops, more must-be-done recoveries), too many inflate the
+per-round load/store/check cost.  Best setting 16 for Snort/ClamAV; 18 for
+PowerEN with <1% difference from 16.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import N_THREADS, emit
+from repro.analysis.tables import render_table
+from repro.schemes import RRScheme
+
+REGISTERS = (4, 8, 12, 16, 20, 24)
+INPUT = 32_768
+
+
+def rr_cycles(member, others_capacity: int) -> float:
+    training = member.training_input(8_192)
+    data = member.generate_input(INPUT, seed=0)
+    scheme = RRScheme.for_dfa(
+        member.dfa,
+        n_threads=N_THREADS,
+        training_input=training,
+        own_capacity=16,
+        others_capacity=others_capacity,
+    )
+    return scheme.run(data).cycles
+
+
+def test_fig7_register_sweep(benchmark, members):
+    def experiment():
+        picks = {
+            "snort": members["snort"][8],     # snort9 (rr regime)
+            "clamav": members["clamav"][10],  # clamav11 (rr regime)
+            "poweren": members["poweren"][10],  # poweren11 (rr regime)
+        }
+        rows = []
+        normalized = {}
+        for suite, member in picks.items():
+            cycles = np.array([rr_cycles(member, r) for r in REGISTERS])
+            norm = cycles / cycles.min()
+            normalized[suite] = norm
+            rows.append([member.name] + list(norm))
+        table = render_table(
+            ["fsm"] + [f"r={r}" for r in REGISTERS],
+            rows,
+            title="Fig. 7 analogue — RR kernel time vs #registers for VR^others "
+            "(normalized to each FSM's best)",
+            precision=3,
+        )
+        emit("fig7_register_sweep", table)
+        return normalized
+
+    normalized = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    idx16 = REGISTERS.index(16)
+    for suite, norm in normalized.items():
+        best_idx = int(np.argmin(norm))
+        # The left arm is the expensive side: scarce registers drop recovery
+        # coverage and force extra must-be-done rounds.
+        assert norm[0] > norm[best_idx] * 1.05, suite
+        # The optimum sits in the interior, and 16 registers is always within
+        # a few percent of it — the paper's universal default (it reports 16
+        # best for Snort/ClamAV, 18 for PowerEN with <1% delta to 16).
+        assert REGISTERS[best_idx] >= 8, suite
+        assert norm[idx16] <= norm[best_idx] * 1.05, suite
+        # Large budgets cost at most a few percent extra (shallow right arm).
+        assert norm[-1] <= norm[best_idx] * 1.10, suite

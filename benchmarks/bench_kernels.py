@@ -1,0 +1,79 @@
+"""Micro-benchmarks (pytest-benchmark wall clock) of the core kernels.
+
+These track the *simulator's* own performance — the lockstep executor's
+throughput, the predictor, partitioning, and the frequency transformation —
+so regressions in the vectorized hot paths show up in CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.automata.dfa import run_lockstep
+from repro.automata.transform import frequency_transform
+from repro.gpu.device import RTX3090
+from repro.gpu.executor import LockstepExecutor
+from repro.gpu.memory import MemoryModel
+from repro.gpu.stats import KernelStats
+from repro.speculation.chunks import partition_input
+from repro.speculation.predictor import predict_start_states
+from repro.workloads import classic
+
+
+@pytest.fixture(scope="module")
+def dfa():
+    return classic.divisibility(64, base=10)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(0)
+    return rng.integers(48, 58, size=262_144).astype(np.uint8)
+
+
+def test_bench_run_lockstep(benchmark, dfa, stream):
+    chunks = stream.reshape(256, -1)
+    starts = np.zeros(256, dtype=np.int64)
+    ends = benchmark(lambda: run_lockstep(dfa.table, chunks, starts))
+    assert ends.shape == (256,)
+
+
+def test_bench_executor_with_accounting(benchmark, dfa, stream):
+    mm = MemoryModel.for_dfa(RTX3090, dfa.n_states, dfa.n_symbols)
+    ex = LockstepExecutor(dfa.table, mm, RTX3090)
+    chunks = stream.reshape(256, -1)
+    starts = np.zeros(256, dtype=np.int64)
+
+    def run():
+        stats = KernelStats(device=RTX3090, n_threads=256)
+        return ex.run(chunks, starts, stats=stats, phase="p")
+
+    ends = benchmark(run)
+    assert ends.shape == (256,)
+
+
+def test_bench_partition(benchmark, stream):
+    p = benchmark(lambda: partition_input(stream, 256))
+    assert p.n_chunks == 256
+
+
+def test_bench_predictor(benchmark, dfa, stream):
+    partition = partition_input(stream, 256)
+    pred = benchmark(lambda: predict_start_states(dfa, partition))
+    assert pred.n_chunks == 256
+
+
+def test_bench_frequency_transform(benchmark, dfa, stream):
+    t = benchmark(
+        lambda: frequency_transform(
+            dfa,
+            training_input=stream[:16_384],
+            shared_memory_entries=RTX3090.shared_table_entries,
+        )
+    )
+    assert t.dfa.n_states == dfa.n_states
+
+
+def test_bench_sequential_reference(benchmark, dfa, stream):
+    short = stream[:16_384]
+    end = benchmark(lambda: dfa.run(short))
+    assert 0 <= end < dfa.n_states

@@ -1,0 +1,53 @@
+"""Extension — speedup vs. thread count N (reconciling magnitudes).
+
+The paper evaluates at GPU scale (thousands of chunks).  PM's sequential
+must-be-done recoveries grow linearly with N on hard FSMs, while the
+aggressive heuristics' expensive frontier rounds grow sublinearly (each
+mismatch round enumerates more chunks as the frontier advances).  The
+speedup of RR/NF over PM therefore *grows with N* — this bench documents
+that trend, explaining why our N=256 magnitudes sit below the paper's 6-9×
+averages measured on an RTX 3090.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.schemes import NFScheme, PMScheme
+
+NS = (64, 128, 256, 512)
+SYMBOLS_PER_CHUNK = 128
+
+
+def speedup_at(member, n_threads: int) -> float:
+    training = member.training_input(8_192)
+    data = member.generate_input(SYMBOLS_PER_CHUNK * n_threads, seed=0)
+    pm = PMScheme.for_dfa(
+        member.dfa, n_threads=n_threads, training_input=training
+    ).run(data)
+    nf = NFScheme.for_dfa(
+        member.dfa, n_threads=n_threads, training_input=training
+    ).run(data)
+    assert pm.end_state == nf.end_state
+    return pm.cycles / nf.cycles
+
+
+def test_speedup_grows_with_thread_count(benchmark, members):
+    def experiment():
+        member = members["snort"][7]  # snort8, rr regime (hard)
+        speedups = [speedup_at(member, n) for n in NS]
+        table = render_table(
+            ["N (threads=chunks)"] + [str(n) for n in NS],
+            [[f"NF speedup over PM on {member.name}"] + speedups],
+            title="Speedup scaling with thread count (fixed chunk length "
+            f"{SYMBOLS_PER_CHUNK})",
+        )
+        emit("scaling_threads", table)
+        return speedups
+
+    speedups = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    # The headline trend: more chunks, bigger win for speculative recovery.
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 1.5

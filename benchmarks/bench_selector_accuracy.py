@@ -1,0 +1,57 @@
+"""Fig. 6 / §V-C — Scheme-selector quality.
+
+The paper's coarse decision tree picks the per-FSM best scheme for 29/36
+FSMs (80.6%) and, where it mispicks, loses only ~3% on average versus the
+ideal selection; overall the selected schemes average 7.2× over PM.  We
+report the same three quantities, counting a pick as correct when it is the
+true winner or within 5% of it (near-ties between RR and NF are common and
+physically meaningless to split).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+
+TIE_TOLERANCE = 0.95
+
+
+def test_selector_accuracy(benchmark, sweep):
+    def experiment():
+        rows = []
+        correct = 0
+        losses = []
+        for name, run in sweep.items():
+            best = run.best_scheme
+            best_cycles = run.results[best].cycles
+            sel_cycles = run.results[run.selected].cycles
+            ratio = best_cycles / sel_cycles  # 1.0 = perfect, <1 = regret
+            is_correct = run.selected == best or ratio >= TIE_TOLERANCE
+            correct += is_correct
+            losses.append(1.0 - ratio)
+            rows.append(
+                [name, run.member.regime, run.selected, best, ratio, is_correct]
+            )
+
+        n = len(rows)
+        mean_loss = float(np.mean(losses))
+        table = render_table(
+            ["fsm", "regime", "selected", "best", "best/selected", "ok"],
+            rows,
+            title="Selector accuracy — decision tree (Fig. 6) vs ideal choice",
+        )
+        summary = (
+            f"\ncorrect picks (within {1-TIE_TOLERANCE:.0%} of ideal): "
+            f"{correct}/{n} = {correct/n:.1%}"
+            f"\nmean performance loss vs ideal: {mean_loss:.1%}"
+            f"\n(paper: 29/36 = 80.6% exact picks, ~3% mean loss)"
+        )
+        emit("selector_accuracy", table + summary)
+        return correct, n, mean_loss
+
+    correct, n, mean_loss = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    # Paper-shape targets, with slack for the synthetic suites.
+    assert correct / n >= 0.6
+    assert mean_loss <= 0.15

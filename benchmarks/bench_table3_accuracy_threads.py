@@ -1,0 +1,70 @@
+"""Table III — Runtime speculation accuracy and average #active threads
+during recovery, Snort members × {PM, SRE, RR, NF}.
+
+Paper shapes: PM's accuracy is bimodal (≈100% on the easy members, ≈0% on
+the hard ones); SRE only shines on the converging members; RR/NF reach
+≳90% almost everywhere because the number of threads activated during
+recovery is 1–2 orders of magnitude above PM/SRE's.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+
+SCHEMES = ("pm", "sre", "rr", "nf")
+
+
+def test_table3_snort_accuracy_and_threads(benchmark, sweep, members):
+    def experiment():
+        rows = []
+        data = {}
+        for member in members["snort"]:
+            run = sweep[member.name]
+            accs = [run.results[s].stats.runtime_speculation_accuracy for s in SCHEMES]
+            active = [run.results[s].stats.avg_active_threads for s in SCHEMES]
+            data[member.index] = (member.regime, accs, active)
+            rows.append(
+                [member.index, member.regime]
+                + [f"{a:.1%}" for a in accs]
+                + [f"{t:.1f}" for t in active]
+            )
+        table = render_table(
+            ["snort", "regime"]
+            + [f"acc({s})" for s in SCHEMES]
+            + [f"#act({s})" for s in SCHEMES],
+            rows,
+            title="Table III analogue — runtime speculation accuracy and average "
+            "#active threads during recovery (Snort suite)",
+        )
+        emit("table3_accuracy_threads", table)
+        return data
+
+    data = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    # Shape 1: PM accuracy near-perfect on the easy members (snort1-2)...
+    for idx in (1, 2):
+        _, accs, _ = data[idx]
+        assert accs[0] > 0.9, f"snort{idx} PM accuracy"
+    # ...and poor on the hard rr-regime members.
+    hard = [i for i, (regime, _, _) in data.items() if regime == "rr"]
+    assert all(data[i][1][0] < 0.6 for i in hard)
+
+    # Shape 2: RR/NF accuracy far above SRE's on the hard members (either a
+    # large absolute jump or a multiplicative one on low-accuracy members).
+    for i in hard:
+        _, accs, _ = data[i]
+        assert accs[2] > accs[1] + 0.2 or accs[2] > 2 * accs[1], \
+            f"snort{i} RR vs SRE accuracy"
+        assert accs[3] > accs[1] + 0.2 or accs[3] > 2 * accs[1], \
+            f"snort{i} NF vs SRE accuracy"
+
+    # Shape 3: thread activation — PM always 1 thread; RR/NF at least an
+    # order of magnitude above it on the hard members.
+    for i, (_, _, active) in data.items():
+        assert active[0] <= 1.0, f"snort{i} PM active threads"
+    for i in hard:
+        _, _, active = data[i]
+        assert active[2] >= 10 * max(active[0], 1.0), f"snort{i} RR activation"
+        assert active[3] >= 10 * max(active[0], 1.0), f"snort{i} NF activation"

@@ -1,0 +1,65 @@
+"""Shared infrastructure for the benchmark harness.
+
+The expensive artifact — running all four schemes over every one of the 36
+suite FSMs — is computed once per session by the ``sweep`` fixture and shared
+by the Fig. 8 / Table III / selector benches.  Reports are printed *and*
+written to ``benchmarks/results/`` so ``--benchmark-only`` runs leave a
+reviewable record.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.analysis.experiments import MemberRun, run_member
+from repro.workloads.suites import SUITES, build_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Evaluation-scale knobs (overridable via environment for quick runs).
+INPUT_LENGTH = int(os.environ.get("REPRO_BENCH_INPUT", 65_536))
+N_THREADS = int(os.environ.get("REPRO_BENCH_THREADS", 256))
+TRAINING_LENGTH = int(os.environ.get("REPRO_BENCH_TRAINING", 8_192))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report block and persist it under benchmarks/results/."""
+    print(f"\n===== {name} =====\n{text}\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Assemble benchmarks/results/REPORT.md from whatever ran."""
+    try:
+        from repro.analysis.report import build_report
+
+        if RESULTS_DIR.exists():
+            (RESULTS_DIR / "REPORT.md").write_text(build_report(RESULTS_DIR))
+    except Exception:
+        pass  # reporting must never fail the harness
+
+
+@pytest.fixture(scope="session")
+def members():
+    """All 36 suite FSMs (compiled scanners are disk-cached)."""
+    return {suite: build_suite(suite) for suite in SUITES}
+
+
+@pytest.fixture(scope="session")
+def sweep(members) -> Dict[str, MemberRun]:
+    """Run {pm, sre, rr, nf} over every member once; keyed by member name."""
+    runs: Dict[str, MemberRun] = {}
+    for suite in SUITES:
+        for member in members[suite]:
+            runs[member.name] = run_member(
+                member,
+                input_length=INPUT_LENGTH,
+                training_length=TRAINING_LENGTH,
+                n_threads=N_THREADS,
+            )
+    return runs

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Virus-signature scanning over binary images (the ClamAV motivation).
+
+Byte-level signatures (hex strings with bounded skips) are compiled to one
+scanner DFA; a synthetic "executable image" stream is scanned with GSpecPal
+and the frequency-based DFA transformation's effect is shown directly —
+this is the §IV-B optimization in action on a binary-flavoured workload.
+
+Run:  python examples/virus_scanning.py
+"""
+
+import numpy as np
+
+from repro import GSpecPal, GSpecPalConfig, compile_disjunction
+from repro.workloads.traces import TraceSpec, binary_weights
+
+SIGNATURES = [
+    r"\x4d\x5a\x90\x00.{0,6}\x50\x45",     # MZ..PE-ish header chain
+    r"\xde\xad\xbe\xef",                    # marker dword
+    r"\xe8.{0,4}\x5d\xc3",                  # call/pop/ret gadget
+    r"\x90{6,}",                            # NOP sled
+]
+
+
+def main() -> None:
+    print("compiling signature database...")
+    dfa = compile_disjunction(SIGNATURES, name="clam-sigs")
+    print(f"  {len(SIGNATURES)} signatures -> {dfa}")
+
+    spec = TraceSpec(weights=binary_weights(), name="binary-image")
+    image = spec.generate(131_072, seed=11)
+    # Implant a NOP sled halfway through.
+    image[60_000:60_010] = 0x90
+
+    for use_transform, label in ((True, "rank layout (transformed)"),
+                                 (False, "hash layout (PM-style)")):
+        cfg = GSpecPalConfig(n_threads=256, use_transformation=use_transform)
+        pal = GSpecPal(dfa, cfg)
+        result = pal.run(image, scheme="rr")
+        verdict = "INFECTED" if result.accepts else "clean"
+        print(
+            f"{label:28s}: {verdict:8s} kernel={result.time_ms:7.3f} ms "
+            f"(shared-memory hit rate {result.stats.hot_access_fraction:.1%})"
+        )
+        assert result.accepts == dfa.accepts(image)
+
+    clean = spec.generate(131_072, seed=12)
+    pal = GSpecPal(dfa, GSpecPalConfig(n_threads=256))
+    result = pal.run(clean)
+    print(f"{'clean image':28s}: {'clean' if not result.accepts else 'INFECTED'}")
+
+
+if __name__ == "__main__":
+    main()

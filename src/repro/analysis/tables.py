@@ -1,0 +1,99 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables/figures carry;
+this module is the tiny formatting layer (no third-party dependencies, fixed
+column widths, deterministic output suitable for diffing across runs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    """Render one cell: floats get fixed precision, the rest str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    str_rows: List[List[str]] = [
+        [format_cell(c, precision) for c in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(label: str, values: Sequence[float], precision: int = 2) -> str:
+    """One labelled numeric series (a figure's data line)."""
+    body = ", ".join(f"{v:.{precision}f}" for v in values)
+    return f"{label}: [{body}]"
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    unit: str = "x",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal ASCII bar chart (for the figure-style report files).
+
+    >>> print(render_bars(["a", "b"], [1.0, 2.0], width=4))
+    a | ##    1.00x
+    b | #### 2.00x
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return title or ""
+    peak = max(max(values), 1e-12)
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        n = max(0, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_w)} | {'#' * n:<{width}} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (speedup aggregation), ignoring non-positive values."""
+    import math
+
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

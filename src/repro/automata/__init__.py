@@ -1,0 +1,43 @@
+"""Finite automata substrate: DFAs, NFAs, a regex compiler and DFA tooling.
+
+This subpackage is a self-contained replacement for the pipeline the paper
+builds on RE2: regular expressions are parsed into Thompson NFAs, determinized
+with the subset construction, minimized with Hopcroft's algorithm, and
+materialized as dense numpy transition tables ready for the lockstep GPU
+executor.
+"""
+
+from repro.automata.bitset import BitsetNFA
+from repro.automata.dfa import DFA, run_lockstep
+from repro.automata.nfa import NFA, nfa_to_dfa
+from repro.automata.regex import compile_regex, compile_disjunction, parse_regex
+from repro.automata.minimize import minimize_dfa
+from repro.automata.moore import minimize_dfa_moore
+from repro.automata.properties import (
+    StateFrequencyProfile,
+    convergence_profile,
+    profile_state_frequencies,
+    reachable_states,
+    unique_states_after,
+)
+from repro.automata.transform import TransformedDFA, frequency_transform
+
+__all__ = [
+    "BitsetNFA",
+    "DFA",
+    "NFA",
+    "minimize_dfa_moore",
+    "StateFrequencyProfile",
+    "TransformedDFA",
+    "compile_disjunction",
+    "compile_regex",
+    "convergence_profile",
+    "frequency_transform",
+    "minimize_dfa",
+    "nfa_to_dfa",
+    "parse_regex",
+    "profile_state_frequencies",
+    "reachable_states",
+    "run_lockstep",
+    "unique_states_after",
+]

@@ -1,0 +1,135 @@
+"""Bitset NFA execution.
+
+NFAs are what most prior GPU engines execute directly (iNFAnt and
+descendants, §II-B): the active-state set is a bit vector, and one input
+symbol updates it by OR-ing the successor masks of all active states —
+*state-level parallelism*.  This module provides the ε-free bitset form and
+a vectorized stepper; :mod:`repro.schemes.nfa_engine` wraps it with the GPU
+cost model to serve as the throughput-oriented baseline GSpecPal's
+latency-oriented design is contrasted against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata.dfa import _as_symbol_array
+from repro.errors import AutomatonError
+
+
+@dataclass(frozen=True)
+class BitsetNFA:
+    """ε-eliminated NFA with per-symbol successor masks.
+
+    Attributes
+    ----------
+    masks:
+        ``(n_symbols, n_states, n_words)`` uint64 array; ``masks[a][q]`` is
+        the bit mask of states reachable from ``q`` on symbol ``a`` (with
+        ε-closure applied).
+    start_mask / accept_mask:
+        ``(n_words,)`` uint64 bit vectors.
+    """
+
+    n_states: int
+    n_symbols: int
+    masks: np.ndarray
+    start_mask: np.ndarray
+    accept_mask: np.ndarray
+    name: str = "bitset-nfa"
+
+    @property
+    def n_words(self) -> int:
+        return int(self.masks.shape[2])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_nfa(cls, nfa: NFA, name: str = "") -> "BitsetNFA":
+        """ε-eliminate ``nfa`` and pack its transitions into bit masks."""
+        n = nfa.n_states
+        if n == 0:
+            raise AutomatonError("cannot build a bitset NFA with no states")
+        n_words = -(-n // 64)
+
+        def to_mask(states: Iterable[int]) -> np.ndarray:
+            mask = np.zeros(n_words, dtype=np.uint64)
+            for q in states:
+                mask[q // 64] |= np.uint64(1) << np.uint64(q % 64)
+            return mask
+
+        closures: List[frozenset] = [nfa.epsilon_closure([q]) for q in range(n)]
+        masks = np.zeros((nfa.n_symbols, n, n_words), dtype=np.uint64)
+        for q in range(n):
+            for sym, dsts in nfa.transitions[q].items():
+                if sym == EPSILON:
+                    continue
+                closed = set()
+                for d in dsts:
+                    closed |= closures[d]
+                masks[sym, q] |= to_mask(closed)
+        # Accepting: any state whose ε-closure reaches an accepting state is
+        # effectively accepting once active.
+        accept_states = {
+            q for q in range(n) if closures[q] & nfa.accepting
+        }
+        return cls(
+            n_states=n,
+            n_symbols=nfa.n_symbols,
+            masks=masks,
+            start_mask=to_mask(closures[nfa.start]),
+            accept_mask=to_mask(accept_states),
+            name=name or nfa.name,
+        )
+
+    # ------------------------------------------------------------------
+    def active_states(self, mask: np.ndarray) -> np.ndarray:
+        """State ids set in a bit vector (for inspection/tests)."""
+        out = []
+        for w in range(self.n_words):
+            word = int(mask[w])
+            while word:
+                low = word & -word
+                out.append(w * 64 + low.bit_length() - 1)
+                word ^= low
+        return np.asarray(out, dtype=np.int64)
+
+    def popcount(self, mask: np.ndarray) -> int:
+        """Number of active states in a bit vector."""
+        return int(sum(bin(int(w)).count("1") for w in mask))
+
+    def step(self, mask: np.ndarray, symbol: int) -> np.ndarray:
+        """One symbol: OR the successor masks of every active state."""
+        active = self.active_states(mask)
+        if active.size == 0:
+            return np.zeros(self.n_words, dtype=np.uint64)
+        rows = self.masks[symbol][active]  # (n_active, n_words)
+        return np.bitwise_or.reduce(rows, axis=0)
+
+    def run(self, data) -> np.ndarray:
+        """Run over ``data``; returns the final active-set bit vector."""
+        symbols = _as_symbol_array(data)
+        mask = self.start_mask.copy()
+        for sym in symbols:
+            mask = self.step(mask, int(sym))
+            if not mask.any():
+                break
+        return mask
+
+    def accepts(self, data) -> bool:
+        """True iff an accepting state is active after ``data``."""
+        return bool((self.run(data) & self.accept_mask).any())
+
+    def run_counting(self, data):
+        """Run and also report per-step active-state counts (the quantity
+        the NFA engine's cost model needs)."""
+        symbols = _as_symbol_array(data)
+        mask = self.start_mask.copy()
+        counts = np.zeros(len(symbols), dtype=np.int64)
+        for j, sym in enumerate(symbols):
+            counts[j] = self.popcount(mask)
+            mask = self.step(mask, int(sym))
+        return mask, counts

@@ -1,0 +1,184 @@
+"""DFA minimization via Hopcroft's partition-refinement algorithm.
+
+Minimization keeps the benchmark DFAs at the canonical sizes that the paper's
+Table II reports, and guarantees that property profiling (state frequencies,
+convergence) is not polluted by unreachable or duplicate states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.automata.dfa import DFA, STATE_DTYPE
+
+
+def _restrict_to_reachable(dfa: DFA) -> DFA:
+    """Drop states not reachable from the start state."""
+    n = dfa.n_states
+    seen = np.zeros(n, dtype=bool)
+    seen[dfa.start] = True
+    frontier = np.array([dfa.start], dtype=np.int64)
+    while frontier.size:
+        nxt = np.unique(dfa.table[frontier].ravel())
+        nxt = nxt[~seen[nxt]]
+        seen[nxt] = True
+        frontier = nxt
+    if seen.all():
+        return dfa
+    old_ids = np.flatnonzero(seen)
+    remap = -np.ones(n, dtype=np.int64)
+    remap[old_ids] = np.arange(old_ids.size)
+    table = remap[dfa.table[old_ids]]
+    return DFA(
+        table=table.astype(STATE_DTYPE),
+        start=int(remap[dfa.start]),
+        accepting=frozenset(int(remap[s]) for s in dfa.accepting if seen[s]),
+        name=dfa.name,
+    )
+
+
+def minimize_dfa(dfa: DFA, name: Optional[str] = None) -> DFA:
+    """Return the minimal DFA equivalent to ``dfa``.
+
+    Implementation notes: classic Hopcroft with a worklist of (block, symbol)
+    splitters.  Predecessor sets are precomputed as numpy index arrays, so the
+    inner refinement loop is mostly vectorized set membership.
+    """
+    dfa = _restrict_to_reachable(dfa)
+    full_k = dfa.n_symbols
+
+    # Work on distinct table columns only: symbols with identical columns
+    # are behaviourally identical and refine partitions identically.
+    unique_cols, col_of_symbol = np.unique(dfa.table, axis=1, return_inverse=True)
+    reduced = DFA(
+        table=unique_cols,
+        start=dfa.start,
+        accepting=dfa.accepting,
+        name=dfa.name,
+    )
+    if unique_cols.shape[1] != full_k:
+        minimized = minimize_dfa(reduced, name=name)
+        table = minimized.table[:, col_of_symbol]
+        return DFA(
+            table=table,
+            start=minimized.start,
+            accepting=minimized.accepting,
+            name=minimized.name,
+        )
+
+    n, k = dfa.n_states, dfa.n_symbols
+
+    accepting = dfa.accepting_mask
+    # Initial partition: accepting / non-accepting (skip empty blocks).
+    block_of = np.zeros(n, dtype=np.int64)
+    blocks: List[Set[int]] = []
+    non_acc = set(np.flatnonzero(~accepting).tolist())
+    acc = set(np.flatnonzero(accepting).tolist())
+    for group in (non_acc, acc):
+        if group:
+            bid = len(blocks)
+            blocks.append(group)
+            for q in group:
+                block_of[q] = bid
+    if len(blocks) <= 1:
+        # All states equivalent: single-state DFA.
+        table = np.zeros((1, k), dtype=STATE_DTYPE)
+        return DFA(
+            table=table,
+            start=0,
+            accepting=frozenset({0}) if dfa.accepting else frozenset(),
+            name=name if name is not None else dfa.name,
+        )
+
+    # preds[a] maps each state to the list of its predecessors on symbol a.
+    preds: List[Dict[int, List[int]]] = []
+    for a in range(k):
+        col = dfa.table[:, a]
+        d: Dict[int, List[int]] = {}
+        order = np.argsort(col, kind="stable")
+        sorted_targets = col[order]
+        boundaries = np.flatnonzero(np.diff(sorted_targets)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))
+        for s, e in zip(starts, ends):
+            d[int(sorted_targets[s])] = order[s:e].tolist()
+        preds.append(d)
+
+    # Worklist: smaller of the two initial blocks, for every symbol.
+    smaller = 0 if len(blocks[0]) <= len(blocks[1]) else 1
+    worklist: Set = {(smaller, a) for a in range(k)}
+
+    while worklist:
+        bid, a = worklist.pop()
+        splitter = blocks[bid]
+        pred_map = preds[a]
+        # X = states whose a-transition lands in the splitter block.
+        x: Set[int] = set()
+        for q in splitter:
+            x.update(pred_map.get(q, ()))
+        if not x:
+            continue
+        # Refine every block intersecting X.
+        touched: Dict[int, Set[int]] = {}
+        for q in x:
+            touched.setdefault(int(block_of[q]), set()).add(q)
+        for tb, inter in touched.items():
+            block = blocks[tb]
+            if len(inter) == len(block):
+                continue  # block fully inside X: no split
+            rest = block - inter
+            # Keep the larger part in place, spin off the smaller one.
+            if len(inter) <= len(rest):
+                new_set, old_set = inter, rest
+            else:
+                new_set, old_set = rest, inter
+            blocks[tb] = old_set
+            new_bid = len(blocks)
+            blocks.append(new_set)
+            for q in new_set:
+                block_of[q] = new_bid
+            for sym in range(k):
+                if (tb, sym) in worklist:
+                    worklist.add((new_bid, sym))
+                else:
+                    # Add the smaller of the two pieces.
+                    if len(new_set) <= len(old_set):
+                        worklist.add((new_bid, sym))
+                    else:
+                        worklist.add((tb, sym))
+
+    # Build the quotient automaton. Renumber blocks so the start block is 0
+    # and ids follow first-visit order for determinism.
+    order: List[int] = []
+    seen_blocks = set()
+    stack = [int(block_of[dfa.start])]
+    rep = {bid: min(b) for bid, b in enumerate(blocks) if b}
+    while stack:
+        bid = stack.pop()
+        if bid in seen_blocks:
+            continue
+        seen_blocks.add(bid)
+        order.append(bid)
+        r = rep[bid]
+        for a in range(k):
+            stack.append(int(block_of[dfa.table[r, a]]))
+    new_id = {bid: i for i, bid in enumerate(order)}
+
+    m = len(order)
+    table = np.zeros((m, k), dtype=STATE_DTYPE)
+    new_accepting = set()
+    for bid in order:
+        i = new_id[bid]
+        r = rep[bid]
+        for a in range(k):
+            table[i, a] = new_id[int(block_of[dfa.table[r, a]])]
+        if r in dfa.accepting:
+            new_accepting.add(i)
+    return DFA(
+        table=table,
+        start=new_id[int(block_of[dfa.start])],
+        accepting=frozenset(new_accepting),
+        name=name if name is not None else dfa.name,
+    )

@@ -1,0 +1,146 @@
+"""FSM property profiling used by the transformation and the scheme selector.
+
+Three families of properties drive GSpecPal's decisions:
+
+* **state frequency** — which states the DFA actually visits on realistic
+  input; the frequency-based transformation (Fig. 4) promotes the hottest
+  states' rows into (simulated) shared memory;
+* **state convergence** — how quickly runs started from *all* states collapse
+  onto few states (``#uniqStates(10 trans.)`` in Table II); fast convergence
+  is what makes end-state forwarding (SRE) effective;
+* **reachability** — sanity structure used throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.automata.dfa import DFA, _as_symbol_array
+from repro.errors import AutomatonError
+
+
+@dataclass(frozen=True)
+class StateFrequencyProfile:
+    """Result of profiling state-visit frequencies on a training input.
+
+    Attributes
+    ----------
+    counts:
+        ``(n_states,)`` visit counts.
+    order:
+        State ids sorted hottest-first (ties broken by state id so the
+        profile is deterministic).
+    sample_length:
+        Number of input symbols the profile was collected over.
+    """
+
+    counts: np.ndarray
+    order: np.ndarray
+    sample_length: int
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Visit frequencies normalized to sum to 1 (zeros if empty sample)."""
+        total = self.counts.sum()
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=np.float64)
+        return self.counts / float(total)
+
+    def rank_of(self) -> np.ndarray:
+        """``rank[q]`` = hotness rank of state ``q`` (0 = hottest)."""
+        rank = np.empty_like(self.order)
+        rank[self.order] = np.arange(self.order.size)
+        return rank
+
+    def hot_states(self, capacity: int) -> np.ndarray:
+        """The ``capacity`` hottest state ids."""
+        return self.order[: max(0, int(capacity))]
+
+
+def profile_state_frequencies(
+    dfa: DFA,
+    training_input,
+    start: Optional[int] = None,
+) -> StateFrequencyProfile:
+    """Count state visits while running ``dfa`` over ``training_input``.
+
+    This is the paper's offline profiling pass: "an offline profiling is
+    applied to count the frequency of each state in the original transition
+    table" using a small slice (0.5%) of representative input.
+    """
+    symbols = _as_symbol_array(training_input)
+    path = dfa.run_path(symbols, start=start)
+    counts = np.bincount(path, minlength=dfa.n_states).astype(np.int64)
+    # Hottest first; break frequency ties by state id for determinism.
+    order = np.lexsort((np.arange(dfa.n_states), -counts))
+    return StateFrequencyProfile(counts=counts, order=order, sample_length=len(symbols))
+
+
+def unique_states_after(dfa: DFA, window, steps: Optional[int] = None) -> int:
+    """Number of distinct end states after running ``window`` from all states.
+
+    ``#uniqStates(10 trans.)`` in Table II is this quantity with a 10-symbol
+    window.  A small number means the FSM converges quickly, i.e. forwarding
+    the predecessor's end state is likely to be correct.
+    """
+    symbols = _as_symbol_array(window)
+    if steps is not None:
+        symbols = symbols[:steps]
+    ends = dfa.run_all_states(symbols)
+    return int(np.unique(ends).size)
+
+
+def convergence_profile(
+    dfa: DFA,
+    training_input,
+    steps: int = 10,
+    n_windows: int = 32,
+    seed: int = 0,
+) -> np.ndarray:
+    """Sample ``n_windows`` windows of ``steps`` symbols and report the number
+    of unique surviving states for each.
+
+    The mean of this vector is the convergence statistic the selector
+    consumes ("counting the number of unique states after running 10 steps of
+    transitions starting from all states").
+    """
+    symbols = _as_symbol_array(training_input)
+    if len(symbols) < steps:
+        raise AutomatonError(
+            f"training input too short for convergence profiling "
+            f"({len(symbols)} < {steps} symbols)"
+        )
+    rng = np.random.default_rng(seed)
+    max_offset = len(symbols) - steps
+    offsets = rng.integers(0, max_offset + 1, size=n_windows)
+    out = np.empty(n_windows, dtype=np.int64)
+    for i, off in enumerate(offsets):
+        out[i] = unique_states_after(dfa, symbols[off : off + steps])
+    return out
+
+
+def reachable_states(dfa: DFA) -> np.ndarray:
+    """State ids reachable from the start state (sorted)."""
+    seen = np.zeros(dfa.n_states, dtype=bool)
+    seen[dfa.start] = True
+    frontier = np.array([dfa.start], dtype=np.int64)
+    while frontier.size:
+        nxt = np.unique(dfa.table[frontier].ravel())
+        nxt = nxt[~seen[nxt]]
+        seen[nxt] = True
+        frontier = nxt
+    return np.flatnonzero(seen)
+
+
+def is_complete(dfa: DFA) -> bool:
+    """Dense-table DFAs are complete by construction; kept for API symmetry."""
+    return dfa.table.shape[1] > 0
+
+
+def absorbing_states(dfa: DFA) -> np.ndarray:
+    """States with all transitions pointing to themselves (sticky matches)."""
+    idx = np.arange(dfa.n_states)[:, None]
+    return np.flatnonzero((dfa.table == idx).all(axis=1))

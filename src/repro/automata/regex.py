@@ -1,0 +1,410 @@
+"""A regular-expression compiler (the library's RE2 substitute).
+
+Supports the constructs the benchmark rule sets use: literals, escapes,
+character classes with ranges and negation, the ``.`` wildcard, alternation,
+grouping, and the ``*``, ``+``, ``?``, ``{m}``, ``{m,}``, ``{m,n}``
+quantifiers.  Patterns compile to Thompson NFAs over a byte alphabet and from
+there (via the subset construction and Hopcroft minimization) to dense-table
+DFAs.
+
+The grammar is the standard one::
+
+    alternation ::= concat ('|' concat)*
+    concat      ::= repeat*
+    repeat      ::= atom ('*' | '+' | '?' | '{' bounds '}')*
+    atom        ::= literal | '.' | class | '(' alternation ')'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.automata.dfa import DFA
+from repro.automata.minimize import minimize_dfa
+from repro.automata.nfa import EPSILON, NFA, nfa_to_dfa, union_nfas
+from repro.errors import RegexSyntaxError
+
+DEFAULT_ALPHABET = 256
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Node:
+    """Base class for regex AST nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A set of byte values matching a single input symbol."""
+
+    symbols: FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    parts: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Alternate(Node):
+    options: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    """``child{min, max}``; ``max is None`` means unbounded."""
+
+    child: Node
+    min: int
+    max: Optional[int]
+
+
+_ESCAPE_CLASSES = {
+    "d": frozenset(range(ord("0"), ord("9") + 1)),
+    "w": frozenset(
+        set(range(ord("a"), ord("z") + 1))
+        | set(range(ord("A"), ord("Z") + 1))
+        | set(range(ord("0"), ord("9") + 1))
+        | {ord("_")}
+    ),
+    "s": frozenset({ord(" "), ord("\t"), ord("\n"), ord("\r"), 0x0B, 0x0C}),
+}
+_ESCAPE_LITERALS = {
+    "n": ord("\n"),
+    "t": ord("\t"),
+    "r": ord("\r"),
+    "f": 0x0C,
+    "v": 0x0B,
+    "0": 0,
+    "a": 0x07,
+}
+_SPECIAL = set("|*+?(){}[].\\")
+
+
+class _Parser:
+    """Recursive-descent parser producing the AST above."""
+
+    def __init__(self, pattern: str, n_symbols: int):
+        self.pattern = pattern
+        self.pos = 0
+        self.n_symbols = n_symbols
+
+    # -- low-level cursor ------------------------------------------------
+    def _peek(self) -> Optional[str]:
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else None
+
+    def _next(self) -> str:
+        ch = self._peek()
+        if ch is None:
+            raise RegexSyntaxError("unexpected end of pattern", self.pattern, self.pos)
+        self.pos += 1
+        return ch
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pattern, self.pos)
+
+    def _check_symbol(self, value: int) -> int:
+        if value >= self.n_symbols:
+            raise self._error(
+                f"symbol {value} does not fit alphabet of size {self.n_symbols}"
+            )
+        return value
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> Node:
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            raise self._error(f"unexpected character {self._peek()!r}")
+        return node
+
+    def _alternation(self) -> Node:
+        options = [self._concat()]
+        while self._peek() == "|":
+            self._next()
+            options.append(self._concat())
+        if len(options) == 1:
+            return options[0]
+        return Alternate(tuple(options))
+
+    def _concat(self) -> Node:
+        parts: List[Node] = []
+        while True:
+            ch = self._peek()
+            if ch is None or ch in "|)":
+                break
+            parts.append(self._repeat())
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _repeat(self) -> Node:
+        node = self._atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self._next()
+                node = Repeat(node, 0, None)
+            elif ch == "+":
+                self._next()
+                node = Repeat(node, 1, None)
+            elif ch == "?":
+                self._next()
+                node = Repeat(node, 0, 1)
+            elif ch == "{":
+                node = Repeat(node, *self._bounds())
+            else:
+                return node
+
+    def _bounds(self) -> Tuple[int, Optional[int]]:
+        assert self._next() == "{"
+        digits = ""
+        while self._peek() is not None and self._peek().isdigit():
+            digits += self._next()
+        if not digits:
+            raise self._error("expected a repetition count after '{'")
+        lo = int(digits)
+        ch = self._next()
+        if ch == "}":
+            return lo, lo
+        if ch != ",":
+            raise self._error("expected ',' or '}' in repetition bounds")
+        digits = ""
+        while self._peek() is not None and self._peek().isdigit():
+            digits += self._next()
+        if self._next() != "}":
+            raise self._error("unterminated repetition bounds")
+        hi = int(digits) if digits else None
+        if hi is not None and hi < lo:
+            raise self._error(f"repetition bounds out of order: {{{lo},{hi}}}")
+        return lo, hi
+
+    def _atom(self) -> Node:
+        ch = self._peek()
+        if ch is None:
+            raise self._error("expected an atom")
+        if ch == "(":
+            self._next()
+            node = self._alternation()
+            if self._peek() != ")":
+                raise self._error("unbalanced '('")
+            self._next()
+            return node
+        if ch == "[":
+            return self._char_class()
+        if ch == ".":
+            self._next()
+            return Literal(frozenset(range(self.n_symbols)))
+        if ch == "\\":
+            self._next()
+            return self._escape()
+        if ch in "*+?{":
+            raise self._error(f"quantifier {ch!r} with nothing to repeat")
+        if ch in ")|":
+            raise self._error(f"unexpected {ch!r}")
+        self._next()
+        return Literal(frozenset({self._check_symbol(ord(ch))}))
+
+    def _escape(self) -> Node:
+        ch = self._next()
+        if ch in _ESCAPE_CLASSES:
+            syms = frozenset(s for s in _ESCAPE_CLASSES[ch] if s < self.n_symbols)
+            return Literal(syms)
+        if ch in ("D", "W", "S"):
+            base = _ESCAPE_CLASSES[ch.lower()]
+            syms = frozenset(s for s in range(self.n_symbols) if s not in base)
+            return Literal(syms)
+        if ch == "x":
+            hexdigits = self._next() + self._next()
+            try:
+                value = int(hexdigits, 16)
+            except ValueError:
+                raise self._error(f"bad hex escape \\x{hexdigits}")
+            return Literal(frozenset({self._check_symbol(value)}))
+        if ch in _ESCAPE_LITERALS:
+            return Literal(frozenset({self._check_symbol(_ESCAPE_LITERALS[ch])}))
+        # Any other escaped character is itself (covers \\ \. \[ etc.).
+        return Literal(frozenset({self._check_symbol(ord(ch))}))
+
+    def _char_class(self) -> Node:
+        assert self._next() == "["
+        negated = False
+        if self._peek() == "^":
+            negated = True
+            self._next()
+        symbols: set = set()
+        first = True
+        while True:
+            ch = self._peek()
+            if ch is None:
+                raise self._error("unterminated character class")
+            if ch == "]" and not first:
+                self._next()
+                break
+            first = False
+            lo = self._class_char()
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+                self._next()  # consume '-'
+                hi = self._class_char()
+                if hi < lo:
+                    raise self._error(f"character range out of order in class")
+                symbols.update(range(lo, hi + 1))
+            else:
+                symbols.add(lo)
+        if negated:
+            symbols = set(range(self.n_symbols)) - symbols
+        else:
+            symbols = {s for s in symbols if s < self.n_symbols}
+        return Literal(frozenset(symbols))
+
+    def _class_char(self) -> int:
+        ch = self._next()
+        if ch == "\\":
+            esc = self._next()
+            if esc == "x":
+                hexdigits = self._next() + self._next()
+                return self._check_symbol(int(hexdigits, 16))
+            if esc in _ESCAPE_LITERALS:
+                return self._check_symbol(_ESCAPE_LITERALS[esc])
+            return self._check_symbol(ord(esc))
+        return self._check_symbol(ord(ch))
+
+
+def parse_regex(pattern: str, n_symbols: int = DEFAULT_ALPHABET) -> Node:
+    """Parse ``pattern`` into the regex AST (raises :class:`RegexSyntaxError`)."""
+    return _Parser(pattern, n_symbols).parse()
+
+
+# ----------------------------------------------------------------------
+# Thompson construction
+# ----------------------------------------------------------------------
+def _build(nfa: NFA, node: Node) -> Tuple[int, int]:
+    """Append ``node``'s fragment to ``nfa``; return (entry, exit) states."""
+    if isinstance(node, Literal):
+        entry, exit_ = nfa.add_state(), nfa.add_state()
+        if not node.symbols:
+            # An empty class matches nothing: the fragment is a dead end.
+            return entry, exit_
+        nfa.add_transitions(entry, node.symbols, exit_)
+        return entry, exit_
+    if isinstance(node, Concat):
+        if not node.parts:
+            entry = nfa.add_state()
+            return entry, entry
+        entry, exit_ = _build(nfa, node.parts[0])
+        for part in node.parts[1:]:
+            nentry, nexit = _build(nfa, part)
+            nfa.add_transition(exit_, EPSILON, nentry)
+            exit_ = nexit
+        return entry, exit_
+    if isinstance(node, Alternate):
+        entry, exit_ = nfa.add_state(), nfa.add_state()
+        for option in node.options:
+            oentry, oexit = _build(nfa, option)
+            nfa.add_transition(entry, EPSILON, oentry)
+            nfa.add_transition(oexit, EPSILON, exit_)
+        return entry, exit_
+    if isinstance(node, Repeat):
+        return _build_repeat(nfa, node)
+    raise RegexSyntaxError(f"unknown AST node {type(node).__name__}")
+
+
+def _build_repeat(nfa: NFA, node: Repeat) -> Tuple[int, int]:
+    entry = nfa.add_state()
+    cursor = entry
+    # Mandatory copies.
+    for _ in range(node.min):
+        centry, cexit = _build(nfa, node.child)
+        nfa.add_transition(cursor, EPSILON, centry)
+        cursor = cexit
+    if node.max is None:
+        # Kleene tail: loop a final copy.
+        centry, cexit = _build(nfa, node.child)
+        nfa.add_transition(cursor, EPSILON, centry)
+        nfa.add_transition(cexit, EPSILON, cursor)
+        return entry, cursor
+    exit_ = nfa.add_state()
+    nfa.add_transition(cursor, EPSILON, exit_)
+    for _ in range(node.max - node.min):
+        centry, cexit = _build(nfa, node.child)
+        nfa.add_transition(cursor, EPSILON, centry)
+        cursor = cexit
+        nfa.add_transition(cursor, EPSILON, exit_)
+    return entry, exit_
+
+
+def regex_to_nfa(pattern: str, n_symbols: int = DEFAULT_ALPHABET, name: str = "") -> NFA:
+    """Compile one pattern to a Thompson NFA (whole-input match semantics)."""
+    ast = parse_regex(pattern, n_symbols)
+    nfa = NFA(n_symbols=n_symbols, name=name or pattern)
+    entry, exit_ = _build(nfa, ast)
+    nfa.start = entry
+    nfa.accepting = {exit_}
+    return nfa
+
+
+def compile_regex(
+    pattern: str,
+    n_symbols: int = DEFAULT_ALPHABET,
+    *,
+    unanchored: bool = True,
+    sticky_accept: bool = True,
+    minimize: bool = True,
+    name: str = "",
+) -> DFA:
+    """Compile one regex to a DFA.
+
+    Parameters
+    ----------
+    unanchored:
+        Match anywhere in the stream (the scanner semantics Snort/ClamAV
+        signatures use) by prefixing an implicit ``.*``.
+    sticky_accept:
+        Make accepting states absorbing so the end state records "a match
+        occurred somewhere" — required for chunked parallel execution of
+        scanners to be meaningful.
+    minimize:
+        Run Hopcroft minimization on the result.
+    """
+    nfa = regex_to_nfa(pattern, n_symbols, name=name)
+    if unanchored:
+        for sym in range(n_symbols):
+            nfa.add_transition(nfa.start, sym, nfa.start)
+    if sticky_accept:
+        nfa.make_accepting_sticky()
+    dfa = nfa_to_dfa(nfa, name=name or pattern)
+    if minimize:
+        dfa = minimize_dfa(dfa)
+    return dfa
+
+
+def compile_disjunction(
+    patterns: Sequence[str],
+    n_symbols: int = DEFAULT_ALPHABET,
+    *,
+    unanchored: bool = True,
+    sticky_accept: bool = True,
+    minimize: bool = True,
+    name: str = "disjunction",
+) -> DFA:
+    """Compile a disjunction of patterns to one DFA.
+
+    Mirrors the paper's benchmark generation: "each FSM in our evaluation is
+    generated from a disjunction of multiple randomly selected regular
+    expressions".
+    """
+    if not patterns:
+        raise RegexSyntaxError("compile_disjunction needs at least one pattern")
+    nfas = [regex_to_nfa(p, n_symbols, name=p) for p in patterns]
+    nfa = union_nfas(nfas, name=name)
+    if unanchored:
+        for sym in range(n_symbols):
+            nfa.add_transition(nfa.start, sym, nfa.start)
+    if sticky_accept:
+        nfa.make_accepting_sticky()
+    dfa = nfa_to_dfa(nfa, name=name)
+    if minimize:
+        dfa = minimize_dfa(dfa)
+    return dfa

@@ -1,0 +1,63 @@
+"""DFA (de)serialization.
+
+Benchmark suites can be expensive to compile (regex → NFA → subset
+construction → minimization), so suites cache compiled DFAs on disk in NumPy's
+``.npz`` container.  The format stores the dense table, the start state, the
+accepting set and the name; it is versioned so later format changes can stay
+backward compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.automata.dfa import DFA, STATE_DTYPE
+from repro.errors import AutomatonError
+
+FORMAT_VERSION = 1
+
+
+def save_dfa(dfa: DFA, path: Union[str, Path]) -> None:
+    """Write ``dfa`` to ``path`` (``.npz``)."""
+    path = Path(path)
+    meta = json.dumps(
+        {
+            "version": FORMAT_VERSION,
+            "name": dfa.name,
+            "start": dfa.start,
+        }
+    )
+    np.savez_compressed(
+        path,
+        table=dfa.table,
+        accepting=np.asarray(sorted(dfa.accepting), dtype=np.int64),
+        meta=np.asarray(meta),
+    )
+
+
+def load_dfa(path: Union[str, Path]) -> DFA:
+    """Load a DFA previously written by :func:`save_dfa`."""
+    path = Path(path)
+    if not path.exists():
+        # np.savez appends .npz when missing; accept both spellings.
+        alt = path.with_suffix(path.suffix + ".npz")
+        if alt.exists():
+            path = alt
+        else:
+            raise AutomatonError(f"no DFA file at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        if meta.get("version") != FORMAT_VERSION:
+            raise AutomatonError(
+                f"unsupported DFA file version {meta.get('version')!r} in {path}"
+            )
+        return DFA(
+            table=data["table"].astype(STATE_DTYPE),
+            start=int(meta["start"]),
+            accepting=frozenset(int(s) for s in data["accepting"]),
+            name=str(meta["name"]),
+        )

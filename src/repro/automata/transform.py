@@ -1,0 +1,129 @@
+"""Frequency-based DFA transformation (paper §IV-B, Fig. 4).
+
+The transformation re-labels states so that hotness rank *is* the state id:
+after profiling, state 0 is the most frequently visited state, state 1 the
+next, and so on.  Two benefits on (simulated) GPU hardware:
+
+1. The hot prefix of the transition table — the rows belonging to the first
+   ``H`` states, where ``H`` is chosen so ``H × n_symbols`` entries fit in
+   shared memory — can be copied to shared memory once before the kernel
+   runs.
+2. The "is this transition cached?" check degenerates to ``state < H``
+   instead of a hash-table lookup (the approach PM used), removing one shared
+   memory access and one hash computation per input symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.automata.properties import StateFrequencyProfile, profile_state_frequencies
+from repro.errors import AutomatonError
+
+
+@dataclass(frozen=True)
+class TransformedDFA:
+    """A frequency-transformed DFA plus its state-mapping rules.
+
+    Attributes
+    ----------
+    dfa:
+        The re-labelled DFA (semantically equivalent to the original).
+    to_new:
+        ``to_new[q_old] -> q_new`` mapping rule.
+    to_old:
+        Inverse mapping, used to translate results back for reporting.
+    hot_state_count:
+        Number of leading (hottest) states whose table rows are promoted to
+        shared memory.
+    """
+
+    dfa: DFA
+    to_new: np.ndarray
+    to_old: np.ndarray
+    hot_state_count: int
+
+    def map_state_to_new(self, q_old: int) -> int:
+        """Translate an original state id into the transformed numbering."""
+        return int(self.to_new[q_old])
+
+    def map_state_to_old(self, q_new: int) -> int:
+        """Translate a transformed state id back to the original numbering."""
+        return int(self.to_old[q_new])
+
+    def is_hot(self, q_new: int) -> bool:
+        """Hotness check in the transformed numbering — a plain compare."""
+        return q_new < self.hot_state_count
+
+    @property
+    def hot_fraction(self) -> float:
+        """Fraction of states resident in shared memory."""
+        return self.hot_state_count / float(self.dfa.n_states)
+
+
+def frequency_transform(
+    dfa: DFA,
+    profile: Optional[StateFrequencyProfile] = None,
+    *,
+    training_input=None,
+    shared_memory_entries: Optional[int] = None,
+) -> TransformedDFA:
+    """Apply the frequency-based transformation of Fig. 4.
+
+    Parameters
+    ----------
+    profile:
+        A pre-computed :class:`StateFrequencyProfile`.  If omitted,
+        ``training_input`` must be given and a profile is collected here.
+    shared_memory_entries:
+        Capacity of the (simulated) shared-memory table cache, in table
+        *entries*.  The hot state count is
+        ``min(n_states, shared_memory_entries // n_symbols)``.  When omitted,
+        all states are considered hot (useful for unit tests).
+    """
+    if profile is None:
+        if training_input is None:
+            raise AutomatonError(
+                "frequency_transform needs either a profile or a training_input"
+            )
+        profile = profile_state_frequencies(dfa, training_input)
+    if profile.counts.shape[0] != dfa.n_states:
+        raise AutomatonError(
+            "profile was collected on a DFA with a different state count"
+        )
+
+    order = profile.order  # hottest first
+    to_new = np.empty(dfa.n_states, dtype=np.int64)
+    to_new[order] = np.arange(dfa.n_states)
+    to_old = order.copy()
+
+    transformed = dfa.renumbered(to_new, name=f"{dfa.name}/freq-transformed")
+
+    if shared_memory_entries is None:
+        hot = dfa.n_states
+    else:
+        hot = min(dfa.n_states, int(shared_memory_entries) // max(1, dfa.n_symbols))
+    return TransformedDFA(
+        dfa=transformed,
+        to_new=to_new,
+        to_old=to_old,
+        hot_state_count=int(hot),
+    )
+
+
+def hot_access_fraction(transformed: TransformedDFA, data, start: Optional[int] = None) -> float:
+    """Fraction of transitions on ``data`` served by the hot (shared) rows.
+
+    Useful to validate that the transformation concentrates accesses: on the
+    training distribution this should be close to the cumulative frequency
+    mass of the hot states.
+    """
+    path = transformed.dfa.run_path(data, start=start)
+    visited = path[:-1]  # the state a transition is *looked up from*
+    if visited.size == 0:
+        return 1.0
+    return float(np.count_nonzero(visited < transformed.hot_state_count) / visited.size)

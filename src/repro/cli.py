@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``run``      — execute one scheme (or the auto-selected one) on a suite
+               member and print the cost breakdown.
+``compare``  — race all four schemes on one member.
+``profile``  — print a member's feature vector and the selector's reasoning.
+``suite``    — list a suite's members and their regimes.
+
+Examples
+--------
+::
+
+    python -m repro.cli suite snort
+    python -m repro.cli profile snort 8
+    python -m repro.cli run snort 8 --scheme nf --input-length 65536
+    python -m repro.cli compare poweren 4 --threads 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import render_table
+from repro.framework import GSpecPal, GSpecPalConfig
+from repro.selector import profile_features
+from repro.selector.decision_tree import DecisionTreeSelector
+from repro.workloads.suites import REGIME_LAYOUT, SUITES, build_member
+
+
+def _add_member_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("suite", choices=SUITES)
+    p.add_argument("index", type=int, help="member index 1..12")
+    p.add_argument("--input-length", type=int, default=65_536)
+    p.add_argument("--training-length", type=int, default=8_192)
+    p.add_argument("--threads", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _build(args):
+    member = build_member(args.suite, args.index)
+    training = member.training_input(args.training_length)
+    data = member.generate_input(args.input_length, seed=args.seed)
+    pal = GSpecPal(
+        member.dfa,
+        GSpecPalConfig(n_threads=args.threads),
+        training_input=training,
+    )
+    return member, pal, data
+
+
+def cmd_suite(args) -> int:
+    rows = [
+        [i + 1, regime] for i, regime in enumerate(REGIME_LAYOUT[args.suite])
+    ]
+    print(render_table(["index", "regime"], rows, title=f"suite {args.suite}"))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    member = build_member(args.suite, args.index)
+    features = profile_features(
+        member.dfa, member.training_input(args.training_length)
+    )
+    for key, value in features.as_dict().items():
+        print(f"{key:22s} {value}")
+    print()
+    print(DecisionTreeSelector().explain(features))
+    return 0
+
+
+def _render_timeline(samples, max_rows: int = 16) -> str:
+    """ASCII bar timeline of active threads per recovery round."""
+    from repro.analysis.tables import render_bars
+
+    if not samples:
+        return "(no recovery rounds)"
+    if len(samples) > max_rows:
+        # Downsample evenly, keeping first and last rounds.
+        import numpy as np
+
+        idx = np.linspace(0, len(samples) - 1, max_rows).astype(int)
+        labels = [f"round {i}" for i in idx]
+        values = [float(samples[i]) for i in idx]
+    else:
+        labels = [f"round {i}" for i in range(len(samples))]
+        values = [float(s) for s in samples]
+    return render_bars(labels, values, width=30, unit=" threads")
+
+
+def cmd_run(args) -> int:
+    member, pal, data = _build(args)
+    result = pal.run(data, scheme=args.scheme)
+    print(f"member   : {member.name} ({member.dfa.n_states} states)")
+    print(f"scheme   : {result.scheme}")
+    print(f"accepts  : {result.accepts}")
+    print(f"kernel   : {result.time_ms:.3f} ms ({result.cycles:.0f} cycles)")
+    stats = result.stats
+    print(f"accuracy : {stats.runtime_speculation_accuracy:.1%}")
+    print(f"recovery : {stats.recovery_rounds} rounds, "
+          f"{stats.avg_active_threads:.1f} avg active threads")
+    print(f"memory   : {stats.hot_access_fraction:.1%} shared-memory hits")
+    print("phases   :")
+    for phase, cycles in sorted(stats.phase_cycles.items(), key=lambda kv: -kv[1]):
+        print(f"  {phase:24s} {cycles:14.0f} cycles")
+    if args.timeline:
+        print("recovery-round activity:")
+        print(_render_timeline(stats.active_thread_samples))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import build_report
+
+    report = build_report()
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    member, pal, data = _build(args)
+    results = pal.compare_schemes(data)
+    selected = pal.select_scheme()
+    base = results["pm"].cycles
+    rows = [
+        [
+            name + (" *" if name == selected else ""),
+            res.cycles,
+            res.time_ms,
+            base / res.cycles,
+            res.stats.recovery_rounds,
+            res.stats.avg_active_threads,
+        ]
+        for name, res in sorted(results.items(), key=lambda kv: kv[1].cycles)
+    ]
+    print(
+        render_table(
+            ["scheme", "cycles", "ms", "speedup/pm", "rounds", "active"],
+            rows,
+            title=f"{member.name}: scheme comparison (* = selector's pick)",
+        )
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("suite", help="list a suite's members")
+    p.add_argument("suite", choices=SUITES)
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("profile", help="profile a member and explain selection")
+    p.add_argument("suite", choices=SUITES)
+    p.add_argument("index", type=int)
+    p.add_argument("--training-length", type=int, default=8_192)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("run", help="run one scheme on a member")
+    _add_member_args(p)
+    p.add_argument(
+        "--scheme",
+        choices=("pm", "sre", "rr", "nf", "seq", "spec-seq"),
+        default=None,
+        help="force a scheme (default: selector's pick)",
+    )
+    p.add_argument(
+        "--timeline",
+        action="store_true",
+        help="show per-recovery-round thread activity",
+    )
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("report", help="assemble the experiment report")
+    p.add_argument("--output", default=None, help="write to a file")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("compare", help="race all schemes on a member")
+    _add_member_args(p)
+    p.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single except clause while still being able
+to distinguish the common cases (bad regex, malformed automaton, invalid
+simulator configuration).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AutomatonError(ReproError):
+    """An automaton definition is structurally invalid."""
+
+
+class RegexSyntaxError(ReproError):
+    """A regular expression could not be parsed.
+
+    Attributes
+    ----------
+    pattern:
+        The offending pattern.
+    position:
+        Index into ``pattern`` where parsing failed, or ``None`` when the
+        error is not tied to a specific character.
+    """
+
+    def __init__(self, message: str, pattern: str = "", position: "int | None" = None):
+        self.pattern = pattern
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position} in {pattern!r})"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """The GPU simulator was configured or driven inconsistently."""
+
+
+class SchemeError(ReproError):
+    """A parallelization scheme was invoked with invalid parameters."""

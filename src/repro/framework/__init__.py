@@ -1,0 +1,7 @@
+"""GSpecPal framework front end (plus the throughput-mode baseline)."""
+
+from repro.framework.config import GSpecPalConfig
+from repro.framework.gspecpal import GSpecPal
+from repro.framework.throughput import BatchResult, ThroughputEngine
+
+__all__ = ["BatchResult", "GSpecPal", "GSpecPalConfig", "ThroughputEngine"]

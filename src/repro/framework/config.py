@@ -1,0 +1,54 @@
+"""Framework configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.device import RTX3090, DeviceSpec
+from repro.selector.decision_tree import SelectorThresholds
+from repro.errors import SchemeError
+
+
+@dataclass(frozen=True)
+class GSpecPalConfig:
+    """Tunables of the GSpecPal framework.
+
+    Attributes
+    ----------
+    n_threads:
+        GPU threads == input chunks ``N``.
+    spec_k:
+        Paths per thread when PM is selected (paper baseline: 4).
+    own_registers / others_registers:
+        Register budgets for ``VR^end`` / ``VR^others`` (paper: 16 / 16).
+    use_transformation:
+        Apply the frequency-based DFA transformation (§IV-B).  Turning it
+        off falls back to PM's hash-table hot layout (the ablation knob).
+    training_fraction:
+        Slice of the input used for offline profiling when no explicit
+        training input is given (paper: 1 MB of 10 MB × 20 ≈ 0.5%).
+    min_training_symbols:
+        Lower bound on the profiling slice.
+    device:
+        Simulated GPU.
+    thresholds:
+        Decision-tree cut points.
+    """
+
+    n_threads: int = 256
+    spec_k: int = 4
+    own_registers: int = 16
+    others_registers: int = 16
+    use_transformation: bool = True
+    training_fraction: float = 0.005
+    min_training_symbols: int = 2048
+    device: DeviceSpec = RTX3090
+    thresholds: SelectorThresholds = field(default_factory=SelectorThresholds)
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 2:
+            raise SchemeError("GSpecPal needs at least 2 threads/chunks")
+        if self.spec_k < 1:
+            raise SchemeError("spec_k must be >= 1")
+        if not (0.0 < self.training_fraction <= 1.0):
+            raise SchemeError("training_fraction must be in (0, 1]")

@@ -1,0 +1,249 @@
+"""The GSpecPal framework (paper §IV): profile → select → run.
+
+:class:`GSpecPal` is the latency-sensitive front end tying the four
+components together — state prediction, state transition (with the
+frequency-based transformation), verification & recovery, and the parallel
+scheme selector.  Typical use::
+
+    pal = GSpecPal(dfa)
+    result = pal.run(stream)           # selects a scheme automatically
+    result = pal.run(stream, scheme="nf")  # or force one
+
+Profiling is performed once per (FSM, training input) and cached; when no
+training input is supplied a leading slice of the data (0.5% by default,
+mirroring the paper's 1 MB-of-20×10 MB methodology) is used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.automata.dfa import DFA, _as_symbol_array
+from repro.gpu.kernel import GpuSimulator
+from repro.schemes import (
+    NFScheme,
+    PMScheme,
+    RRScheme,
+    SchemeResult,
+    SequentialScheme,
+    SpecSequentialScheme,
+    SREScheme,
+)
+from repro.schemes.base import Scheme
+from repro.selector.decision_tree import DecisionTreeSelector
+from repro.selector.features import FSMFeatures, profile_features
+from repro.framework.config import GSpecPalConfig
+from repro.errors import SchemeError
+
+
+class GSpecPal:
+    """Latency-sensitive speculative FSM parallelization framework."""
+
+    #: Schemes the selector may pick (the paper's four).
+    SELECTABLE = ("pm", "sre", "rr", "nf")
+
+    def __init__(
+        self,
+        dfa: DFA,
+        config: Optional[GSpecPalConfig] = None,
+        *,
+        training_input=None,
+    ):
+        self.dfa = dfa
+        self.config = config if config is not None else GSpecPalConfig()
+        self.selector = DecisionTreeSelector(self.config.thresholds)
+        self._training: Optional[np.ndarray] = (
+            _as_symbol_array(training_input) if training_input is not None else None
+        )
+        self._features: Optional[FSMFeatures] = None
+        self._sim: Optional[GpuSimulator] = None
+
+    # ------------------------------------------------------------------
+    # profiling
+    # ------------------------------------------------------------------
+    def _training_slice(self, data) -> np.ndarray:
+        if self._training is not None:
+            return self._training
+        symbols = _as_symbol_array(data)
+        n = max(
+            min(self.config.min_training_symbols, symbols.size),
+            int(symbols.size * self.config.training_fraction),
+        )
+        return symbols[:n]
+
+    def profile(self, data=None) -> FSMFeatures:
+        """Collect (and cache) the FSM feature vector.
+
+        ``data`` is only needed when no training input was supplied at
+        construction time.
+        """
+        if self._features is not None:
+            return self._features
+        if self._training is None:
+            if data is None:
+                raise SchemeError(
+                    "no training input available: pass one to GSpecPal() or "
+                    "give profile()/run() the data stream"
+                )
+            self._training = self._training_slice(data)
+        self._features = profile_features(
+            self.dfa,
+            self._training,
+            n_chunks=min(64, self.config.n_threads),
+        )
+        return self._features
+
+    def _simulator(self) -> GpuSimulator:
+        """The (cached) device-loaded automaton."""
+        if self._sim is None:
+            if self._training is None:
+                raise SchemeError("profile() must run before kernels launch")
+            self._sim = GpuSimulator(
+                dfa=self.dfa,
+                device=self.config.device,
+                use_transformation=self.config.use_transformation,
+                training_input=bytes(np.asarray(self._training, dtype=np.uint8)),
+            )
+        return self._sim
+
+    # ------------------------------------------------------------------
+    # selection and execution
+    # ------------------------------------------------------------------
+    def select_scheme(self, data=None) -> str:
+        """Run the Fig. 6 decision tree on the profiled features."""
+        return self.selector.select(self.profile(data))
+
+    def build_scheme(self, name: str) -> Scheme:
+        """Instantiate a scheme sharing this framework's simulator/config."""
+        sim = self._simulator()
+        cfg = self.config
+        if name in ("pm", f"pm-spec{cfg.spec_k}"):
+            return PMScheme(sim, n_threads=cfg.n_threads, k=cfg.spec_k)
+        if name == "sre":
+            return SREScheme(
+                sim,
+                n_threads=cfg.n_threads,
+                own_capacity=cfg.own_registers,
+                others_capacity=cfg.others_registers,
+            )
+        if name == "rr":
+            return RRScheme(
+                sim,
+                n_threads=cfg.n_threads,
+                own_capacity=cfg.own_registers,
+                others_capacity=cfg.others_registers,
+            )
+        if name == "nf":
+            return NFScheme(
+                sim,
+                n_threads=cfg.n_threads,
+                own_capacity=cfg.own_registers,
+                others_capacity=cfg.others_registers,
+            )
+        if name == "seq":
+            return SequentialScheme(sim, n_threads=1)
+        if name == "spec-seq":
+            return SpecSequentialScheme(sim, n_threads=cfg.n_threads)
+        raise SchemeError(f"unknown scheme {name!r}")
+
+    def run(self, data, scheme: Optional[str] = None) -> SchemeResult:
+        """Process ``data``: profile (if needed), select, execute.
+
+        Parameters
+        ----------
+        scheme:
+            Force a specific scheme instead of consulting the selector.
+        """
+        symbols = _as_symbol_array(data)
+        if self._training is None:
+            self._training = self._training_slice(symbols)
+        name = scheme if scheme is not None else self.select_scheme(symbols)
+        return self.build_scheme(name).run(symbols)
+
+    def compare_schemes(
+        self, data, schemes: Optional[Iterable[str]] = None
+    ) -> Dict[str, SchemeResult]:
+        """Run several schemes on the same stream (benchmark helper)."""
+        symbols = _as_symbol_array(data)
+        if self._training is None:
+            self._training = self._training_slice(symbols)
+        names = tuple(schemes) if schemes is not None else self.SELECTABLE
+        return {name: self.build_scheme(name).run(symbols) for name in names}
+
+    # ------------------------------------------------------------------
+    # match reporting and streaming
+    # ------------------------------------------------------------------
+    def find_first_match(self, data, scheme: Optional[str] = None) -> Optional[int]:
+        """Offset of the first position after which the DFA accepts.
+
+        Requires sticky (absorbing) accepting states — the scanner semantics
+        ``compile_regex``/``compile_disjunction`` produce by default — so
+        acceptance is monotone along the stream.  The parallel run yields
+        verified per-chunk end states; only the single chunk where
+        acceptance flips is rescanned to pinpoint the offset.  Returns
+        ``None`` when the stream never matches.
+        """
+        symbols = _as_symbol_array(data)
+        result = self.run(symbols, scheme=scheme)
+        if not result.accepts:
+            return None
+        if result.chunk_ends is None:
+            raise SchemeError(
+                f"scheme {result.scheme!r} does not expose per-chunk ends"
+            )
+        from repro.speculation.chunks import partition_input
+
+        accept = self.dfa.accepting_mask
+        partition = partition_input(symbols, result.n_chunks)
+        flip = int(np.argmax(accept[np.asarray(result.chunk_ends)]))
+        chunk_start_state = (
+            self.dfa.start
+            if flip == 0
+            else int(result.chunk_ends[flip - 1])
+        )
+        path = self.dfa.run_path(partition.chunk(flip), start=chunk_start_state)
+        within = int(np.argmax(accept[path]))
+        return int(partition.offsets[flip]) + within
+
+    def stream(self, scheme: Optional[str] = None) -> "StreamSession":
+        """Open an incremental session: feed segments, carry state across.
+
+        Each segment is processed with the full parallel machinery from the
+        carried DFA state — the framework's answer to long-running feeds
+        (network taps) that cannot be buffered whole.
+        """
+        return StreamSession(self, scheme=scheme)
+
+
+class StreamSession:
+    """Incremental scanning with carried DFA state (see GSpecPal.stream)."""
+
+    def __init__(self, pal: GSpecPal, scheme: Optional[str] = None):
+        self._pal = pal
+        self._scheme = scheme
+        self.state: int = pal.dfa.start
+        self.total_symbols: int = 0
+        self.total_cycles: float = 0.0
+
+    @property
+    def accepts(self) -> bool:
+        """Whether the stream so far ends in an accepting state."""
+        return self.state in self._pal.dfa.accepting
+
+    def feed(self, segment) -> SchemeResult:
+        """Process one segment from the carried state; returns its result."""
+        symbols = _as_symbol_array(segment)
+        if self._pal._training is None:
+            self._pal._training = self._pal._training_slice(symbols)
+        name = (
+            self._scheme
+            if self._scheme is not None
+            else self._pal.select_scheme(symbols)
+        )
+        result = self._pal.build_scheme(name).run(symbols, start_state=self.state)
+        self.state = result.end_state
+        self.total_symbols += int(symbols.size)
+        self.total_cycles += result.cycles
+        return result

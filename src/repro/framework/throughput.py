@@ -1,0 +1,106 @@
+"""Stream-level (throughput-oriented) execution — Algorithm 1's outer loops.
+
+The pre-GSpecPal mainstream runs *many* streams concurrently, one sequential
+scan per stream (stream-level parallelism): aggregate throughput is superb
+because thousands of streams keep every lane busy, but each individual
+stream still takes ``O(length)`` — the response-time problem GSpecPal
+exists to solve.  :class:`ThroughputEngine` models that design so the
+benchmarks can quantify the latency/throughput trade-off on the same
+simulated device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.automata.dfa import DFA, _as_symbol_array
+from repro.gpu.device import RTX3090, DeviceSpec
+from repro.gpu.kernel import GpuSimulator
+from repro.gpu.stats import KernelStats
+from repro.errors import SchemeError
+
+
+@dataclass
+class BatchResult:
+    """Result of one multi-stream batch scan.
+
+    ``per_stream_ends``/``accepts`` are functional outputs; ``stats`` holds
+    the batch's simulated cost.  ``latency_cycles`` is the response time of
+    any single stream (== the whole batch: every stream finishes with the
+    kernel); ``throughput_symbols_per_cycle`` is the aggregate rate.
+    """
+
+    per_stream_ends: np.ndarray
+    accepts: np.ndarray
+    stats: KernelStats
+    total_symbols: int
+
+    @property
+    def latency_cycles(self) -> float:
+        return self.stats.cycles
+
+    @property
+    def throughput_symbols_per_cycle(self) -> float:
+        return self.total_symbols / self.stats.cycles if self.stats.cycles else 0.0
+
+
+class ThroughputEngine:
+    """One-thread-per-stream batch scanning (the throughput baseline).
+
+    Streams are padded to the longest and scanned in lockstep, one lane per
+    stream — exactly how a throughput-oriented DFA engine shards work.
+    """
+
+    def __init__(
+        self,
+        dfa: DFA,
+        device: DeviceSpec = RTX3090,
+        *,
+        training_input=None,
+        use_transformation: bool = True,
+    ):
+        if training_input is None:
+            use_transformation = False
+        self.sim = GpuSimulator(
+            dfa=dfa,
+            device=device,
+            use_transformation=use_transformation,
+            training_input=(
+                bytes(_as_symbol_array(training_input).astype(np.uint8))
+                if training_input is not None
+                else None
+            ),
+        )
+
+    def run_batch(self, streams: Sequence) -> BatchResult:
+        """Scan every stream to completion in one simulated launch."""
+        if not streams:
+            raise SchemeError("run_batch needs at least one stream")
+        arrays: List[np.ndarray] = [_as_symbol_array(s) for s in streams]
+        lengths = np.asarray([a.size for a in arrays], dtype=np.int64)
+        width = int(lengths.max())
+        n = len(arrays)
+        chunks = np.zeros((n, width), dtype=arrays[0].dtype if width else np.uint8)
+        for i, a in enumerate(arrays):
+            chunks[i, : a.size] = a
+
+        stats = self.sim.new_stats(n_threads=n)
+        starts = np.full(n, self.sim.exec_start_state, dtype=np.int64)
+        ends = self.sim.executor.run(
+            chunks,
+            starts,
+            stats=stats,
+            phase="stream_parallel_scan",
+            lengths=lengths,
+        )
+        user_ends = self.sim.to_user_states(ends)
+        accept_mask = self.sim.dfa.accepting_mask
+        return BatchResult(
+            per_stream_ends=user_ends,
+            accepts=accept_mask[user_ends],
+            stats=stats,
+            total_symbols=int(lengths.sum()),
+        )

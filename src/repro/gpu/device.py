@@ -1,0 +1,124 @@
+"""GPU device models.
+
+A :class:`DeviceSpec` captures the architectural parameters the cost model
+needs.  The shipped :data:`RTX3090` instance mirrors the paper's testbed
+(Ampere GA102: 82 SMs × 128 CUDA cores, 100 KB shared memory per SM, 24 GB
+global memory).  Latency constants are in *cycles* and follow published
+microbenchmark numbers for Ampere-class parts; what matters for reproducing
+the paper's shapes is their ratio (global ≫ shared ≫ register), not their
+absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a simulated GPU.
+
+    All ``*_cycles`` fields are per-operation latencies charged by the cost
+    model.  ``max_resident_warps_per_sm`` bounds how many warps can overlap;
+    with the small thread counts used for single-stream latency work
+    (N ≤ a few thousand) kernels almost always fit concurrently.
+    """
+
+    name: str = "generic-gpu"
+    n_sms: int = 82
+    cores_per_sm: int = 128
+    warp_size: int = 32
+    shared_memory_bytes_per_sm: int = 100 * 1024
+    registers_per_thread: int = 255
+    global_memory_bytes: int = 24 * 1024**3
+    max_resident_warps_per_sm: int = 48
+    clock_ghz: float = 1.395
+
+    # --- cost model (cycles) ---
+    register_cycles: int = 1
+    shared_cycles: int = 29
+    global_cycles: int = 380
+    # additional issue cost per extra divergent global access within one
+    # warp: loads overlap (memory-level parallelism), so only a small
+    # per-transaction slot is serialized on top of the first load's latency
+    global_issue_cycles: int = 4
+    # arithmetic for index computation per transition (state*k+sym etc.)
+    transition_compute_cycles: int = 4
+    # hash-table lookup used by PM's hot-table check (hash + probe)
+    hash_compute_cycles: int = 10
+    # inter-thread end-state forwarding across warps (shared staging)
+    comm_cycles: int = 35
+    # intra-warp lane exchange (register shuffle) — much cheaper, used by
+    # PM's first (intra-warp) verification stage
+    shuffle_cycles: int = 8
+    # amortized per-step cost of streaming one input chunk through a warp
+    # (cache-line loads spread over line_bytes positions), plus the extra
+    # issue cost per additional distinct chunk among the warp's lanes —
+    # lanes reading the same chunk coalesce to one stream (NF's locality
+    # win); distinct streams overlap via MLP so the increment is small
+    input_fetch_cycles: int = 3
+    input_issue_cycles: float = 0.25
+    # per-record runtime verification check (compare + branch)
+    verify_cycles: int = 3
+    # barrier / __syncthreads
+    sync_cycles: int = 40
+    # kernel launch overhead charged once per kernel
+    launch_overhead_cycles: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or self.n_sms <= 0:
+            raise SimulationError("device must have positive warp size and SM count")
+        if not (self.register_cycles <= self.shared_cycles <= self.global_cycles):
+            raise SimulationError(
+                "latency ordering must be register <= shared <= global"
+            )
+
+    @property
+    def max_concurrent_warps(self) -> int:
+        """Warps the whole device can keep resident simultaneously."""
+        return self.n_sms * self.max_resident_warps_per_sm
+
+    @property
+    def shared_table_entries(self) -> int:
+        """Transition-table entries (int32) that fit in one SM's shared memory.
+
+        The paper reserves part of shared memory for the hot transition table;
+        we keep a small slice back for the verification-record staging area
+        (Fig. 5 ②); the framework reserves 8 KB for it.
+        """
+        reserved = 8 * 1024
+        return max(0, (self.shared_memory_bytes_per_sm - reserved)) // 4
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert simulated cycles into milliseconds of kernel time."""
+        return cycles / (self.clock_ghz * 1e6)
+
+    def warps_for_threads(self, n_threads: int) -> int:
+        """Number of warps needed for ``n_threads`` threads."""
+        if n_threads <= 0:
+            raise SimulationError(f"thread count must be positive, got {n_threads}")
+        return -(-n_threads // self.warp_size)
+
+    def concurrency_factor(self, n_warps: int) -> float:
+        """Serialization multiplier when warps exceed device residency.
+
+        1.0 when everything fits; proportional otherwise.  Latency-sensitive
+        FSM kernels use few warps, so this is almost always 1.0.
+        """
+        if n_warps <= self.max_concurrent_warps:
+            return 1.0
+        return n_warps / float(self.max_concurrent_warps)
+
+
+#: The paper's testbed: Nvidia GeForce RTX 3090 (Ampere).
+RTX3090 = DeviceSpec(
+    name="rtx3090",
+    n_sms=82,
+    cores_per_sm=128,
+    warp_size=32,
+    shared_memory_bytes_per_sm=100 * 1024,
+    global_memory_bytes=24 * 1024**3,
+    clock_ghz=1.395,
+)

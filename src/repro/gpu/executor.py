@@ -1,0 +1,228 @@
+"""The vectorized lockstep executor.
+
+This is the simulated GPU's compute engine: it advances *all* simulated
+threads through their chunks one symbol position at a time, exactly like a
+warp executes ``state = table[state][symbol]`` in lockstep.  Per step it
+charges each warp the latency of its slowest lane (memory divergence) and
+counts shared/global accesses, so a single call yields both the functional
+result (end states) and the cost-model result (cycles into a
+:class:`~repro.gpu.stats.KernelStats`).
+
+Design notes (per the HPC guides): the python loop runs over chunk positions
+only — every thread-level operation is a vectorized numpy gather/compare —
+and all arrays are C-contiguous with threads padded to a warp multiple once,
+up front, to keep the inner loop allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.automata.dfa import STATE_DTYPE
+from repro.gpu.device import DeviceSpec
+from repro.gpu.memory import MemoryModel
+from repro.gpu.stats import KernelStats
+from repro.errors import SimulationError
+
+
+class LockstepExecutor:
+    """Executes chunk batches on the simulated device with cycle accounting.
+
+    Parameters
+    ----------
+    table:
+        ``(n_states, n_symbols)`` dense transition table (already transformed
+        if the RANK layout is used).
+    memory:
+        The :class:`MemoryModel` describing hot-row placement.
+    device:
+        The simulated GPU.
+    """
+
+    def __init__(self, table: np.ndarray, memory: MemoryModel, device: DeviceSpec):
+        self.table = np.ascontiguousarray(np.asarray(table, dtype=STATE_DTYPE))
+        if self.table.ndim != 2:
+            raise SimulationError("transition table must be 2-D")
+        self.memory = memory
+        self.device = device
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        chunks: np.ndarray,
+        starts: np.ndarray,
+        *,
+        stats: Optional[KernelStats] = None,
+        phase: str = "execution",
+        lengths: Optional[np.ndarray] = None,
+        active: Optional[np.ndarray] = None,
+        count_redundant: Optional[np.ndarray] = None,
+        chunk_ids: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run one lockstep batch and charge its cost.
+
+        Parameters
+        ----------
+        chunks:
+            ``(n_threads, chunk_len)`` symbol matrix.
+        starts:
+            ``(n_threads,)`` start states.
+        stats:
+            Ledger to charge; pass ``None`` for a pure functional run.
+        phase:
+            Ledger bucket name.
+        lengths:
+            Optional per-thread effective lengths (ragged tail chunk).
+        active:
+            Optional boolean mask; inactive lanes do no work, keep their
+            start state, and cost nothing — but they do *not* shorten their
+            warp (idle lanes are the utilization loss the paper targets).
+        count_redundant:
+            Optional boolean mask; transitions executed by these lanes are
+            additionally counted as redundant work.
+        chunk_ids:
+            Optional per-lane chunk assignment used for the input-fetch
+            coalescing model: lanes of one warp reading the *same* chunk
+            share one stream fetch per step, so a warp pays
+            ``input_fetch_cycles × (#distinct chunks among its active
+            lanes)``.  Defaults to every lane reading its own chunk.
+
+        Returns
+        -------
+        ``(n_threads,)`` end states (inactive lanes return their start).
+        """
+        chunks = np.ascontiguousarray(chunks)
+        if chunks.ndim != 2:
+            raise SimulationError(f"chunks must be 2-D, got shape {chunks.shape}")
+        n_threads, chunk_len = chunks.shape
+        states = np.asarray(starts, dtype=STATE_DTYPE).copy()
+        if states.shape != (n_threads,):
+            raise SimulationError("starts must match the number of threads")
+
+        if active is None:
+            active_mask = np.ones(n_threads, dtype=bool)
+        else:
+            active_mask = np.asarray(active, dtype=bool).copy()
+        if lengths is None:
+            lens = np.full(n_threads, chunk_len, dtype=np.int64)
+        else:
+            lens = np.asarray(lengths, dtype=np.int64)
+            if lens.shape != (n_threads,):
+                raise SimulationError("lengths must match the number of threads")
+            if (lens < 0).any() or (lens > chunk_len).any():
+                raise SimulationError("lengths out of range")
+
+        if chunk_len == 0 or not active_mask.any():
+            return states
+
+        device = self.device
+        ws = device.warp_size
+        n_warps = -(-n_threads // ws)
+        pad = n_warps * ws - n_threads
+
+        per_warp_cycles = np.zeros(n_warps, dtype=np.float64)
+
+        # Input-fetch coalescing: constant per step for a fixed assignment.
+        lane_chunk = np.full(n_warps * ws, -1, dtype=np.int64)
+        if chunk_ids is None:
+            lane_chunk[:n_threads][active_mask] = np.flatnonzero(active_mask)
+        else:
+            cid = np.asarray(chunk_ids, dtype=np.int64)
+            if cid.shape != (n_threads,):
+                raise SimulationError("chunk_ids must match the number of threads")
+            lane_chunk[:n_threads][active_mask] = cid[active_mask]
+        per_warp_fetch = np.zeros(n_warps, dtype=np.float64)
+        for w in range(n_warps):
+            lanes = lane_chunk[w * ws : (w + 1) * ws]
+            distinct = np.unique(lanes[lanes >= 0]).size
+            if distinct:
+                per_warp_fetch[w] = (
+                    device.input_fetch_cycles
+                    + (distinct - 1) * device.input_issue_cycles
+                )
+        shared_hits = 0
+        global_hits = 0
+        total_transitions = 0
+        redundant = 0
+        overhead = self.memory.per_step_overhead_cycles
+        compute = device.transition_compute_cycles
+        table = self.table
+
+        # Pre-pad the working-lane mask once; padding lanes cost nothing.
+        lane_working = np.zeros(n_warps * ws, dtype=bool)
+
+        lane_cold = np.zeros(n_warps * ws, dtype=bool)
+        g0 = float(device.global_cycles)
+        gi = float(device.global_issue_cycles)
+        sh = float(device.shared_cycles)
+
+        for j in range(chunk_len):
+            working = active_mask & (j < lens)
+            n_working = int(np.count_nonzero(working))
+            if n_working == 0:
+                break  # all remaining positions are beyond every lane's length
+            hot = self.memory.hot_mask(states) & working
+            cold = working & ~hot
+            n_hot = int(np.count_nonzero(hot))
+            n_cold = n_working - n_hot
+            shared_hits += n_hot
+            global_hits += n_cold
+            total_transitions += n_working
+            if count_redundant is not None:
+                redundant += int(np.count_nonzero(working & count_redundant))
+
+            # Warp memory cost: divergent global loads serialize into
+            # transactions — the first pays the full latency, each extra
+            # cold lane adds an issue slot; an all-hot warp pays the shared
+            # latency only.
+            lane_working[:n_threads] = working
+            lane_cold[:n_threads] = cold
+            warp_active = lane_working.reshape(n_warps, ws).any(axis=1)
+            warp_cold = lane_cold.reshape(n_warps, ws).sum(axis=1)
+            mem_cost = np.where(
+                warp_cold > 0,
+                g0 + np.maximum(0, warp_cold - 1) * gi,
+                np.where(warp_active, sh, 0.0),
+            )
+            per_warp_cycles += mem_cost
+            per_warp_cycles += np.where(
+                warp_active, compute + overhead + per_warp_fetch, 0.0
+            )
+
+            # Advance states of working lanes only.
+            nxt = table[states, chunks[:, j]]
+            states = np.where(working, nxt, states).astype(STATE_DTYPE, copy=False)
+
+        if stats is not None:
+            factor = device.concurrency_factor(n_warps)
+            if factor == 1.0:
+                phase_cycles = float(per_warp_cycles.max())
+            else:
+                phase_cycles = float(per_warp_cycles.sum() / device.max_concurrent_warps)
+            stats.charge(phase, phase_cycles)
+            stats.transitions += total_transitions
+            stats.redundant_transitions += redundant
+            stats.shared_accesses += shared_hits
+            stats.global_accesses += global_hits
+        return states
+
+    # ------------------------------------------------------------------
+    def run_gathered(
+        self,
+        input_chunks: np.ndarray,
+        chunk_ids: np.ndarray,
+        starts: np.ndarray,
+        **kwargs,
+    ) -> np.ndarray:
+        """Run with an explicit thread→chunk assignment.
+
+        ``chunk_ids[t]`` selects which row of ``input_chunks`` thread ``t``
+        processes — this is the broken one-to-one binding that aggressive
+        speculative recovery (RR/NF) introduces.
+        """
+        chunk_ids = np.asarray(chunk_ids, dtype=np.int64)
+        gathered = input_chunks[chunk_ids]
+        kwargs.setdefault("chunk_ids", chunk_ids)
+        return self.run(gathered, starts, **kwargs)

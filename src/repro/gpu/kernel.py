@@ -1,0 +1,142 @@
+"""Kernel-launch facade: ties a DFA to the device, memory model and executor.
+
+Schemes talk to :class:`GpuSimulator` instead of wiring the pieces manually:
+it decides the hot-table placement (optionally applying the frequency-based
+transformation), builds the lockstep executor, and opens fresh
+:class:`~repro.gpu.stats.KernelStats` ledgers with the launch overhead
+pre-charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.automata.properties import StateFrequencyProfile, profile_state_frequencies
+from repro.automata.transform import TransformedDFA, frequency_transform
+from repro.gpu.device import RTX3090, DeviceSpec
+from repro.gpu.executor import LockstepExecutor
+from repro.gpu.memory import MemoryModel, TableLayout
+from repro.gpu.stats import KernelStats
+from repro.errors import SimulationError
+
+
+class KernelPhase:
+    """Canonical phase names used in ledgers across all schemes."""
+
+    PREDICT = "predict"
+    SPECULATIVE_EXECUTION = "speculative_execution"
+    VERIFY_RECOVER = "verify_recover"
+    MERGE = "merge"
+    LAUNCH = "launch"
+
+
+@dataclass
+class GpuSimulator:
+    """A DFA loaded onto the simulated device, ready to launch kernels.
+
+    Parameters
+    ----------
+    dfa:
+        The automaton to execute.  When ``use_transformation`` is on, the
+        frequency-based transformation (Fig. 4) is applied using
+        ``profile`` / ``training_input``; otherwise PM's hash-table layout
+        guards the hot rows.
+    device:
+        Simulated GPU (defaults to the paper's RTX 3090).
+    """
+
+    dfa: DFA
+    device: DeviceSpec = RTX3090
+    use_transformation: bool = True
+    profile: Optional[StateFrequencyProfile] = None
+    training_input: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.profile is None:
+            if self.training_input is not None:
+                self.profile = profile_state_frequencies(self.dfa, self.training_input)
+        self.transformed: Optional[TransformedDFA] = None
+        if self.use_transformation:
+            if self.profile is None:
+                raise SimulationError(
+                    "the frequency transformation needs a profile or training input"
+                )
+            self.transformed = frequency_transform(
+                self.dfa,
+                self.profile,
+                shared_memory_entries=self.device.shared_table_entries,
+            )
+            exec_dfa = self.transformed.dfa
+            memory = MemoryModel(
+                device=self.device,
+                hot_state_count=self.transformed.hot_state_count,
+                layout=TableLayout.RANK,
+            )
+        else:
+            exec_dfa = self.dfa
+            if self.profile is not None:
+                hot = min(
+                    self.dfa.n_states,
+                    self.device.shared_table_entries // max(1, self.dfa.n_symbols),
+                )
+                hot_ids = frozenset(int(s) for s in self.profile.hot_states(hot))
+            else:
+                hot = min(
+                    self.dfa.n_states,
+                    self.device.shared_table_entries // max(1, self.dfa.n_symbols),
+                )
+                hot_ids = frozenset(range(hot))
+            memory = MemoryModel(
+                device=self.device,
+                hot_state_count=hot,
+                layout=TableLayout.HASH,
+                hot_state_ids=hot_ids,
+            )
+        self.exec_dfa: DFA = exec_dfa
+        self.memory: MemoryModel = memory
+        self.executor = LockstepExecutor(exec_dfa.table, memory, self.device)
+
+    # ------------------------------------------------------------------
+    # state-id translation between caller space and execution space
+    # ------------------------------------------------------------------
+    def to_exec_state(self, state: int) -> int:
+        """Translate an original-DFA state id into executor space."""
+        if self.transformed is None:
+            return int(state)
+        return self.transformed.map_state_to_new(state)
+
+    def to_user_state(self, state: int) -> int:
+        """Translate an executor-space state id back to the original DFA."""
+        if self.transformed is None:
+            return int(state)
+        return self.transformed.map_state_to_old(state)
+
+    def to_exec_states(self, states: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`to_exec_state`."""
+        states = np.asarray(states)
+        if self.transformed is None:
+            return states
+        return self.transformed.to_new[states]
+
+    def to_user_states(self, states: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`to_user_state`."""
+        states = np.asarray(states)
+        if self.transformed is None:
+            return states
+        return self.transformed.to_old[states]
+
+    @property
+    def exec_start_state(self) -> int:
+        """The initial state in executor space."""
+        return self.exec_dfa.start
+
+    # ------------------------------------------------------------------
+    def new_stats(self, n_threads: int) -> KernelStats:
+        """Open a fresh ledger with the kernel-launch overhead charged."""
+        stats = KernelStats(device=self.device, n_threads=n_threads)
+        stats.charge(KernelPhase.LAUNCH, self.device.launch_overhead_cycles)
+        return stats

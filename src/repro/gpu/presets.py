@@ -1,0 +1,67 @@
+"""Device presets beyond the paper's RTX 3090.
+
+The cost model is parametric in the device, so the evaluation can ask how
+the scheme ranking shifts across GPU generations — useful both as a
+robustness check (the paper's conclusions shouldn't hinge on one part) and
+for sizing the shared-memory-resident hot table on smaller chips.
+
+Geometry below follows the public spec sheets; latency constants inherit
+the model defaults (their ratios, not absolutes, drive the results).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import DeviceSpec
+
+#: The paper's testbed (re-exported for discoverability).
+from repro.gpu.device import RTX3090  # noqa: F401
+
+#: Turing-generation consumer part: fewer SMs, 64 KB shared memory.
+RTX2080TI = DeviceSpec(
+    name="rtx2080ti",
+    n_sms=68,
+    cores_per_sm=64,
+    warp_size=32,
+    shared_memory_bytes_per_sm=64 * 1024,
+    global_memory_bytes=11 * 1024**3,
+    clock_ghz=1.545,
+)
+
+#: Volta datacenter part.
+V100 = DeviceSpec(
+    name="v100",
+    n_sms=80,
+    cores_per_sm=64,
+    warp_size=32,
+    shared_memory_bytes_per_sm=96 * 1024,
+    global_memory_bytes=32 * 1024**3,
+    clock_ghz=1.38,
+)
+
+#: Ampere datacenter part: big shared memory (164 KB usable).
+A100 = DeviceSpec(
+    name="a100",
+    n_sms=108,
+    cores_per_sm=64,
+    warp_size=32,
+    shared_memory_bytes_per_sm=164 * 1024,
+    global_memory_bytes=40 * 1024**3,
+    clock_ghz=1.41,
+    global_cycles=330,  # HBM2e: lower DRAM latency in cycles
+)
+
+#: A deliberately tiny part for stress-testing occupancy behaviour.
+EMBEDDED = DeviceSpec(
+    name="embedded",
+    n_sms=8,
+    cores_per_sm=64,
+    warp_size=32,
+    shared_memory_bytes_per_sm=48 * 1024,
+    global_memory_bytes=4 * 1024**3,
+    max_resident_warps_per_sm=24,
+    clock_ghz=0.9,
+)
+
+DEVICE_PRESETS = {
+    d.name: d for d in (RTX3090, RTX2080TI, V100, A100, EMBEDDED)
+}

@@ -1,0 +1,117 @@
+"""Warp-lockstep timing primitives.
+
+On a SIMT machine a warp's 32 lanes execute each instruction together; the
+warp advances at the pace of its slowest lane.  Two consequences the cost
+model must capture:
+
+* **memory divergence** — if any lane's table lookup misses shared memory,
+  the whole warp stalls for the global-memory latency of that lane;
+* **idle lanes don't help** — a lane with no work (an idle thread during
+  recovery) doesn't shorten the warp's step; poor thread utilization wastes
+  exactly the cycles the paper says it does.
+
+The helpers here reduce per-lane cycle vectors to warp times and kernel-phase
+times.  They are pure functions over numpy arrays so schemes can stay fully
+vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.errors import SimulationError
+
+
+def _pad_to_warps(values: np.ndarray, warp_size: int, fill: float = 0.0) -> np.ndarray:
+    """Pad a per-lane vector to a multiple of the warp size and reshape to
+    ``(n_warps, warp_size)``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise SimulationError(f"expected 1-D per-lane values, got shape {values.shape}")
+    n = values.size
+    n_warps = -(-n // warp_size) if n else 0
+    if n_warps == 0:
+        return values.reshape(0, warp_size)
+    padded = np.full(n_warps * warp_size, fill, dtype=np.float64)
+    padded[:n] = values
+    return padded.reshape(n_warps, warp_size)
+
+
+def warp_step_cycles(lane_cycles: np.ndarray, device: DeviceSpec) -> np.ndarray:
+    """Per-warp cost of one lockstep step given per-lane costs.
+
+    The warp time for a step is the max over its lanes (memory divergence
+    serializes on the slowest access).
+    """
+    warps = _pad_to_warps(lane_cycles, device.warp_size)
+    if warps.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    return warps.max(axis=1)
+
+
+def warp_time(per_lane_total_cycles: np.ndarray, device: DeviceSpec) -> float:
+    """Kernel-phase time for per-lane *total* cycle counts.
+
+    Each warp takes the max over its lanes; warps run concurrently (subject
+    to residency limits), so the phase takes the max over warps, scaled by
+    the concurrency factor when the device is oversubscribed.
+    """
+    warps = _pad_to_warps(per_lane_total_cycles, device.warp_size)
+    if warps.size == 0:
+        return 0.0
+    per_warp = warps.max(axis=1)
+    factor = device.concurrency_factor(per_warp.size)
+    if factor == 1.0:
+        return float(per_warp.max())
+    # Oversubscribed: total work is spread over the resident warp slots.
+    return float(per_warp.sum() / device.max_concurrent_warps)
+
+
+def lockstep_phase_time(
+    hot_mask_per_step: np.ndarray,
+    device: DeviceSpec,
+    extra_cycles_per_step: float = 0.0,
+) -> float:
+    """Phase time for a transition loop given a per-step hot/cold mask.
+
+    Parameters
+    ----------
+    hot_mask_per_step:
+        ``(n_steps, n_threads)`` boolean array; ``True`` where the lookup hit
+        shared memory.  Rows are lockstep steps.
+    extra_cycles_per_step:
+        Additional per-step per-lane compute (index arithmetic, hash cost…).
+
+    Returns
+    -------
+    Total cycles for the phase: per step, a warp with cold lanes pays one
+    global latency plus an issue slot per extra cold lane (divergent loads
+    serialize into transactions); an all-hot warp pays the shared latency.
+    Steps are serialized (loop-carried dependence).
+    """
+    mask = np.asarray(hot_mask_per_step, dtype=bool)
+    if mask.ndim != 2:
+        raise SimulationError(f"hot mask must be (n_steps, n_threads), got {mask.shape}")
+    n_steps, n_threads = mask.shape
+    if n_steps == 0 or n_threads == 0:
+        return 0.0
+    ws = device.warp_size
+    n_warps = -(-n_threads // ws)
+    pad = n_warps * ws - n_threads
+    if pad:
+        # Padding lanes are "hot" so they never slow a warp down.
+        mask = np.concatenate([mask, np.ones((n_steps, pad), dtype=bool)], axis=1)
+    # (n_steps, n_warps): how many lanes in the warp miss shared memory?
+    cold = (~mask).reshape(n_steps, n_warps, ws).sum(axis=2)
+    per_warp_step = np.where(
+        cold > 0,
+        device.global_cycles + np.maximum(0, cold - 1) * device.global_issue_cycles,
+        float(device.shared_cycles),
+    )
+    per_warp_total = per_warp_step.sum(axis=0, dtype=np.float64)
+    per_warp_total += n_steps * (device.transition_compute_cycles + extra_cycles_per_step)
+    factor = device.concurrency_factor(n_warps)
+    if factor == 1.0:
+        return float(per_warp_total.max())
+    return float(per_warp_total.sum() / device.max_concurrent_warps)

@@ -1,0 +1,68 @@
+"""Parallelization schemes.
+
+* :class:`SequentialScheme` — the single-thread reference (``seq``).
+* :class:`SpecSequentialScheme` — Algorithm 2: speculation + strictly
+  sequential verification/recovery (``spec-seq``).
+* :class:`PMScheme` — Parallel Merge with spec-k enumerative speculation,
+  the state-of-the-art baseline (``pm-spec4`` by default).
+* :class:`SREScheme` — Algorithm 3: immediate speculative recovery from
+  forwarded predecessor end states (``sre``).
+* :class:`RRScheme` — Algorithm 4: aggressive recovery, round-robin
+  scheduling of idle threads over rear chunks (``rr``).
+* :class:`NFScheme` — Algorithm 5: aggressive recovery, nearest-frontier
+  queue draining (``nf``).
+* :class:`EnumerativeScheme` — all-states enumeration baseline (``enum``).
+
+Every scheme's :meth:`~repro.schemes.base.Scheme.run` returns a
+:class:`~repro.schemes.base.SchemeResult` whose ``end_state`` provably equals
+the sequential reference — speculation changes cost, never answers.
+"""
+
+from typing import Dict, Type
+
+from repro.schemes.base import Scheme, SchemeResult
+from repro.schemes.enumerative import EnumerativeScheme
+from repro.schemes.nf import NFScheme
+from repro.schemes.pm import PMScheme
+from repro.schemes.rr import RRScheme
+from repro.schemes.sequential import SequentialScheme
+from repro.schemes.spec_seq import SpecSequentialScheme
+from repro.schemes.sre import SREScheme
+from repro.schemes.sre_ho import SREHOScheme
+
+SCHEME_REGISTRY: Dict[str, Type[Scheme]] = {
+    "seq": SequentialScheme,
+    "spec-seq": SpecSequentialScheme,
+    "pm": PMScheme,
+    "sre": SREScheme,
+    "sre-ho": SREHOScheme,
+    "rr": RRScheme,
+    "nf": NFScheme,
+    "enum": EnumerativeScheme,
+}
+
+
+def get_scheme(name: str) -> Type[Scheme]:
+    """Look up a scheme class by its registry name (see SCHEME_REGISTRY)."""
+    try:
+        return SCHEME_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {sorted(SCHEME_REGISTRY)}"
+        ) from None
+
+
+__all__ = [
+    "EnumerativeScheme",
+    "NFScheme",
+    "PMScheme",
+    "RRScheme",
+    "SCHEME_REGISTRY",
+    "Scheme",
+    "SchemeResult",
+    "SequentialScheme",
+    "SpecSequentialScheme",
+    "SREHOScheme",
+    "SREScheme",
+    "get_scheme",
+]

@@ -1,0 +1,216 @@
+"""Shared scaffolding for all parallelization schemes.
+
+A scheme is constructed around a :class:`~repro.gpu.kernel.GpuSimulator`
+(which fixes the device, the table layout, and the optional frequency
+transformation) plus a thread count.  ``run(data)`` executes the three-phase
+pipeline of the paper — predict, speculative parallel execution, verify &
+recover — and returns a :class:`SchemeResult` carrying both the functional
+answer (end state / accept decision, guaranteed equal to the sequential
+reference) and the :class:`~repro.gpu.stats.KernelStats` cost ledger.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.gpu.device import RTX3090, DeviceSpec
+from repro.gpu.kernel import GpuSimulator, KernelPhase
+from repro.gpu.stats import KernelStats
+from repro.speculation.chunks import Partition, partition_input
+from repro.speculation.predictor import Prediction, predict_start_states
+from repro.speculation.records import VRStore
+from repro.errors import SchemeError
+
+
+@dataclass
+class SchemeResult:
+    """Outcome of one scheme execution.
+
+    Attributes
+    ----------
+    end_state:
+        Final DFA state in the *original* (untransformed) numbering.
+    accepts:
+        Whether the end state is accepting.
+    stats:
+        Cycle/operation ledger of the simulated kernel.
+    scheme:
+        Name of the scheme that produced this result.
+    n_chunks:
+        Number of chunks/threads used.
+    chunk_ends:
+        Optional ``(n_chunks,)`` array of *verified* end states per chunk
+        (original numbering).  Filled by schemes that materialize the chain;
+        enables post-hoc queries like first-match offsets without a rescan.
+    """
+
+    end_state: int
+    accepts: bool
+    stats: KernelStats
+    scheme: str
+    n_chunks: int
+    chunk_ends: Optional[np.ndarray] = None
+
+    @property
+    def cycles(self) -> float:
+        return self.stats.cycles
+
+    @property
+    def time_ms(self) -> float:
+        return self.stats.time_ms
+
+
+class Scheme(abc.ABC):
+    """Base class: owns the simulator, the thread count, and phase 1–2.
+
+    Parameters
+    ----------
+    sim:
+        The automaton loaded on the simulated device.  Use
+        :meth:`Scheme.for_dfa` to build both in one call.
+    n_threads:
+        Number of GPU threads == number of input chunks ``N``.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, sim: GpuSimulator, n_threads: int = 256, predictor=None):
+        if n_threads < 1:
+            raise SchemeError(f"n_threads must be >= 1, got {n_threads}")
+        self.sim = sim
+        self.n_threads = int(n_threads)
+        self.predictor = predictor  # None -> the paper's lookback-2
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_dfa(
+        cls,
+        dfa: DFA,
+        *,
+        n_threads: int = 256,
+        device: DeviceSpec = RTX3090,
+        training_input=None,
+        use_transformation: bool = True,
+        **kwargs,
+    ) -> "Scheme":
+        """Convenience constructor: load ``dfa`` on a device and build the
+        scheme.  ``training_input`` feeds the frequency profile; when absent
+        the transformation is skipped (hash layout with a trivial profile)."""
+        if training_input is None and use_transformation:
+            use_transformation = False
+        sim = GpuSimulator(
+            dfa=dfa,
+            device=device,
+            use_transformation=use_transformation,
+            training_input=bytes(training_input) if training_input is not None else None,
+        )
+        return cls(sim, n_threads=n_threads, **kwargs)
+
+    # ------------------------------------------------------------------
+    # shared phases
+    # ------------------------------------------------------------------
+    def _partition(self, data) -> Partition:
+        return partition_input(data, self.n_threads)
+
+    def _predict(
+        self,
+        partition: Partition,
+        stats: KernelStats,
+        exec_start: Optional[int] = None,
+    ) -> Prediction:
+        """Phase 1: all-state lookback-2 prediction (cost = the constant C).
+
+        Frequency ties are broken in *original* state space so speculation
+        order does not depend on whether the frequency transformation is on.
+        A custom :class:`~repro.speculation.predictors.StartStatePredictor`
+        set on the scheme replaces the paper's lookback-2 default.
+        """
+        start = exec_start if exec_start is not None else self.sim.exec_start_state
+        if self.predictor is not None:
+            return self.predictor.predict(
+                self.sim.exec_dfa,
+                partition,
+                start,
+                stats=stats,
+                device=self.sim.device,
+                tie_break=self.sim.to_user_states,
+            )
+        return predict_start_states(
+            self.sim.exec_dfa,
+            partition,
+            start_state=start,
+            stats=stats,
+            device=self.sim.device,
+            tie_break=self.sim.to_user_states,
+        )
+
+    def _speculative_execution(
+        self,
+        partition: Partition,
+        prediction: Prediction,
+        stats: KernelStats,
+        vr: VRStore,
+    ) -> np.ndarray:
+        """Phase 2 (spec-1 flavour): every thread runs its own chunk from the
+        front of its speculation queue; records land in ``VR_i^end``.
+
+        The front candidate is *dequeued* so later recovery scheduling
+        enumerates genuinely new states.
+        """
+        starts = np.asarray(
+            [prediction.queues[i].dequeue() for i in range(partition.n_chunks)],
+            dtype=np.int64,
+        )
+        ends = self.sim.executor.run(
+            partition.chunks,
+            starts,
+            stats=stats,
+            phase=KernelPhase.SPECULATIVE_EXECUTION,
+            lengths=partition.lengths,
+        )
+        for i in range(partition.n_chunks):
+            vr.add(i, int(starts[i]), int(ends[i]), own=True)
+        stats.charge_sync(KernelPhase.SPECULATIVE_EXECUTION)
+        return ends
+
+    def _finish(
+        self,
+        end_state_exec: int,
+        stats: KernelStats,
+        chunk_ends_exec: Optional[np.ndarray] = None,
+    ) -> SchemeResult:
+        """Translate the end state back to user space and wrap up."""
+        end_user = self.sim.to_user_state(int(end_state_exec))
+        chunk_ends = (
+            self.sim.to_user_states(np.asarray(chunk_ends_exec, dtype=np.int64))
+            if chunk_ends_exec is not None
+            else None
+        )
+        return SchemeResult(
+            end_state=end_user,
+            accepts=end_user in self.sim.dfa.accepting,
+            stats=stats,
+            scheme=self.name,
+            n_chunks=self.n_threads,
+            chunk_ends=chunk_ends,
+        )
+
+    def _exec_start(self, start_state: Optional[int]) -> int:
+        """Executor-space start state (defaults to the DFA's q0)."""
+        if start_state is None:
+            return self.sim.exec_start_state
+        return self.sim.to_exec_state(int(start_state))
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run(self, data, start_state: "Optional[int]" = None) -> SchemeResult:
+        """Execute the scheme over ``data`` from ``start_state`` (default
+        the DFA's initial state) and return the result."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_threads={self.n_threads}, dfa={self.sim.dfa.name!r})"

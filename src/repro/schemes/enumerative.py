@@ -1,0 +1,64 @@
+"""Enumerative DFA parallelization (Mytkowicz et al. ASPLOS'14 flavour).
+
+Every chunk is executed from **all** DFA states, computing the chunk's full
+transition *function* ``Q → Q``; the ground truth is then a chain of
+function applications (or a parallel prefix composition).  No speculation, no
+recovery — but the redundancy factor is the state count, which is why the
+speculation-centric schemes exist.  Included as the classical baseline and
+used by tests as an independently-computed oracle.
+
+On the simulated GPU the chunk×state grid maps to ``N × |Q|`` lanes in one
+launch; when that exceeds the device's resident-warp capacity the cost
+model's concurrency factor serializes the excess, which is exactly the
+redundancy penalty the paper attributes to enumeration.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpu.kernel import KernelPhase
+from repro.schemes.base import Scheme, SchemeResult
+
+
+class EnumerativeScheme(Scheme):
+    """All-states enumeration per chunk + composition of chunk functions."""
+
+    name = "enum"
+
+    def run(self, data, start_state=None) -> SchemeResult:
+        partition = self._partition(data)
+        n = partition.n_chunks
+        n_states = self.sim.exec_dfa.n_states
+        stats = self.sim.new_stats(n_threads=self.n_threads * n_states)
+
+        # Lane layout: lane (i * n_states + s) runs chunk i from state s.
+        chunk_ids = np.repeat(np.arange(n, dtype=np.int64), n_states)
+        starts = np.tile(np.arange(n_states, dtype=np.int64), n)
+        ends = self.sim.executor.run_gathered(
+            partition.chunks,
+            chunk_ids,
+            starts,
+            stats=stats,
+            phase=KernelPhase.SPECULATIVE_EXECUTION,
+            lengths=partition.lengths[chunk_ids],
+        )
+        stats.charge_sync(KernelPhase.SPECULATIVE_EXECUTION)
+        chunk_fn = ends.reshape(n, n_states)
+        # All but one path per chunk is off the ground truth.
+        stats.redundant_transitions += int(partition.lengths.sum()) * (n_states - 1)
+
+        # Compose: log-depth pairwise function composition (prefix "sum").
+        rounds = max(0, math.ceil(math.log2(n))) if n > 1 else 0
+        for _ in range(rounds):
+            stats.charge(KernelPhase.MERGE, self.sim.device.shared_cycles * 2)
+            stats.charge_sync(KernelPhase.MERGE)
+
+        state = self._exec_start(start_state)
+        chunk_ends = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            state = int(chunk_fn[i, state])
+            chunk_ends[i] = state
+        return self._finish(state, stats, chunk_ends_exec=chunk_ends)

@@ -1,0 +1,80 @@
+"""NF: Nearest-First based speculative recovery (Algorithm 5).
+
+Like RR, the one-to-one thread↔chunk binding is broken in mismatch rounds —
+but instead of spreading idle threads evenly, NF concentrates them on the
+chunks **nearest the frontier**: all non-rear threads first drain the
+speculation queue of chunk ``f+1``, then ``f+2``, and so on (``NF_Sched``,
+Alg. 5 ll.25-34).  The rationale: the chunks right after the frontier are the
+ones whose verification is due soonest, and on input-sensitive FSMs they may
+need many candidates tried before one matches.  A side benefit the paper
+measures (Fig. 9): many threads running the *same* chunk fetch the same
+input stream, which reduces divergence and improves locality — modeled here
+by the executor's input-fetch coalescing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.schemes.recovery_common import (
+    Assignment,
+    FrontierLoopScheme,
+    RecoveryPolicy,
+    RoundContext,
+)
+
+
+class NFPolicy(RecoveryPolicy):
+    """Rear threads act like SRE; idle threads drain the nearest queues."""
+
+    def schedule(self, ctx: RoundContext) -> List[Assignment]:
+        assignments: List[Assignment] = []
+        n = ctx.partition.n_chunks
+        f = ctx.frontier
+
+        # Rear threads (tid >= f): stay on their own chunk (Alg. 5 ll.26-27).
+        for t in range(f, n):
+            if ctx.found[t]:
+                continue
+            if t == f or ctx.stable[t]:
+                assignments.append((t, t, int(ctx.end_p[t])))
+
+        # Non-rear threads: nearest-first queue draining (ll.28-34).
+        if f >= n - 1:
+            return assignments
+        cid = f + 1
+        pending = {cid: 0}  # records scheduled this round but not yet stored
+        for t in range(f):
+            st = None
+            while cid < n:
+                queue = ctx.prediction.queues[cid]
+                scheduled = pending.get(cid, 0)
+                # Capacity-aware draining: once a chunk's VR^others slots
+                # (plus this round's pending writes) are spoken for, move on
+                # — enumerating past capacity would drop the result.
+                room = (
+                    not ctx.vr.others_full(cid)
+                    and scheduled < ctx.vr.others_capacity
+                )
+                if room:
+                    while queue.size > 0:
+                        candidate = queue.dequeue()
+                        if ctx.vr.lookup(cid, candidate) is None:
+                            st = candidate
+                            break
+                if st is not None:
+                    pending[cid] = scheduled + 1
+                    break
+                cid += 1  # drained or full; move to the next chunk
+                pending.setdefault(cid, 0)
+            if st is None:
+                break  # every rear queue is exhausted: remaining threads idle
+            assignments.append((t, cid, int(st)))
+        return assignments
+
+
+class NFScheme(FrontierLoopScheme):
+    """Algorithm 5: aggressive recovery concentrated near the frontier."""
+
+    name = "nf"
+    policy = NFPolicy()

@@ -1,0 +1,184 @@
+"""PM: Parallel Merge with enumerative speculation (Xia et al. PPoPP'20).
+
+The state of the art GSpecPal is measured against, and the paper's baseline
+(with ``spec-4``).  Each thread runs its chunk from the top-``k`` states of
+its speculation queue, maintaining ``k`` transition paths (``spec-k``).
+Verification is a parallel tree-like merge over ``log N`` rounds; when a
+forwarded end state matches none of a chunk's speculative start states, PM
+*delays* the recovery (marking paths invalid) and only re-executes when the
+mismatch turns out to affect the ground truth — the must-be-done recoveries,
+which run **sequentially**, one idle-GPU chunk at a time.  That sequential
+tail is exactly the bottleneck the paper's speculative recovery removes.
+
+Cost model follows Eq. 2:
+``T_PM = C + T_p1·α_k + Σ_{log N}(T_comm(k) + T_ver(k))
+       + Σ_i P_i·(T_comm(1) + T_ver(k) + T_p1)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpu.kernel import KernelPhase
+from repro.schemes.base import Scheme, SchemeResult
+from repro.speculation.records import VRStore
+from repro.errors import SchemeError
+
+
+class PMScheme(Scheme):
+    """Parallel Merge with spec-k enumerative speculation.
+
+    Parameters
+    ----------
+    k:
+        Number of speculative paths each thread maintains (the paper's
+        baseline uses ``k = 4``).
+    adaptive:
+        Extension (motivated by §II-C's critique that a static ``k`` wastes
+        resources on easy chunks and under-covers hard ones): choose each
+        chunk's path count as the smallest queue prefix whose lookback
+        weights cover ``adaptive_mass`` of the probability mass, capped at
+        ``k``.  Easy chunks then run 1 path; hard chunks use the full k.
+    """
+
+    name = "pm"
+
+    def __init__(
+        self,
+        sim,
+        n_threads: int = 256,
+        *,
+        k: int = 4,
+        adaptive: bool = False,
+        adaptive_mass: float = 0.9,
+        predictor=None,
+    ):
+        super().__init__(sim, n_threads=n_threads, predictor=predictor)
+        if k < 1:
+            raise SchemeError(f"spec-k needs k >= 1, got {k}")
+        if not (0.0 < adaptive_mass <= 1.0):
+            raise SchemeError("adaptive_mass must be in (0, 1]")
+        self.k = k
+        self.adaptive = adaptive
+        self.adaptive_mass = adaptive_mass
+        self.name = f"pm-adaptive{k}" if adaptive else f"pm-spec{k}"
+
+    def _paths_for_chunk(self, queue) -> np.ndarray:
+        """Candidate start states this chunk will run (spec-k or adaptive)."""
+        if not self.adaptive:
+            return queue.top_k(self.k)
+        weights = queue.weights[: self.k].astype(np.float64)
+        total = float(queue.weights.sum())
+        if total <= 0:
+            return queue.top_k(self.k)
+        covered = np.cumsum(weights) / total
+        needed = int(np.searchsorted(covered, self.adaptive_mass) + 1)
+        return queue.top_k(max(1, min(self.k, needed)))
+
+    # ------------------------------------------------------------------
+    def run(self, data, start_state=None) -> SchemeResult:
+        partition = self._partition(data)
+        n = partition.n_chunks
+        stats = self.sim.new_stats(n_threads=self.n_threads)
+        exec_start = self._exec_start(start_state)
+        prediction = self._predict(partition, stats, exec_start=exec_start)
+        vr = VRStore(n_chunks=n, own_capacity=max(self.k, 16))
+
+        # --- spec-k parallel execution (α_k ≈ k serialized paths) -------
+        top_k = [self._paths_for_chunk(prediction.queues[i]) for i in range(n)]
+        paths_run = np.asarray([t.size for t in top_k], dtype=np.int64)
+        for j in range(self.k):
+            active = paths_run > j
+            if not active.any():
+                break
+            starts = np.asarray(
+                [int(top_k[i][j]) if paths_run[i] > j else 0 for i in range(n)],
+                dtype=np.int64,
+            )
+            ends = self.sim.executor.run(
+                partition.chunks,
+                starts,
+                stats=stats,
+                phase=KernelPhase.SPECULATIVE_EXECUTION,
+                lengths=partition.lengths,
+                active=active,
+            )
+            for i in range(n):
+                if active[i]:
+                    vr.add(i, int(starts[i]), int(ends[i]), own=True)
+        stats.charge_sync(KernelPhase.SPECULATIVE_EXECUTION)
+
+        # --- stage 1: parallel tree-like verification & merge -----------
+        # Two levels, as in the paper's Fig. 2: ① intra-warp verification
+        # first (register shuffles between neighbouring lanes), then
+        # ② inter-warp rounds through shared memory with barriers.
+        dev = self.sim.device
+        intra_rounds = (
+            math.ceil(math.log2(min(n, dev.warp_size))) if n > 1 else 0
+        )
+        n_warps = -(-n // dev.warp_size)
+        inter_rounds = math.ceil(math.log2(n_warps)) if n_warps > 1 else 0
+        for _ in range(intra_rounds):
+            stats.comm_ops += self.k * n
+            stats.charge(KernelPhase.MERGE, dev.shuffle_cycles)
+            stats.charge_verify(
+                KernelPhase.MERGE,
+                checks_per_thread=self.k,
+                total_checks=self.k * n,
+            )
+        for _ in range(inter_rounds):
+            stats.comm_ops += self.k * n_warps
+            stats.charge(KernelPhase.MERGE, dev.comm_cycles)
+            stats.charge_verify(
+                KernelPhase.MERGE,
+                checks_per_thread=self.k,
+                total_checks=self.k * n_warps,
+            )
+            stats.charge_sync(KernelPhase.MERGE)
+
+        # --- stage 2: sequential verification and must-be-done recovery -
+        end_p = vr.records(0)[0].end  # chunk 0 ran from the real start state
+        chunk_ends = np.empty(n, dtype=np.int64)
+        chunk_ends[0] = end_p
+        matched_path_len = int(partition.lengths[0])
+        useful_transitions = matched_path_len
+        for i in range(1, n):
+            recorded = vr.lookup(i, int(end_p))
+            if recorded is not None:
+                stats.matches += 1
+                end_p = int(recorded)
+                chunk_ends[i] = end_p
+                useful_transitions += int(partition.lengths[i])
+                continue
+            stats.mismatches += 1
+            stats.record_recovery_round(active_threads=1)
+            stats.recoveries_executed += 1
+            stats.charge_comm(KernelPhase.VERIFY_RECOVER, 1)
+            stats.charge_verify(
+                KernelPhase.VERIFY_RECOVER,
+                checks_per_thread=self.k,
+                total_checks=self.k,
+            )
+            recovery_start = int(end_p)
+            before = stats.phase_cycles.get(KernelPhase.VERIFY_RECOVER, 0.0)
+            ends = self.sim.executor.run(
+                partition.chunks[i : i + 1],
+                np.asarray([recovery_start], dtype=np.int64),
+                stats=stats,
+                phase=KernelPhase.VERIFY_RECOVER,
+                lengths=partition.lengths[i : i + 1],
+                chunk_ids=np.asarray([i]),
+            )
+            stats.recovery_exec_cycles += (
+                stats.phase_cycles.get(KernelPhase.VERIFY_RECOVER, 0.0) - before
+            )
+            end_p = int(ends[0])
+            chunk_ends[i] = end_p
+            vr.add(i, recovery_start, end_p, own=True)
+            useful_transitions += int(partition.lengths[i])
+
+        # Everything executed beyond the ground-truth path was redundant.
+        stats.redundant_transitions += max(0, stats.transitions - useful_transitions)
+        return self._finish(end_p, stats, chunk_ends_exec=chunk_ends)

@@ -1,0 +1,252 @@
+"""The frontier verification/recovery loop shared by SRE, RR and NF.
+
+All three schemes follow Algorithm 3's skeleton: a frontier ``f`` sweeps the
+chunks left to right, one round per chunk.  Each round every thread receives
+its predecessor's current end state (speculative data forwarding), scans its
+chunk's verification records for a match, and — when the *frontier* check
+mismatches (``mark == false``) — recovery work is scheduled.  The schemes
+differ only in **who** recovers **which chunk** from **which start state**,
+which is captured by the :meth:`RecoveryPolicy.schedule` hook.
+
+Timing semantics per round:
+
+* one end-state forward (``comm``), one record scan (``verify`` ×
+  max-records, lockstep), one barrier (``sync``);
+* when recovery runs, one parallel chunk execution whose time the lockstep
+  executor computes from the actual states visited (memory divergence,
+  hot/cold placement, input-fetch coalescing).
+
+Fidelity note (documented deviation): Algorithm 3 as printed would let every
+unverified thread re-execute from its forwarded end state in *every*
+mismatch round, which on non-converging FSMs degenerates into an all-threads
+systolic pipeline — contradicting the paper's own Table III, where SRE shows
+1–2 active threads on those FSMs.  Following the event-driven design of the
+original SRE work (forward-on-finish), our SRE re-executes a chunk from a
+forwarded end state only when that end state is **stable** (its producer did
+not change it in the previous round); the must-be-done frontier recovery is
+always executed.  This reproduces both Table III regimes: ~1 active thread
+on non-converging FSMs, a burst then quiet on converging ones.  RR/NF
+schedule *all* threads each mismatch round, as Algorithms 4–5 prescribe.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.kernel import KernelPhase
+from repro.gpu.stats import KernelStats
+from repro.schemes.base import Scheme, SchemeResult
+from repro.speculation.chunks import Partition
+from repro.speculation.predictor import Prediction
+from repro.speculation.records import VRStore
+
+
+@dataclass
+class RoundContext:
+    """Everything a scheduling policy may inspect in one frontier round."""
+
+    frontier: int  # chunk being truly verified this round (f)
+    end_p: np.ndarray  # forwarded predecessor end state per thread
+    found: np.ndarray  # did thread t's scan match a record?
+    stable: np.ndarray  # was thread t's forwarded state unchanged last round?
+    partition: Partition
+    prediction: Prediction
+    vr: VRStore
+
+
+#: A scheduled recovery task: (thread, chunk, start_state).
+Assignment = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """Observability record of one frontier round (``keep_trace=True``)."""
+
+    frontier: int
+    matched: bool
+    active_threads: int
+    end_c: np.ndarray  # post-round end states (executor space)
+
+
+class RecoveryPolicy(abc.ABC):
+    """Scheme-specific answer to "which chunk, from which state?"."""
+
+    @abc.abstractmethod
+    def schedule(self, ctx: RoundContext) -> List[Assignment]:
+        """Return the recovery tasks for a ``mark == false`` round.
+
+        Must include the must-be-done frontier recovery
+        ``(f, f, end_p[f])`` when the frontier thread found no match.
+        """
+
+
+class FrontierLoopScheme(Scheme):
+    """Base class running the Algorithm-3 style loop with a pluggable policy.
+
+    Subclasses set :attr:`policy` and :attr:`name`.
+    """
+
+    policy: RecoveryPolicy
+
+    def __init__(
+        self,
+        sim,
+        n_threads: int = 256,
+        *,
+        own_capacity: int = 16,
+        others_capacity: int = 16,
+        predictor=None,
+        keep_trace: bool = False,
+    ):
+        super().__init__(sim, n_threads=n_threads, predictor=predictor)
+        self.own_capacity = own_capacity
+        self.others_capacity = others_capacity
+        #: observability: when True, ``last_trace`` records one
+        #: ``RoundTrace`` per frontier round of the most recent run.
+        self.keep_trace = keep_trace
+        self.last_trace: List["RoundTrace"] = []
+
+    # ------------------------------------------------------------------
+    def run(self, data, start_state=None) -> SchemeResult:
+        partition = self._partition(data)
+        n = partition.n_chunks
+        stats = self.sim.new_stats(n_threads=self.n_threads)
+        exec_start = self._exec_start(start_state)
+        prediction = self._predict(partition, stats, exec_start=exec_start)
+        vr = VRStore(
+            n_chunks=n,
+            own_capacity=self.own_capacity,
+            others_capacity=self.others_capacity,
+        )
+        end_c = self._speculative_execution(partition, prediction, stats, vr)
+        end_c = end_c.astype(np.int64)
+
+        phase = KernelPhase.VERIFY_RECOVER
+        prev_snapshot = end_c.copy()
+        last_change_round = np.zeros(n, dtype=np.int64)  # round a thread's end last changed
+        self.last_trace = []
+
+        for f in range(n):
+            # --- communication: forward predecessor end states ---------
+            end_p = np.empty(n, dtype=np.int64)
+            end_p[0] = exec_start
+            end_p[1:] = prev_snapshot[:-1]
+            stats.charge_comm(phase, n - 1 if n > 1 else 0)
+
+            # --- verification scan --------------------------------------
+            found = np.zeros(n, dtype=bool)
+            scan_depth = 0
+            new_end = end_c.copy()
+            for t in range(n):
+                scan_depth = max(scan_depth, vr.count(t))
+                hit = vr.lookup(t, int(end_p[t]))
+                if hit is not None:
+                    found[t] = True
+                    new_end[t] = hit
+            stats.charge_verify(
+                phase,
+                checks_per_thread=scan_depth,
+                total_checks=sum(vr.count(t) for t in range(n)),
+            )
+            changed = new_end != end_c
+            end_c = new_end
+
+            mark = bool(found[f])
+            if mark:
+                stats.matches += 1
+            else:
+                stats.mismatches += 1
+            stats.charge_sync(phase)
+
+            # stability: a forwarded state is stable when its producer's
+            # end state did not change in the previous round.
+            stable = np.ones(n, dtype=bool)
+            stable[1:] = last_change_round[:-1] < f  # changed this round ⇒ unstable next
+            last_change_round[changed] = f + 1
+
+            n_active = 0
+            if not mark:
+                ctx = RoundContext(
+                    frontier=f,
+                    end_p=end_p,
+                    found=found,
+                    stable=stable,
+                    partition=partition,
+                    prediction=prediction,
+                    vr=vr,
+                )
+                assignments = self.policy.schedule(ctx)
+                n_active = len(assignments)
+                if assignments:
+                    end_c = self._execute_recoveries(
+                        assignments, partition, end_c, vr, stats, f
+                    )
+                    last_change_round[
+                        [t for t, cid, _ in assignments if cid == t]
+                    ] = f + 1
+                else:
+                    stats.record_recovery_round(active_threads=0)
+            vr.charge_shared_traffic(stats, phase)
+            prev_snapshot = end_c.copy()
+            if self.keep_trace:
+                self.last_trace.append(
+                    RoundTrace(
+                        frontier=f,
+                        matched=mark,
+                        active_threads=n_active,
+                        end_c=end_c.copy(),
+                    )
+                )
+
+        return self._finish(int(end_c[n - 1]), stats, chunk_ends_exec=end_c)
+
+    # ------------------------------------------------------------------
+    def _execute_recoveries(
+        self,
+        assignments: List[Assignment],
+        partition: Partition,
+        end_c: np.ndarray,
+        vr: VRStore,
+        stats: KernelStats,
+        frontier: int,
+    ) -> np.ndarray:
+        """Run one parallel recovery batch and fold results into state."""
+        n = partition.n_chunks
+        phase = KernelPhase.VERIFY_RECOVER
+        active = np.zeros(n, dtype=bool)
+        cids = np.arange(n, dtype=np.int64)
+        starts = np.zeros(n, dtype=np.int64)
+        non_own = np.zeros(n, dtype=bool)
+        for t, cid, st in assignments:
+            active[t] = True
+            cids[t] = cid
+            starts[t] = st
+            non_own[t] = cid != t
+        stats.record_recovery_round(active_threads=len(assignments))
+        stats.recoveries_executed += len(assignments)
+
+        before = stats.phase_cycles.get(phase, 0.0)
+        ends = self.sim.executor.run_gathered(
+            partition.chunks,
+            cids,
+            starts,
+            stats=stats,
+            phase=phase,
+            lengths=partition.lengths[cids],
+            active=active,
+            # Enumeration on other chunks is aggressive speculation: count
+            # it as (potentially) redundant work for the redundancy metric.
+            count_redundant=non_own,
+        )
+        stats.recovery_exec_cycles += stats.phase_cycles.get(phase, 0.0) - before
+        for t, cid, st in assignments:
+            end = int(ends[t])
+            vr.add(cid, int(st), end, own=(cid == t))
+            if cid == t:
+                end_c[t] = end
+        stats.charge_sync(phase)
+        return end_c

@@ -1,0 +1,67 @@
+"""RR: Round-Robin based speculative recovery (Algorithm 4).
+
+The aggressive design: when the frontier hits a must-be-done recovery, the
+one-to-one thread↔chunk binding is broken.  *Rear* threads (assigned chunk at
+or after the frontier) behave like SRE — they recover their own chunk from
+the forwarded end state.  *Non-rear* threads (their chunks are already
+verified, so they would otherwise idle) are spread over the unverified chunks
+``f+1 … N-1`` in round-robin order, each dequeuing the next-ranked candidate
+from that chunk's speculation queue ``QS_cid`` and executing a speculative
+recovery from it.  The paper's bound — at most ``1 + ceil((f-1)/(N-f))``
+threads per chunk — falls out of the modular assignment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.schemes.recovery_common import (
+    Assignment,
+    FrontierLoopScheme,
+    RecoveryPolicy,
+    RoundContext,
+)
+
+
+class RRPolicy(RecoveryPolicy):
+    """Rear threads act like SRE; idle threads round-robin over rear chunks."""
+
+    def schedule(self, ctx: RoundContext) -> List[Assignment]:
+        assignments: List[Assignment] = []
+        n = ctx.partition.n_chunks
+        f = ctx.frontier
+
+        # Rear threads (tid >= f): stay on their own chunk (Alg. 4 ll.19-21).
+        for t in range(f, n):
+            if ctx.found[t]:
+                continue
+            if t == f or ctx.stable[t]:
+                assignments.append((t, t, int(ctx.end_p[t])))
+
+        # Non-rear threads: round-robin over chunks f+1 .. n-1 (ll.22-25).
+        n_rear_chunks = n - 1 - f
+        if n_rear_chunks <= 0:
+            return assignments
+        for t in range(f):
+            cid = (f + 1) + (t % n_rear_chunks)
+            queue = ctx.prediction.queues[cid]
+            if ctx.vr.others_full(cid):
+                continue  # no register slot left for a foreign record
+            # Skip candidates already executed on this chunk.
+            st = None
+            while queue.size > 0:
+                candidate = queue.dequeue()
+                if ctx.vr.lookup(cid, candidate) is None:
+                    st = candidate
+                    break
+            if st is None:
+                continue  # queue exhausted: the thread idles this round
+            assignments.append((t, cid, int(st)))
+        return assignments
+
+
+class RRScheme(FrontierLoopScheme):
+    """Algorithm 4: aggressive recovery with round-robin scheduling."""
+
+    name = "rr"
+    policy = RRPolicy()

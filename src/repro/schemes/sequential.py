@@ -1,0 +1,33 @@
+"""Sequential reference execution (one thread, the whole stream).
+
+This is the ground truth every parallel scheme is checked against, and the
+baseline for "speedup over sequential" reporting.  On the simulated device it
+occupies a single lane of a single warp — the embarrassingly sequential
+regime the paper sets out to break.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automata.dfa import _as_symbol_array
+from repro.gpu.kernel import KernelPhase
+from repro.schemes.base import Scheme, SchemeResult
+
+
+class SequentialScheme(Scheme):
+    """Single-thread DFA processing (Algorithm 1's FSM_Processing)."""
+
+    name = "seq"
+
+    def run(self, data, start_state=None) -> SchemeResult:
+        symbols = _as_symbol_array(data)
+        stats = self.sim.new_stats(n_threads=1)
+        start = np.asarray([self._exec_start(start_state)], dtype=np.int64)
+        ends = self.sim.executor.run(
+            symbols.reshape(1, -1),
+            start,
+            stats=stats,
+            phase=KernelPhase.SPECULATIVE_EXECUTION,
+        )
+        return self._finish(int(ends[0]), stats, chunk_ends_exec=ends)

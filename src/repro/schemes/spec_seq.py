@@ -1,0 +1,67 @@
+"""Default speculative DFA parallelization (Algorithm 2).
+
+Spec-1 parallel execution followed by strictly sequential verification and
+recovery: walk the chunks in order, re-executing any chunk whose speculated
+start state disagrees with the verified end of its predecessor.  Each
+recovery occupies one thread while all others idle — the under-utilization
+the paper's speculative recovery removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.kernel import KernelPhase
+from repro.schemes.base import Scheme, SchemeResult
+from repro.speculation.records import VRStore
+
+
+class SpecSequentialScheme(Scheme):
+    """Algorithm 2: speculation + sequential verification and recovery."""
+
+    name = "spec-seq"
+
+    def run(self, data, start_state=None) -> SchemeResult:
+        partition = self._partition(data)
+        n = partition.n_chunks
+        stats = self.sim.new_stats(n_threads=self.n_threads)
+        exec_start = self._exec_start(start_state)
+        prediction = self._predict(partition, stats, exec_start=exec_start)
+        vr = VRStore(n_chunks=n)
+        self._speculative_execution(partition, prediction, stats, vr)
+
+        # Sequential verification and recovery (lines 8-14 of Algorithm 2).
+        end_p = vr.records(0)[0].end  # chunk 0 started from the real state
+        chunk_ends = np.empty(n, dtype=np.int64)
+        chunk_ends[0] = end_p
+        for i in range(1, n):
+            stats.charge_comm(KernelPhase.VERIFY_RECOVER, 1)
+            vr.charge_check(stats, i, KernelPhase.VERIFY_RECOVER)
+            recorded = vr.lookup(i, int(end_p))
+            if recorded is None:
+                stats.mismatches += 1
+                stats.record_recovery_round(active_threads=1)
+                stats.recoveries_executed += 1
+                before = stats.phase_cycles.get(KernelPhase.VERIFY_RECOVER, 0.0)
+                # One thread re-executes chunk i from the verified state;
+                # everyone else idles — this is the sequential bottleneck.
+                ends = self.sim.executor.run(
+                    partition.chunks[i : i + 1],
+                    np.asarray([end_p], dtype=np.int64),
+                    stats=stats,
+                    phase=KernelPhase.VERIFY_RECOVER,
+                    lengths=partition.lengths[i : i + 1],
+                    chunk_ids=np.asarray([i]),
+                )
+                stats.recovery_exec_cycles += (
+                    stats.phase_cycles.get(KernelPhase.VERIFY_RECOVER, 0.0) - before
+                )
+                end_c = int(ends[0])
+                vr.add(i, int(end_p), end_c, own=True)
+            else:
+                stats.matches += 1
+                end_c = int(recorded)
+            end_p = end_c
+            chunk_ends[i] = end_c
+        vr.charge_shared_traffic(stats, KernelPhase.VERIFY_RECOVER)
+        return self._finish(end_p, stats, chunk_ends_exec=chunk_ends)

@@ -1,0 +1,44 @@
+"""SRE: Speculative Recovery activated by the Ending state from the
+predecessor (Algorithm 3, after Qiu et al. ASPLOS'21).
+
+Threads forward their end states; a thread re-executes its own chunk from the
+forwarded state when that state is new to it (no matching record).  Per the
+fidelity note in :mod:`repro.schemes.recovery_common`, a non-frontier thread
+only does so when the forwarded state is *stable* — its producer did not
+change it in the previous round — while the frontier's must-be-done recovery
+always runs.  One-to-one thread↔chunk binding is preserved: SRE never
+re-executes somebody else's chunk, which is exactly the utilization ceiling
+RR/NF later break.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.schemes.recovery_common import (
+    Assignment,
+    FrontierLoopScheme,
+    RecoveryPolicy,
+    RoundContext,
+)
+
+
+class SREPolicy(RecoveryPolicy):
+    """Recover own chunk from the forwarded end state (when stable)."""
+
+    def schedule(self, ctx: RoundContext) -> List[Assignment]:
+        assignments: List[Assignment] = []
+        n = ctx.partition.n_chunks
+        for t in range(ctx.frontier, n):
+            if ctx.found[t]:
+                continue
+            if t == ctx.frontier or ctx.stable[t]:
+                assignments.append((t, t, int(ctx.end_p[t])))
+        return assignments
+
+
+class SREScheme(FrontierLoopScheme):
+    """Algorithm 3 with end-state-forwarded speculative recovery."""
+
+    name = "sre"
+    policy = SREPolicy()

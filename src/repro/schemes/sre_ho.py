@@ -1,0 +1,55 @@
+"""SRE-HO: higher-order speculative recovery (extension).
+
+Qiu et al. (ASPLOS'21) — the SRE source — also propose *higher-order
+speculation*: speculate not only on the predecessor's current end state but
+on its *other* speculative results too.  GSpecPal cites the idea as the
+motivation for breaking the thread↔chunk binding; this extension implements
+the intermediate point between SRE and RR/NF:
+
+* threads keep the one-to-one binding (like SRE),
+* but when the forwarded end state finds no record, a thread also works
+  through the **ends recorded by its predecessor's other speculations** —
+  each such end is a second-order candidate for this chunk's start.
+
+It needs no speculation-queue access and no cross-chunk scheduling, so its
+hardware footprint matches SRE's; its accuracy sits between SRE and RR.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.schemes.recovery_common import (
+    Assignment,
+    FrontierLoopScheme,
+    RecoveryPolicy,
+    RoundContext,
+)
+
+
+class HigherOrderSREPolicy(RecoveryPolicy):
+    """SRE plus second-order candidates from the predecessor's records."""
+
+    def schedule(self, ctx: RoundContext) -> List[Assignment]:
+        assignments: List[Assignment] = []
+        n = ctx.partition.n_chunks
+        for t in range(ctx.frontier, n):
+            if ctx.found[t]:
+                continue
+            if t == ctx.frontier or ctx.stable[t]:
+                # First order: the forwarded end state.
+                assignments.append((t, t, int(ctx.end_p[t])))
+            elif t > 0:
+                # Second order: an untried end recorded on the predecessor.
+                for record in ctx.vr.records(t - 1):
+                    if ctx.vr.lookup(t, record.end) is None:
+                        assignments.append((t, t, int(record.end)))
+                        break
+        return assignments
+
+
+class SREHOScheme(FrontierLoopScheme):
+    """Higher-order SRE: forwarded ends plus predecessors' alternate ends."""
+
+    name = "sre-ho"
+    policy = HigherOrderSREPolicy()

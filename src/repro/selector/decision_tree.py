@@ -1,0 +1,112 @@
+"""The Fig. 6 decision tree: coarse-grained parallel-scheme selection.
+
+The tree asks two families of questions, exactly as the figure's color
+coding describes — *speculation quality* (orange nodes) and *FSM convergence*
+(gray nodes):
+
+1. Is enumerative speculation (spec-k) accurate enough that recovery is
+   generally unnecessary, while spec-1 alone is not?  → **PM**: the spec-k
+   redundancy is cheaper than any recovery.
+2. Otherwise, does the FSM converge fast (few unique states after 10
+   transitions)?  → **SRE**: forwarded end states are almost surely right,
+   so the cheap conservative recovery suffices.
+3. Otherwise, can enumerating deeper speculation candidates raise accuracy
+   at all (Eq. 4's Δ_Specs: the spec-16 vs spec-1 gain)?  If **not**, the
+   aggressive heuristics' extra executions are pure waste → **SRE**, the
+   scheme that keeps threads idle rather than busy-wrong.
+4. Otherwise, is the speculation highly input-sensitive?  → **NF**:
+   concentrate the idle threads on the chunks right after the frontier,
+   where many candidates may need trying.
+5. Otherwise → **RR**: spread speculative recoveries evenly.
+
+Thresholds are the tunable leaves of the tree; the defaults were calibrated
+on the synthetic suites (mirroring the paper, whose coarse tree picks the
+best scheme for ~80% of FSMs and loses ~3% on the rest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.selector.features import FSMFeatures
+
+
+@dataclass(frozen=True)
+class SelectorThresholds:
+    """Decision-tree cut points (see module docstring for the semantics)."""
+
+    speck_accurate: float = 0.9  # spec-4 accuracy above which PM wins
+    spec1_accurate: float = 0.75  # spec-1 accuracy above which recovery is rare
+    fast_convergence: float = 4.0  # #uniqStates(10) at or below → SRE
+    enumeration_gain: float = 0.25  # spec-16 minus spec-1 below which → SRE
+    input_sensitive: float = 0.15  # std of per-portion spec-1 accuracy
+
+
+class DecisionTreeSelector:
+    """The GSpecPal scheme selector (Fig. 6)."""
+
+    SCHEMES = ("pm", "sre", "rr", "nf")
+
+    def __init__(self, thresholds: SelectorThresholds = SelectorThresholds()):
+        self.thresholds = thresholds
+
+    def select(self, features: FSMFeatures) -> str:
+        """Return the chosen scheme name for the profiled FSM."""
+        t = self.thresholds
+        # Orange node 1: does enumerative speculation make recovery rare,
+        # where plain spec-1 would not?
+        if (
+            features.spec4_accuracy >= t.speck_accurate
+            and features.spec1_accuracy < t.spec1_accurate
+        ):
+            return "pm"
+        # Gray node: fast state convergence makes end-forwarding win.
+        if features.convergence_states <= t.fast_convergence:
+            return "sre"
+        # Orange node 2: when deeper enumeration cannot lift accuracy
+        # (Δ_Specs ≈ 0), aggressive recovery only burns memory bandwidth.
+        if features.spec16_accuracy - features.spec1_accuracy < t.enumeration_gain:
+            return "sre"
+        # Orange node 3: input-sensitive speculation needs concentrated
+        # recovery resources near the frontier.
+        if features.sensitivity >= t.input_sensitive:
+            return "nf"
+        return "rr"
+
+    def explain(self, features: FSMFeatures) -> str:
+        """Human-readable trace of the decision path (for reports)."""
+        t = self.thresholds
+        lines = [f"FSM {features.name!r}:"]
+        lines.append(
+            f"  spec-4 accuracy {features.spec4_accuracy:.2f} "
+            f"(threshold {t.speck_accurate}) / spec-1 {features.spec1_accuracy:.2f}"
+        )
+        if (
+            features.spec4_accuracy >= t.speck_accurate
+            and features.spec1_accuracy < t.spec1_accurate
+        ):
+            lines.append("  -> spec-k covers the truth; recovery unnecessary: PM")
+            return "\n".join(lines)
+        lines.append(
+            f"  convergence #uniqStates(10) = {features.convergence_states:.1f} "
+            f"(threshold {t.fast_convergence})"
+        )
+        if features.convergence_states <= t.fast_convergence:
+            lines.append("  -> fast convergence; end-state forwarding wins: SRE")
+            return "\n".join(lines)
+        gain = features.spec16_accuracy - features.spec1_accuracy
+        lines.append(
+            f"  enumeration gain (spec-16 - spec-1) = {gain:.2f} "
+            f"(threshold {t.enumeration_gain})"
+        )
+        if gain < t.enumeration_gain:
+            lines.append("  -> deeper candidates do not help; stay conservative: SRE")
+            return "\n".join(lines)
+        lines.append(
+            f"  sensitivity {features.sensitivity:.2f} (threshold {t.input_sensitive})"
+        )
+        if features.sensitivity >= t.input_sensitive:
+            lines.append("  -> input-sensitive speculation: NF")
+        else:
+            lines.append("  -> default aggressive recovery: RR")
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Offline FSM/input profiling: the features that drive scheme selection.
+
+The paper's selector consumes (Fig. 6, Table II):
+
+* **speculation accuracy** for spec-1 and spec-k, measured by running the
+  all-state lookback-2 predictor over a small training slice and comparing
+  against the true chunk start states;
+* **input sensitivity** — whether speculation quality varies strongly across
+  different portions of the training input ("the similarity of speculation
+  results over different portions");
+* **state convergence** — the mean number of unique states surviving 10
+  transitions from all states (``#uniqStates(10 trans.)``);
+* basic structure — state count, and the wall-clock profiling cost the paper
+  reports in Table II's last column.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.automata.dfa import DFA, _as_symbol_array
+from repro.automata.properties import convergence_profile
+from repro.speculation.chunks import partition_input
+from repro.speculation.predictor import predict_start_states, true_start_states
+from repro.errors import SchemeError
+
+
+@dataclass(frozen=True)
+class FSMFeatures:
+    """Profiled characteristics of one FSM on one training input.
+
+    All accuracies are in ``[0, 1]``; ``convergence_states`` is the Table II
+    ``#uniqStates(10 trans.)`` statistic (lower = faster convergence);
+    ``sensitivity`` is the standard deviation of per-portion spec-1 accuracy
+    (higher = more input-sensitive speculation).
+    """
+
+    name: str
+    n_states: int
+    spec1_accuracy: float
+    spec4_accuracy: float
+    spec16_accuracy: float
+    sensitivity: float
+    convergence_states: float
+    profiling_seconds: float
+
+    @property
+    def input_sensitive(self) -> bool:
+        """The coarse Boolean the decision tree uses (Table II counts FSMs
+        with *highly* input-sensitive speculation)."""
+        return self.sensitivity > 0.15
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_states": self.n_states,
+            "spec1_accuracy": self.spec1_accuracy,
+            "spec4_accuracy": self.spec4_accuracy,
+            "spec16_accuracy": self.spec16_accuracy,
+            "sensitivity": self.sensitivity,
+            "convergence_states": self.convergence_states,
+            "profiling_seconds": self.profiling_seconds,
+        }
+
+
+def speculation_accuracy(
+    dfa: DFA,
+    training_input,
+    *,
+    n_chunks: int = 64,
+    k: int = 1,
+) -> float:
+    """Top-k speculation accuracy of the lookback-2 predictor on a slice."""
+    partition = partition_input(training_input, n_chunks)
+    prediction = predict_start_states(dfa, partition)
+    truth = true_start_states(dfa, partition)
+    return prediction.accuracy_against(truth, k=k)
+
+
+def profile_features(
+    dfa: DFA,
+    training_input,
+    *,
+    n_chunks: int = 64,
+    n_portions: int = 4,
+    convergence_steps: int = 10,
+    seed: int = 0,
+) -> FSMFeatures:
+    """Collect the full feature vector on ``training_input``.
+
+    The training slice is split into ``n_portions`` equal portions; spec-1
+    accuracy is measured on each to quantify input sensitivity, and on the
+    whole slice (with ``n_chunks`` chunks) for the headline accuracies.
+    """
+    symbols = _as_symbol_array(training_input)
+    if symbols.size < n_chunks * 4:
+        raise SchemeError(
+            f"training input too short: {symbols.size} symbols for {n_chunks} chunks"
+        )
+    t0 = time.perf_counter()
+
+    partition = partition_input(symbols, n_chunks)
+    prediction = predict_start_states(dfa, partition)
+    truth = true_start_states(dfa, partition)
+    acc1 = prediction.accuracy_against(truth, k=1)
+    acc4 = prediction.accuracy_against(truth, k=4)
+    acc16 = prediction.accuracy_against(truth, k=16)
+
+    # Input sensitivity: spec-1 accuracy variance across portions.
+    portion_len = symbols.size // n_portions
+    portion_accs = []
+    chunks_per_portion = max(8, n_chunks // n_portions)
+    for p in range(n_portions):
+        piece = symbols[p * portion_len : (p + 1) * portion_len]
+        if piece.size < chunks_per_portion:
+            continue
+        part = partition_input(piece, chunks_per_portion)
+        pred = predict_start_states(dfa, part, start_state=dfa.run(symbols[: p * portion_len]))
+        tru = true_start_states(dfa, part, start_state=dfa.run(symbols[: p * portion_len]))
+        portion_accs.append(pred.accuracy_against(tru, k=1))
+    sensitivity = float(np.std(portion_accs)) if len(portion_accs) > 1 else 0.0
+
+    conv = convergence_profile(dfa, symbols, steps=convergence_steps, seed=seed)
+    elapsed = time.perf_counter() - t0
+    return FSMFeatures(
+        name=dfa.name,
+        n_states=dfa.n_states,
+        spec1_accuracy=float(acc1),
+        spec4_accuracy=float(acc4),
+        spec16_accuracy=float(acc16),
+        sensitivity=sensitivity,
+        convergence_states=float(conv.mean()),
+        profiling_seconds=float(elapsed),
+    )

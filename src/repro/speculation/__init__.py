@@ -1,0 +1,51 @@
+"""Speculation machinery: chunking, start-state prediction, record storage.
+
+These are the shared moving parts of every speculative scheme: the input is
+partitioned (:mod:`chunks`), the all-state lookback-2 predictor ranks start
+candidates per chunk (:mod:`predictor`), and verification/recovery results
+are stored in the bounded register/shared-memory hierarchy of Fig. 5
+(:mod:`records`).
+"""
+
+from repro.speculation.chunks import Partition, partition_input
+from repro.speculation.predictor import (
+    LOOKBACK,
+    Prediction,
+    SpeculationQueue,
+    predict_start_states,
+    true_start_states,
+)
+from repro.speculation.predictors import (
+    PREDICTOR_REGISTRY,
+    AdaptiveLookbackPredictor,
+    LookbackPredictor,
+    OraclePredictor,
+    StartStatePredictor,
+    UniformPredictor,
+)
+from repro.speculation.records import (
+    DEFAULT_OTHERS_CAPACITY,
+    DEFAULT_OWN_CAPACITY,
+    VRRecord,
+    VRStore,
+)
+
+__all__ = [
+    "AdaptiveLookbackPredictor",
+    "DEFAULT_OTHERS_CAPACITY",
+    "DEFAULT_OWN_CAPACITY",
+    "LOOKBACK",
+    "LookbackPredictor",
+    "OraclePredictor",
+    "PREDICTOR_REGISTRY",
+    "StartStatePredictor",
+    "UniformPredictor",
+    "Partition",
+    "Prediction",
+    "SpeculationQueue",
+    "VRRecord",
+    "VRStore",
+    "partition_input",
+    "predict_start_states",
+    "true_start_states",
+]

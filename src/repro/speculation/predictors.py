@@ -1,0 +1,194 @@
+"""Pluggable start-state predictors.
+
+The paper fixes *all-state lookback-2* (§IV-A) but explicitly frames the
+accuracy/overhead trade-off as open ("the tradeoff between speculation
+accuracy and training overhead is still under exploration").  This module
+generalizes the predictor behind an interface so the trade-off can be
+measured:
+
+* :class:`LookbackPredictor` — all-state lookback-``w`` for any window;
+  ``w=2`` is the paper's configuration and the library default.
+* :class:`AdaptiveLookbackPredictor` — per-boundary window deepening: keep
+  extending the replay window until the candidate set collapses below a
+  target size (or a cap is hit).  Sharper queues on converging regions,
+  bounded extra cost elsewhere.
+* :class:`OraclePredictor` — perfect prediction (knows the true starts);
+  the upper bound for ablations.
+* :class:`UniformPredictor` — no information at all: every state is a
+  candidate with equal weight; the lower bound.
+
+All produce the same :class:`~repro.speculation.predictor.Prediction`
+object, so every scheme runs unmodified under any of them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.gpu.device import DeviceSpec
+from repro.gpu.stats import KernelStats
+from repro.speculation.chunks import Partition
+from repro.speculation.predictor import (
+    Prediction,
+    SpeculationQueue,
+    predict_start_states,
+    true_start_states,
+)
+from repro.errors import SchemeError
+
+
+class StartStatePredictor(abc.ABC):
+    """Interface: produce ranked start-state queues for every chunk."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def predict(
+        self,
+        dfa: DFA,
+        partition: Partition,
+        start_state: int,
+        *,
+        stats: Optional[KernelStats] = None,
+        device: Optional[DeviceSpec] = None,
+        tie_break=None,
+    ) -> Prediction:
+        """Rank candidate start states per chunk (chunk 0 is always exact)."""
+
+
+class LookbackPredictor(StartStatePredictor):
+    """All-state lookback-``window`` (the paper's technique at ``window=2``)."""
+
+    def __init__(self, window: int = 2):
+        if window < 1:
+            raise SchemeError(f"lookback window must be >= 1, got {window}")
+        self.window = window
+        self.name = f"lookback-{window}"
+
+    def predict(self, dfa, partition, start_state, *, stats=None, device=None, tie_break=None):
+        return predict_start_states(
+            dfa,
+            partition,
+            start_state=start_state,
+            lookback=self.window,
+            stats=stats,
+            device=device,
+            tie_break=tie_break,
+        )
+
+
+class AdaptiveLookbackPredictor(StartStatePredictor):
+    """Deepen the replay window per boundary until the queue is small.
+
+    Parameters
+    ----------
+    target_candidates:
+        Stop deepening once at most this many candidate states survive.
+    max_window:
+        Hard cap on the replay window (cost ceiling).
+    """
+
+    def __init__(self, target_candidates: int = 4, max_window: int = 16):
+        if target_candidates < 1 or max_window < 1:
+            raise SchemeError("target_candidates and max_window must be >= 1")
+        self.target_candidates = target_candidates
+        self.max_window = max_window
+        self.name = f"adaptive-lookback(<= {max_window})"
+
+    def predict(self, dfa, partition, start_state, *, stats=None, device=None, tie_break=None):
+        queues: List[SpeculationQueue] = [
+            SpeculationQueue(
+                states=np.asarray([start_state]),
+                weights=np.asarray([dfa.n_states]),
+            )
+        ]
+        total_replay_steps = 0
+        for i in range(1, partition.n_chunks):
+            window = 1
+            while True:
+                syms = partition.last_symbols_of(i - 1, window)
+                ends = dfa.run_all_states(syms)
+                total_replay_steps += len(syms)
+                states, counts = np.unique(ends, return_counts=True)
+                if states.size <= self.target_candidates or window >= self.max_window:
+                    break
+                window = min(self.max_window, window * 2)
+            keys = tie_break(states) if tie_break is not None else states
+            order = np.lexsort((keys, -counts))
+            queues.append(
+                SpeculationQueue(states=states[order], weights=counts[order])
+            )
+        if stats is not None:
+            dev = device if device is not None else stats.device
+            lanes = dfa.n_states
+            total_lanes = dev.n_sms * dev.cores_per_sm
+            rounds = -(-lanes // total_lanes)
+            stats.charge(
+                "predict",
+                float(
+                    rounds
+                    * total_replay_steps
+                    * (dev.shared_cycles + dev.transition_compute_cycles)
+                ),
+            )
+        return Prediction(queues=queues)
+
+
+class OraclePredictor(StartStatePredictor):
+    """Perfect prediction: the ablation upper bound.
+
+    Computes the true start states with a (free) sequential pass; the cost
+    model charges nothing — this is deliberately unbuildable hardware.
+    """
+
+    name = "oracle"
+
+    def predict(self, dfa, partition, start_state, *, stats=None, device=None, tie_break=None):
+        truth = true_start_states(dfa, partition, start_state=start_state)
+        queues = [
+            SpeculationQueue(
+                states=np.asarray([int(t)]), weights=np.asarray([dfa.n_states])
+            )
+            for t in truth
+        ]
+        return Prediction(queues=queues)
+
+
+class UniformPredictor(StartStatePredictor):
+    """No information: all states tie — enumeration's worst case."""
+
+    name = "uniform"
+
+    def predict(self, dfa, partition, start_state, *, stats=None, device=None, tie_break=None):
+        all_states = np.arange(dfa.n_states)
+        keys = tie_break(all_states) if tie_break is not None else all_states
+        order = np.argsort(keys)
+        queues: List[SpeculationQueue] = [
+            SpeculationQueue(
+                states=np.asarray([start_state]),
+                weights=np.asarray([dfa.n_states]),
+            )
+        ]
+        for _ in range(1, partition.n_chunks):
+            queues.append(
+                SpeculationQueue(
+                    states=all_states[order].copy(),
+                    weights=np.ones(dfa.n_states, dtype=np.int64),
+                )
+            )
+        return Prediction(queues=queues)
+
+
+PREDICTOR_REGISTRY = {
+    "lookback-1": lambda: LookbackPredictor(1),
+    "lookback-2": lambda: LookbackPredictor(2),
+    "lookback-4": lambda: LookbackPredictor(4),
+    "lookback-8": lambda: LookbackPredictor(8),
+    "adaptive": AdaptiveLookbackPredictor,
+    "oracle": OraclePredictor,
+    "uniform": UniformPredictor,
+}

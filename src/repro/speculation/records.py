@@ -1,0 +1,160 @@
+"""Verification-record storage (``VR_i`` of Table I, hierarchy of Fig. 5).
+
+Each chunk ``i`` accumulates records ``{start, end}`` of speculative
+executions/recoveries performed on it.  On the GPU the paper splits storage:
+
+* ``VR_i^end`` — records produced by the chunk's own thread, held in that
+  thread's **registers** (fast, private);
+* ``VR_i^others`` — records produced by *other* threads under aggressive
+  speculative recovery, staged through **shared memory** and loaded back
+  into a bounded set of registers.
+
+The number of registers reserved for ``VR_i^others`` is the Fig. 7 tunable:
+too few and recovery results are dropped (the work is wasted and may have to
+be redone); too many and every verification round pays extra load/store and
+check cycles.  :class:`VRStore` models both capacities and reports the
+operation counts the cost model charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.stats import KernelStats
+from repro.errors import SchemeError
+
+#: Default register budget for each record class (paper finds 16 optimal).
+DEFAULT_OWN_CAPACITY = 16
+DEFAULT_OTHERS_CAPACITY = 16
+
+
+@dataclass
+class VRRecord:
+    """One speculative execution/recovery record: ran chunk from ``start``,
+    reached ``end``; ``own`` marks records produced by the chunk's thread."""
+
+    start: int
+    end: int
+    own: bool
+
+
+@dataclass
+class VRStore:
+    """Bounded per-chunk record storage with the Fig. 5 hierarchy.
+
+    Parameters
+    ----------
+    n_chunks:
+        Number of chunks (and threads).
+    own_capacity:
+        Register budget for ``VR_i^end`` (records by the owner thread).
+    others_capacity:
+        Register budget for ``VR_i^others`` (records forwarded from other
+        threads through shared memory).  Records beyond capacity are
+        **dropped** — the recovery work is lost, modeling register pressure.
+    """
+
+    n_chunks: int
+    own_capacity: int = DEFAULT_OWN_CAPACITY
+    others_capacity: int = DEFAULT_OTHERS_CAPACITY
+    _records: List[List[VRRecord]] = field(default_factory=list)
+    _index: List[dict] = field(default_factory=list)
+    dropped_records: int = 0
+    stores_to_shared: int = 0
+    loads_from_shared: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_chunks <= 0:
+            raise SchemeError("VRStore needs at least one chunk")
+        if self.own_capacity < 1:
+            raise SchemeError("own_capacity must be at least 1")
+        if self.others_capacity < 0:
+            raise SchemeError("others_capacity must be non-negative")
+        self._records = [[] for _ in range(self.n_chunks)]
+        self._index = [{} for _ in range(self.n_chunks)]
+
+    # ------------------------------------------------------------------
+    def add(self, chunk: int, start: int, end: int, *, own: bool) -> bool:
+        """Record a (start, end) execution on ``chunk``.
+
+        Returns True if the record was stored, False if capacity forced a
+        drop.  Duplicate starts update nothing (the first result stands —
+        executions are deterministic so they agree anyway).
+        """
+        records = self._records[chunk]
+        if int(start) in self._index[chunk]:
+            return True
+        if own:
+            used = sum(1 for r in records if r.own)
+            if used >= self.own_capacity:
+                self.dropped_records += 1
+                return False
+        else:
+            used = sum(1 for r in records if not r.own)
+            if used >= self.others_capacity:
+                self.dropped_records += 1
+                return False
+            # Foreign records transit shared memory: one store by the
+            # producer, one load by the owner at next verification.
+            self.stores_to_shared += 1
+            self.loads_from_shared += 1
+        records.append(VRRecord(start=int(start), end=int(end), own=own))
+        self._index[chunk][int(start)] = int(end)
+        return True
+
+    def lookup(self, chunk: int, start: int) -> Optional[int]:
+        """End state recorded for running ``chunk`` from ``start`` (or None).
+
+        The dict index models the register-file scan as O(1) for the
+        *simulator's* wall clock; the simulated cost is still charged per
+        record via :meth:`charge_check`.
+        """
+        return self._index[chunk].get(int(start))
+
+    def count(self, chunk: int) -> int:
+        """Number of stored records for ``chunk``."""
+        return len(self._records[chunk])
+
+    def others_full(self, chunk: int) -> bool:
+        """True when ``VR_chunk^others`` has no free register slot.
+
+        Capacity-aware recovery scheduling checks this before dequeuing a
+        candidate: executing a recovery whose record cannot be stored is
+        pure waste (the Fig. 7 trade-off's left arm comes from *capacity*
+        limiting coverage, not from blindly dropping finished work).
+        """
+        used = sum(1 for r in self._records[chunk] if not r.own)
+        return used >= self.others_capacity
+
+    def records(self, chunk: int) -> Tuple[VRRecord, ...]:
+        """Immutable view of ``chunk``'s records."""
+        return tuple(self._records[chunk])
+
+    def starts_tried(self, chunk: int) -> np.ndarray:
+        """All start states already executed on ``chunk``."""
+        return np.asarray([r.start for r in self._records[chunk]], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def charge_check(self, stats: KernelStats, chunk: int, phase: str) -> None:
+        """Charge one verification scan of ``chunk``'s records.
+
+        The owner thread compares the forwarded end state against every
+        stored record — ``count(chunk)`` compares — plus the shared-memory
+        loads needed to refresh ``VR^others`` staged by other threads.
+        """
+        n = self.count(chunk)
+        stats.charge_verify(phase, checks_per_thread=n, total_checks=n)
+
+    def charge_shared_traffic(self, stats: KernelStats, phase: str, device: Optional[DeviceSpec] = None) -> None:
+        """Charge accumulated shared-memory staging traffic and reset it."""
+        dev = device if device is not None else stats.device
+        ops = self.stores_to_shared + self.loads_from_shared
+        if ops:
+            stats.charge(phase, float(ops * dev.shared_cycles))
+            stats.shared_accesses += ops
+        self.stores_to_shared = 0
+        self.loads_from_shared = 0

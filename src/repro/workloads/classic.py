@@ -1,0 +1,106 @@
+"""Classic hand-built FSMs: the paper's running example and friends.
+
+These small automata are used throughout the examples and tests; ``div7`` is
+the Fig. 1 FSM (is a binary number divisible by seven?).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automata.dfa import DFA, STATE_DTYPE
+from repro.errors import AutomatonError
+
+
+def divisibility(modulus: int, base: int = 2, name: str = "") -> DFA:
+    """DFA accepting base-``base`` numerals divisible by ``modulus``.
+
+    State ``q`` = value-so-far mod ``modulus``; reading digit ``d`` moves to
+    ``(q*base + d) mod modulus``.  Symbols are the ASCII digits ``'0'…'base-1'``
+    over a 256-symbol alphabet (non-digit bytes self-loop, so arbitrary byte
+    streams can be fed for stress tests).
+    """
+    if modulus < 1:
+        raise AutomatonError(f"modulus must be >= 1, got {modulus}")
+    if not (2 <= base <= 10):
+        raise AutomatonError(f"base must be in [2, 10], got {base}")
+    n_symbols = 256
+    table = np.tile(np.arange(modulus, dtype=STATE_DTYPE)[:, None], (1, n_symbols))
+    for d in range(base):
+        sym = ord("0") + d
+        for q in range(modulus):
+            table[q, sym] = (q * base + d) % modulus
+    return DFA(
+        table=table,
+        start=0,
+        accepting=frozenset({0}),
+        name=name or f"div{modulus}_base{base}",
+    )
+
+
+def div7() -> DFA:
+    """The Fig. 1 example: binary divisibility by 7 (7 states, '0'/'1')."""
+    return divisibility(7, base=2, name="div7")
+
+
+def parity(n_symbols: int = 256, tracked_symbol: int = ord("1")) -> DFA:
+    """Two-state parity of occurrences of one symbol (the minimal
+    non-converging FSM — a permutation automaton)."""
+    table = np.zeros((2, n_symbols), dtype=STATE_DTYPE)
+    table[0, :] = 0
+    table[1, :] = 1
+    table[0, tracked_symbol] = 1
+    table[1, tracked_symbol] = 0
+    return DFA(table=table, start=0, accepting=frozenset({0}), name="parity")
+
+
+def keyword_scanner(keyword: bytes, n_symbols: int = 256) -> DFA:
+    """Sticky scanner for one literal keyword (KMP-style failure links).
+
+    The classic "easy" FSM: on random payload it hugs the root state, so its
+    start states are trivially predictable.
+    """
+    if not keyword:
+        raise AutomatonError("keyword must be non-empty")
+    m = len(keyword)
+    # States 0..m-1 = prefix lengths; state m = matched (absorbing).
+    table = np.zeros((m + 1, n_symbols), dtype=STATE_DTYPE)
+    # Failure-function construction.
+    fail = [0] * m
+    for i in range(1, m):
+        f = fail[i - 1]
+        while f and keyword[i] != keyword[f]:
+            f = fail[f - 1]
+        fail[i] = f + 1 if keyword[i] == keyword[f] else 0
+    for q in range(m):
+        for a in range(n_symbols):
+            if a == keyword[q]:
+                table[q, a] = q + 1
+            elif q == 0:
+                table[q, a] = 0
+            else:
+                # Follow failure links.
+                f = fail[q - 1]
+                while f and a != keyword[f]:
+                    f = fail[f - 1]
+                table[q, a] = f + 1 if a == keyword[f] else 0
+    table[m, :] = m  # absorbing accept
+    return DFA(
+        table=table,
+        start=0,
+        accepting=frozenset({m}),
+        name=f"scan[{keyword.decode('latin1')}]",
+    )
+
+
+def cyclic_rotator(n_states: int, n_symbols: int = 256) -> DFA:
+    """Pure rotation automaton: every symbol advances the state by 1 mod n.
+
+    The canonical worst case for every speculation technique — zero
+    convergence, uniform boundary distribution.
+    """
+    if n_states < 1:
+        raise AutomatonError("need at least one state")
+    col = (np.arange(n_states, dtype=np.int64) + 1) % n_states
+    table = np.tile(col[:, None], (1, n_symbols)).astype(STATE_DTYPE)
+    return DFA(table=table, start=0, accepting=frozenset({0}), name=f"rot{n_states}")

@@ -1,0 +1,207 @@
+"""Composable DFA components and the product construction.
+
+The synthetic suite members are **products** of three components whose
+individual dynamics are fully understood, which lets the generator dial the
+exact properties the schemes are sensitive to (see DESIGN.md §2):
+
+* a **counter** component — a permutation automaton ``x' = (x + w(a)) mod r``
+  with optional *sync* symbols that reset ``x`` to a symbol-dependent value.
+  Without syncs it never converges and its boundary state is uniformly
+  unpredictable (the hard part); sync density controls convergence speed;
+* a **funnel** component — ``y' = g(a)``: converges in one symbol, is always
+  predicted exactly by lookback-2, and pads the state space the way the
+  transient bulk of real rule-set DFAs does;
+* a **scanner** component — a real regex-disjunction DFA (sticky accepts)
+  carrying the pattern-matching semantics.
+
+The product's acceptance combines the scanner's matches with a counter
+condition (``x ∈ X_acc``, a checksum-like side condition), so no component
+is redundant and the product is not minimizable away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.automata.dfa import DFA, STATE_DTYPE
+from repro.errors import AutomatonError
+
+
+@dataclass(frozen=True)
+class Component:
+    """One factor of a product DFA: a ``(n_states, n_symbols)`` table."""
+
+    table: np.ndarray
+    start: int
+    name: str = "component"
+
+    def __post_init__(self) -> None:
+        table = np.ascontiguousarray(np.asarray(self.table, dtype=STATE_DTYPE))
+        object.__setattr__(self, "table", table)
+        if table.ndim != 2:
+            raise AutomatonError("component table must be 2-D")
+        if not (0 <= self.start < table.shape[0]):
+            raise AutomatonError("component start state out of range")
+
+    @property
+    def n_states(self) -> int:
+        return int(self.table.shape[0])
+
+    @property
+    def n_symbols(self) -> int:
+        return int(self.table.shape[1])
+
+
+def counter_component(
+    r: int,
+    n_symbols: int = 256,
+    *,
+    weights: Optional[np.ndarray] = None,
+    sync_symbols: Iterable[int] = (),
+    sync_targets: Optional[np.ndarray] = None,
+    seed: int = 0,
+    name: str = "counter",
+) -> Component:
+    """Permutation counter ``x' = (x + w(a)) mod r`` with optional syncs.
+
+    Parameters
+    ----------
+    r:
+        Counter modulus (= component state count).
+    weights:
+        Per-symbol increments ``w(a)``; random in ``[0, r)`` by default.
+    sync_symbols:
+        Symbols that *reset* the counter: ``x' = sync_targets[a]``
+        regardless of ``x``.  These are the convergence dial: a trace with
+        sync density ``q`` makes the component forget its state after
+        ``~1/q`` symbols.
+    sync_targets:
+        Per-symbol reset values; random by default (symbol-dependent so the
+        post-sync state stays uncorrelated with queue rank order).
+    """
+    if r < 1:
+        raise AutomatonError("counter modulus must be >= 1")
+    rng = np.random.default_rng(seed)
+    if weights is None:
+        weights = rng.integers(0, r, size=n_symbols)
+    weights = np.asarray(weights, dtype=np.int64) % r
+    if weights.shape != (n_symbols,):
+        raise AutomatonError("weights must have one entry per symbol")
+    if sync_targets is None:
+        sync_targets = rng.integers(0, r, size=n_symbols)
+    sync_targets = np.asarray(sync_targets, dtype=np.int64) % r
+
+    x = np.arange(r, dtype=np.int64)[:, None]
+    table = (x + weights[None, :]) % r
+    for a in sync_symbols:
+        table[:, a] = sync_targets[a]
+    return Component(table=table, start=0, name=name)
+
+
+def funnel_component(
+    m: int,
+    n_symbols: int = 256,
+    *,
+    seed: int = 0,
+    name: str = "funnel",
+) -> Component:
+    """Memoryless funnel ``y' = g(a)``: converges in exactly one symbol."""
+    if m < 1:
+        raise AutomatonError("funnel needs at least one state")
+    rng = np.random.default_rng(seed)
+    g = rng.integers(0, m, size=n_symbols)
+    table = np.tile(g[None, :], (m, 1))
+    return Component(table=table, start=0, name=name)
+
+
+def window_component(
+    n_classes: int,
+    window: int,
+    n_symbols: int = 256,
+    *,
+    seed: int = 0,
+    name: str = "window",
+) -> Component:
+    """Sliding-window component: state = last ``window`` symbol classes.
+
+    Converges in exactly ``window`` symbols; with ``window > 2`` the
+    lookback-2 predictor is left with ``n_classes^(window-2)`` candidates —
+    a precise dial for "truth in top-k but not top-1" regimes.
+    """
+    if n_classes < 2 or window < 1:
+        raise AutomatonError("need n_classes >= 2 and window >= 1")
+    rng = np.random.default_rng(seed)
+    classes = rng.integers(0, n_classes, size=n_symbols)
+    n_states = n_classes**window
+    s = np.arange(n_states, dtype=np.int64)[:, None]
+    # Shift the window: drop the oldest class, append the new one.
+    table = (s % (n_classes ** (window - 1))) * n_classes + classes[None, :]
+    return Component(table=table, start=0, name=name)
+
+
+def scanner_component(dfa: DFA, name: str = "scanner") -> Component:
+    """Wrap a compiled scanner DFA as a product component."""
+    return Component(table=dfa.table, start=dfa.start, name=name)
+
+
+def product_dfa(
+    components: Sequence[Component],
+    *,
+    accepting_fn,
+    name: str = "product",
+) -> DFA:
+    """Synchronous product of ``components``.
+
+    The composite state id encodes the factor states mixed-radix,
+    most-significant factor first:
+    ``id = ((x_0 * n_1 + x_1) * n_2 + x_2) ...``.
+
+    Parameters
+    ----------
+    accepting_fn:
+        Callable receiving one ``(n_total,) -> bool`` decision per composite
+        state; it is handed the tuple of per-factor index arrays
+        ``(idx_0, idx_1, ...)`` and must return a boolean array.
+    """
+    if not components:
+        raise AutomatonError("product needs at least one component")
+    n_symbols = components[0].n_symbols
+    for c in components:
+        if c.n_symbols != n_symbols:
+            raise AutomatonError("all components must share an alphabet")
+    sizes = [c.n_states for c in components]
+    n_total = int(np.prod(sizes))
+    if n_total > 2_000_000:
+        raise AutomatonError(f"product would have {n_total} states; refusing")
+
+    # Per-factor index of every composite state.
+    ids = np.arange(n_total, dtype=np.int64)
+    factor_idx = []
+    rem = ids
+    for size in reversed(sizes):
+        factor_idx.append(rem % size)
+        rem = rem // size
+    factor_idx.reverse()  # factor_idx[i] aligns with components[i]
+
+    # Composite transition table, built factor by factor (vectorized).
+    table = np.zeros((n_total, n_symbols), dtype=np.int64)
+    for comp, idx in zip(components, factor_idx):
+        table = table * comp.n_states + comp.table[idx, :]
+
+    accept_mask = np.asarray(accepting_fn(tuple(factor_idx)), dtype=bool)
+    if accept_mask.shape != (n_total,):
+        raise AutomatonError("accepting_fn must return one decision per state")
+
+    start = 0
+    for comp in components:
+        start = start * comp.n_states + comp.start
+
+    return DFA(
+        table=table.astype(STATE_DTYPE),
+        start=start,
+        accepting=frozenset(np.flatnonzero(accept_mask).tolist()),
+        name=name,
+    )

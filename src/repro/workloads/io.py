@@ -1,0 +1,116 @@
+"""Workload persistence: suite manifests and trace files.
+
+The paper ships fixed rule sets and fixed 10 MB trace files; this module
+gives the synthetic suites the same reproducible-artifact ergonomics:
+``export_member`` writes a member's DFA (``.npz``), trace parameters and
+metadata (JSON) plus optional pre-generated trace files to a directory;
+``import_member`` reconstructs an identical :class:`SuiteMember` from it.
+Useful for pinning the exact evaluation inputs alongside result archives.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.automata.serialization import load_dfa, save_dfa
+from repro.workloads.suites import SuiteMember
+from repro.workloads.traces import TracePhase, TraceSpec
+from repro.errors import ReproError
+
+MANIFEST_VERSION = 1
+
+
+def _trace_to_dict(trace: TraceSpec) -> dict:
+    return {
+        "weights": np.asarray(trace.weights, dtype=np.float64).tolist(),
+        "sync_symbols": list(trace.sync_symbols),
+        "sync_density": trace.sync_density,
+        "keywords": [kw.hex() for kw in trace.keywords],
+        "keyword_density": trace.keyword_density,
+        "phases": [
+            {"fraction": p.fraction, "sync_density": p.sync_density}
+            for p in trace.phases
+        ],
+        "name": trace.name,
+    }
+
+
+def _trace_from_dict(data: dict) -> TraceSpec:
+    return TraceSpec(
+        weights=np.asarray(data["weights"], dtype=np.float64),
+        sync_symbols=tuple(int(s) for s in data["sync_symbols"]),
+        sync_density=float(data["sync_density"]),
+        keywords=tuple(bytes.fromhex(k) for k in data["keywords"]),
+        keyword_density=float(data["keyword_density"]),
+        phases=tuple(
+            TracePhase(fraction=float(p["fraction"]), sync_density=float(p["sync_density"]))
+            for p in data["phases"]
+        ),
+        name=str(data["name"]),
+    )
+
+
+def export_member(
+    member: SuiteMember,
+    directory: Union[str, Path],
+    *,
+    trace_lengths: Optional[List[int]] = None,
+    trace_seed: int = 0,
+) -> Path:
+    """Write ``member`` (DFA + trace spec + metadata) to ``directory``.
+
+    ``trace_lengths`` optionally pre-generates concrete trace files
+    (``trace_<i>.npy``), pinning the evaluation inputs byte-for-byte.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_dfa(member.dfa, directory / "dfa.npz")
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "suite": member.suite,
+        "index": member.index,
+        "regime": member.regime,
+        "n_states": member.dfa.n_states,
+        "trace": _trace_to_dict(member.trace),
+    }
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    if trace_lengths:
+        for i, length in enumerate(trace_lengths):
+            trace = member.generate_input(length, seed=trace_seed + i)
+            np.save(directory / f"trace_{i}.npy", trace)
+    return directory
+
+
+def import_member(directory: Union[str, Path]) -> SuiteMember:
+    """Reconstruct a :class:`SuiteMember` written by :func:`export_member`."""
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise ReproError(f"no manifest.json in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise ReproError(
+            f"unsupported manifest version {manifest.get('version')!r}"
+        )
+    dfa = load_dfa(directory / "dfa.npz")
+    if dfa.n_states != manifest["n_states"]:
+        raise ReproError("manifest/DFA state-count mismatch")
+    return SuiteMember(
+        suite=manifest["suite"],
+        index=int(manifest["index"]),
+        regime=manifest["regime"],
+        dfa=dfa,
+        trace=_trace_from_dict(manifest["trace"]),
+    )
+
+
+def load_trace(directory: Union[str, Path], index: int = 0) -> np.ndarray:
+    """Load a pre-generated trace file written by :func:`export_member`."""
+    path = Path(directory) / f"trace_{index}.npy"
+    if not path.exists():
+        raise ReproError(f"no trace file {path}")
+    return np.load(path)

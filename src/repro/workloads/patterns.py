@@ -1,0 +1,103 @@
+"""Domain-flavoured regex pattern generators.
+
+Each generator mirrors the signature style of one benchmark family: Snort
+rules (protocol tokens + wildcard gaps), ClamAV signatures (hex byte strings
+with ``{n}``-style skips), and PowerEN (dictionary-word patterns with
+classes and bounded repeats).  Generated patterns are valid inputs for
+:func:`repro.automata.regex.compile_disjunction`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+_SNORT_TOKENS = [
+    "GET", "POST", "HEAD", "HTTP", "Host", "User-Agent", "Cookie",
+    "cmd\\.exe", "passwd", "admin", "login", "shell", "eval", "exec",
+    "SELECT", "UNION", "script", "alert",
+]
+
+_POWEREN_WORDS = [
+    "order", "invoice", "total", "account", "customer", "payment",
+    "shipment", "status", "query", "report", "error", "warning",
+]
+
+
+def _escape_byte(b: int) -> str:
+    return f"\\x{b:02x}"
+
+
+def snort_patterns(count: int, seed: int = 0) -> List[str]:
+    """NIDS-style patterns: token, optional gap, token or class run."""
+    rng = np.random.default_rng(seed)
+    patterns = []
+    for _ in range(count):
+        head = _SNORT_TOKENS[rng.integers(0, len(_SNORT_TOKENS))]
+        style = rng.integers(0, 3)
+        if style == 0:
+            tail = _SNORT_TOKENS[rng.integers(0, len(_SNORT_TOKENS))]
+            gap = int(rng.integers(1, 5))
+            patterns.append(f"{head}.{{0,{gap}}}{tail}")
+        elif style == 1:
+            run = int(rng.integers(2, 5))
+            patterns.append(f"{head}[0-9a-f]{{{run}}}")
+        else:
+            patterns.append(f"{head}(%[0-9A-Fa-f][0-9A-Fa-f])+")
+    return patterns
+
+
+#: Byte values ClamAV-style signatures draw from.  The spiked background
+#: bytes (0x00/0xFF/common opcodes, see ``binary_weights``) are excluded so
+#: signature *heads* do not fire on every other background byte — otherwise
+#: the scanner lives in deep skip-window states whose speculation-queue rank
+#: is far beyond any realistic register budget.
+_CLAMAV_SIG_BYTES = [
+    b for b in range(0x01, 0xF0)
+    if b not in (0x00, 0x48, 0x89, 0x8B, 0xE8, 0x55, 0xC3, 0x90, 0xFF)
+]
+
+
+def clamav_patterns(count: int, seed: int = 0) -> List[str]:
+    """Virus-signature-style patterns: hex byte runs with bounded skips."""
+    rng = np.random.default_rng(seed)
+    patterns = []
+    for _ in range(count):
+        n_parts = int(rng.integers(2, 4))
+        parts = []
+        for _ in range(n_parts):
+            run_len = int(rng.integers(2, 5))
+            picks = rng.choice(len(_CLAMAV_SIG_BYTES), size=run_len)
+            run = "".join(_escape_byte(_CLAMAV_SIG_BYTES[int(i)]) for i in picks)
+            parts.append(run)
+        skips = [f".{{0,{int(rng.integers(2, 6))}}}" for _ in range(n_parts - 1)]
+        pattern = parts[0]
+        for skip, part in zip(skips, parts[1:]):
+            pattern += skip + part
+        patterns.append(pattern)
+    return patterns
+
+
+def poweren_patterns(count: int, seed: int = 0) -> List[str]:
+    """Business-text patterns: words, classes and bounded repetitions."""
+    rng = np.random.default_rng(seed)
+    patterns = []
+    for _ in range(count):
+        word = _POWEREN_WORDS[rng.integers(0, len(_POWEREN_WORDS))]
+        style = rng.integers(0, 3)
+        if style == 0:
+            patterns.append(f"{word}[ :=]+[0-9]{{2,6}}")
+        elif style == 1:
+            other = _POWEREN_WORDS[rng.integers(0, len(_POWEREN_WORDS))]
+            patterns.append(f"{word}s? (and|or|of) {other}s?")
+        else:
+            patterns.append(f"({word}|{word.upper()})[a-z]*")
+    return patterns
+
+
+PATTERN_GENERATORS = {
+    "snort": snort_patterns,
+    "clamav": clamav_patterns,
+    "poweren": poweren_patterns,
+}

@@ -1,0 +1,157 @@
+"""Input trace generators — stand-ins for the paper's tcpdump captures,
+binary concatenations and IBM PowerEN trace files.
+
+A :class:`TraceSpec` describes a byte stream statistically: a background
+symbol distribution (domain-flavoured), a density of *sync* symbols (the
+convergence dial of the counter component), embedded keyword occurrences,
+and optional phases with different sync densities (the input-sensitivity
+dial).  ``generate`` is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _normalize(weights: np.ndarray) -> np.ndarray:
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    if total <= 0:
+        raise ReproError("symbol weights must have positive mass")
+    return weights / total
+
+
+def ascii_text_weights(n_symbols: int = 256) -> np.ndarray:
+    """English-ish letter frequencies over printable ASCII (PowerEN flavour)."""
+    w = np.zeros(n_symbols)
+    letters = "etaoinshrdlcumwfgypbvkjxqz"
+    for rank, ch in enumerate(letters):
+        w[ord(ch)] = 100.0 / (rank + 5)
+    w[ord(" ")] = 30.0
+    for ch in ".,;:!?'\"-\n":
+        w[ord(ch)] = 2.0
+    for d in "0123456789":
+        w[ord(d)] = 1.5
+    return w
+
+
+def network_weights(n_symbols: int = 256) -> np.ndarray:
+    """Header-token + payload mix (Snort flavour): ASCII-heavy with a
+    binary tail."""
+    w = np.zeros(n_symbols)
+    w[32:127] = 1.0  # printable
+    for ch in "GETPOSTHTP/1.0\r\nHost:Content-Length".encode():
+        w[ch] += 3.0
+    w[0:32] = 0.3  # control bytes
+    w[127:256] = 0.5  # payload bytes
+    return w
+
+
+def numeric_log_weights(n_symbols: int = 256) -> np.ndarray:
+    """Machine-generated transaction-log flavour: digits, separators and
+    uppercase field tags dominate.  Used for rule-miss-dominated PowerEN
+    streams, where the scanners' lowercase dictionary words rarely fire."""
+    w = np.zeros(n_symbols)
+    for d in "0123456789":
+        w[ord(d)] = 12.0
+    for ch in " ,;:|-/.\t\n":
+        w[ord(ch)] = 4.0
+    for ch in "ABCDEFGHIJKLMNOPQRSTUVWXYZ":
+        w[ord(ch)] = 1.0
+    return w
+
+
+def binary_weights(n_symbols: int = 256) -> np.ndarray:
+    """Executable-image flavour (ClamAV): near-uniform bytes with spikes at
+    0x00/0xFF and common opcode values."""
+    w = np.ones(n_symbols)
+    w[0x00] = 12.0
+    w[0xFF] = 6.0
+    for op in (0x48, 0x89, 0x8B, 0xE8, 0x55, 0xC3, 0x90):
+        w[op] = 4.0
+    return w
+
+
+@dataclass(frozen=True)
+class TracePhase:
+    """One phase of a phased trace: a sync-density override over a span."""
+
+    fraction: float  # share of the stream this phase covers
+    sync_density: float
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Statistical description of an input stream.
+
+    Attributes
+    ----------
+    weights:
+        Background byte distribution (unnormalized).
+    sync_symbols:
+        The counter component's reset symbols.
+    sync_density:
+        Probability per position of emitting a sync symbol (uniformly chosen
+        among ``sync_symbols``); 0 disables convergence entirely.
+    keywords:
+        Byte strings spliced in at ``keyword_density`` per position (drives
+        scanner matches).
+    phases:
+        When non-empty, the stream is divided into spans with per-phase
+        ``sync_density`` — the input-sensitivity dial.
+    """
+
+    weights: np.ndarray
+    sync_symbols: Tuple[int, ...] = ()
+    sync_density: float = 0.0
+    keywords: Tuple[bytes, ...] = ()
+    keyword_density: float = 0.0
+    phases: Tuple[TracePhase, ...] = ()
+    name: str = "trace"
+
+    def generate(self, length: int, seed: int = 0) -> np.ndarray:
+        """Produce ``length`` bytes (uint8 array), deterministically."""
+        if length <= 0:
+            raise ReproError(f"trace length must be positive, got {length}")
+        rng = np.random.default_rng(seed)
+        probs = _normalize(self.weights)
+        out = rng.choice(len(probs), size=length, p=probs).astype(np.uint8)
+
+        # Sync symbols (possibly phased).
+        if self.sync_symbols:
+            syncs = np.asarray(self.sync_symbols, dtype=np.uint8)
+            if self.phases:
+                pos = 0
+                for phase in self.phases:
+                    span = int(round(length * phase.fraction))
+                    span = min(span, length - pos)
+                    if span <= 0:
+                        continue
+                    mask = rng.random(span) < phase.sync_density
+                    idx = np.flatnonzero(mask) + pos
+                    out[idx] = rng.choice(syncs, size=idx.size)
+                    pos += span
+            elif self.sync_density > 0:
+                mask = rng.random(length) < self.sync_density
+                idx = np.flatnonzero(mask)
+                out[idx] = rng.choice(syncs, size=idx.size)
+
+        # Keyword injection.
+        if self.keywords and self.keyword_density > 0:
+            n_inject = rng.binomial(length, self.keyword_density)
+            for _ in range(n_inject):
+                kw = self.keywords[rng.integers(0, len(self.keywords))]
+                if len(kw) >= length:
+                    continue
+                pos = int(rng.integers(0, length - len(kw)))
+                out[pos : pos + len(kw)] = np.frombuffer(kw, dtype=np.uint8)
+        return out
+
+    def generate_many(self, length: int, count: int, seed: int = 0) -> list:
+        """The paper provides 20 inputs per FSM; this mirrors that."""
+        return [self.generate(length, seed=seed * 1000 + i) for i in range(count)]

@@ -1,0 +1,48 @@
+"""Report-generator tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import EXPERIMENTS, build_report
+from repro.analysis.tables import render_bars
+
+
+def test_report_with_results(tmp_path):
+    (tmp_path / "fig8_overall.txt").write_text("fake fig8 table")
+    report = build_report(results_dir=tmp_path)
+    assert "fake fig8 table" in report
+    assert "Fig. 8" in report
+    assert "Missing results" in report  # the others are absent
+
+
+def test_report_all_missing(tmp_path):
+    report = build_report(results_dir=tmp_path)
+    assert report.count("no results yet") == len(EXPERIMENTS)
+
+
+def test_every_experiment_has_reference():
+    for title, (stem, reference) in EXPERIMENTS.items():
+        assert stem and reference, title
+
+
+def test_experiment_stems_match_benches():
+    """Every registered experiment must have a bench that can emit it."""
+    bench_dir = Path(__file__).parents[2] / "benchmarks"
+    source = "\n".join(p.read_text() for p in bench_dir.glob("bench_*.py"))
+    for title, (stem, _) in EXPERIMENTS.items():
+        assert f'emit("{stem}"' in source, f"no bench emits {stem!r} ({title})"
+
+
+def test_render_bars():
+    out = render_bars(["pm", "nf"], [1.0, 2.0], width=10, title="t")
+    lines = out.splitlines()
+    assert lines[0] == "t"
+    assert lines[1].startswith("pm | #####")
+    assert lines[2].startswith("nf | ##########")
+
+
+def test_render_bars_validation():
+    with pytest.raises(ValueError):
+        render_bars(["a"], [1.0, 2.0])
+    assert render_bars([], [], title="empty") == "empty"

@@ -1,0 +1,42 @@
+"""Reporting-layer tests."""
+
+import pytest
+
+from repro.analysis.tables import format_cell, geometric_mean, render_series, render_table
+
+
+def test_format_cell():
+    assert format_cell(1.23456) == "1.23"
+    assert format_cell(1.2, precision=3) == "1.200"
+    assert format_cell(7) == "7"
+    assert format_cell("x") == "x"
+    assert format_cell(True) == "yes"
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "v"], [["a", 1.5], ["long-name", 22.0]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all rows padded to equal width
+
+
+def test_render_table_title():
+    out = render_table(["a"], [[1]], title="Table II")
+    assert out.splitlines()[0] == "Table II"
+
+
+def test_render_table_bad_row():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_render_series():
+    assert render_series("rr", [1.0, 2.5]) == "rr: [1.00, 2.50]"
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)  # non-positive dropped

@@ -1,0 +1,102 @@
+"""Bitset-NFA tests: equivalence with set-based NFA simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.bitset import BitsetNFA
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata.regex import regex_to_nfa
+
+
+def build_sample_nfa() -> NFA:
+    nfa = NFA(n_symbols=4)
+    s = [nfa.add_state() for _ in range(5)]
+    nfa.start = s[0]
+    nfa.add_transition(s[0], 0, s[1])
+    nfa.add_transition(s[0], EPSILON, s[2])
+    nfa.add_transition(s[1], 1, s[3])
+    nfa.add_transition(s[2], 1, s[4])
+    nfa.add_transition(s[4], EPSILON, s[3])
+    nfa.accepting = {s[3]}
+    return nfa
+
+
+class TestConstruction:
+    def test_word_packing(self):
+        nfa = NFA(n_symbols=2)
+        for _ in range(130):
+            nfa.add_state()
+        nfa.add_transition(0, 0, 129)
+        bs = BitsetNFA.from_nfa(nfa)
+        assert bs.n_words == 3
+        stepped = bs.step(bs.start_mask, 0)
+        assert bs.active_states(stepped).tolist() == [129]
+
+    def test_epsilon_closure_in_start(self):
+        bs = BitsetNFA.from_nfa(build_sample_nfa())
+        assert set(bs.active_states(bs.start_mask)) == {0, 2}
+
+    def test_accept_through_epsilon(self):
+        bs = BitsetNFA.from_nfa(build_sample_nfa())
+        # state 4 ε-reaches accepting 3, so 4 must count as accepting.
+        assert bs.accepts([1])  # 0 -ε-> 2 -1-> 4 -ε-> 3
+
+
+class TestEquivalence:
+    def test_matches_nfa_on_enumerated_inputs(self):
+        nfa = build_sample_nfa()
+        bs = BitsetNFA.from_nfa(nfa)
+        import itertools
+
+        for length in range(4):
+            for seq in itertools.product(range(4), repeat=length):
+                assert bs.accepts(list(seq)) == nfa.accepts(list(seq)), seq
+
+    @pytest.mark.parametrize("pattern", ["a(b|c)*d", "(ab)+", "x?y{2,3}"])
+    def test_matches_regex_nfa(self, pattern, rng):
+        nfa = regex_to_nfa(pattern, n_symbols=128)
+        bs = BitsetNFA.from_nfa(nfa)
+        for _ in range(100):
+            s = rng.integers(97, 123, size=int(rng.integers(0, 12))).astype(np.uint8)
+            assert bs.accepts(s) == nfa.accepts(s), s
+
+    def test_run_counting_counts(self):
+        bs = BitsetNFA.from_nfa(build_sample_nfa())
+        _, counts = bs.run_counting([0, 1])
+        assert counts[0] == 2  # {0, 2} active before the first symbol
+        assert counts.shape == (2,)
+
+    def test_dead_input(self):
+        bs = BitsetNFA.from_nfa(build_sample_nfa())
+        assert not bs.run([3, 3]).any()
+
+
+@st.composite
+def random_nfa(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    nfa = NFA(n_symbols=4)
+    for _ in range(n):
+        nfa.add_state()
+    n_edges = int(rng.integers(0, 3 * n + 1))
+    for _ in range(n_edges):
+        src, dst = int(rng.integers(0, n)), int(rng.integers(0, n))
+        sym = int(rng.integers(-1, 4))
+        nfa.add_transition(src, EPSILON if sym < 0 else sym, dst)
+    nfa.start = 0
+    n_acc = int(rng.integers(0, n + 1))
+    nfa.accepting = set(rng.choice(n, size=n_acc, replace=False).tolist())
+    return nfa, seed
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_nfa())
+def test_bitset_equals_set_simulation(case):
+    nfa, seed = case
+    bs = BitsetNFA.from_nfa(nfa)
+    rng = np.random.default_rng(seed)
+    for _ in range(10):
+        s = rng.integers(0, 4, size=int(rng.integers(0, 10))).astype(np.uint8)
+        assert bs.accepts(s) == nfa.accepts(s)

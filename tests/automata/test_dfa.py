@@ -1,0 +1,173 @@
+"""Unit tests for the dense-table DFA core."""
+
+import numpy as np
+import pytest
+
+from repro.automata.dfa import DFA, run_lockstep
+from repro.errors import AutomatonError
+from repro.workloads import classic
+
+
+class TestConstruction:
+    def test_valid_dfa(self, div7):
+        assert div7.n_states == 7
+        assert div7.n_symbols == 256
+        assert div7.start == 0
+        assert div7.accepting == frozenset({0})
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(AutomatonError):
+            DFA(table=np.zeros((0, 4), dtype=np.int32), start=0)
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(AutomatonError):
+            DFA(table=np.zeros((2, 3), dtype=np.int32), start=5)
+
+    def test_rejects_out_of_range_transition(self):
+        table = np.zeros((2, 2), dtype=np.int32)
+        table[0, 1] = 9
+        with pytest.raises(AutomatonError):
+            DFA(table=table, start=0)
+
+    def test_rejects_out_of_range_accepting(self):
+        with pytest.raises(AutomatonError):
+            DFA(table=np.zeros((2, 2), dtype=np.int32), start=0, accepting={7})
+
+    def test_rejects_1d_table(self):
+        with pytest.raises(AutomatonError):
+            DFA(table=np.zeros(4, dtype=np.int32), start=0)
+
+    def test_table_is_contiguous_int32(self, div7):
+        assert div7.table.flags["C_CONTIGUOUS"]
+        assert div7.table.dtype == np.int32
+
+
+class TestSemantics:
+    def test_div7_accepts_multiples(self, div7):
+        for n in [0, 7, 14, 49, 700, 861]:
+            assert div7.accepts(bin(n)[2:].encode()), n
+
+    def test_div7_rejects_non_multiples(self, div7):
+        for n in [1, 6, 8, 50, 699]:
+            assert not div7.accepts(bin(n)[2:].encode()), n
+
+    def test_empty_input_stays_at_start(self, div7):
+        assert div7.run(b"") == div7.start
+
+    def test_run_from_explicit_start(self, div7):
+        # 7*2+1 = 15 ≡ 1 (mod 7): from state 0, '1' then '1' gives 3.
+        assert div7.run(b"1", start=1) == 3
+
+    def test_run_path_shape_and_endpoints(self, div7):
+        data = b"101101"
+        path = div7.run_path(data)
+        assert path.shape == (len(data) + 1,)
+        assert path[0] == div7.start
+        assert path[-1] == div7.run(data)
+
+    def test_step_matches_table(self, div7):
+        for q in range(7):
+            assert div7.step(q, ord("1")) == div7.table[q, ord("1")]
+
+    def test_accepts_list_input(self, div7):
+        assert div7.run([ord("1"), ord("1"), ord("1")]) == div7.run(b"111")
+
+
+class TestVectorized:
+    def test_run_many_matches_scalar(self, div7, rng):
+        data = bytes(rng.integers(48, 50, size=100).astype(np.uint8))
+        ends = div7.run_many(data, range(7))
+        for q in range(7):
+            assert ends[q] == div7.run(data, start=q)
+
+    def test_run_all_states_shape(self, div7):
+        ends = div7.run_all_states(b"10")
+        assert ends.shape == (7,)
+
+    def test_step_vector(self, div7):
+        states = np.arange(7)
+        out = div7.step_vector(states, ord("0"))
+        assert np.array_equal(out, div7.table[states, ord("0")])
+
+    def test_run_lockstep_matches_scalar(self, div7, rng):
+        chunks = rng.integers(48, 50, size=(5, 40)).astype(np.uint8)
+        starts = rng.integers(0, 7, size=5)
+        ends = run_lockstep(div7.table, chunks, starts)
+        for t in range(5):
+            assert ends[t] == div7.run(chunks[t], start=int(starts[t]))
+
+    def test_run_lockstep_respects_lengths(self, div7, rng):
+        chunks = rng.integers(48, 50, size=(3, 40)).astype(np.uint8)
+        starts = np.zeros(3, dtype=np.int64)
+        lengths = np.array([0, 10, 40])
+        ends = run_lockstep(div7.table, chunks, starts, lengths=lengths)
+        assert ends[0] == div7.start
+        assert ends[1] == div7.run(chunks[1, :10])
+        assert ends[2] == div7.run(chunks[2])
+
+
+class TestRenumbering:
+    def test_renumbered_is_isomorphic(self, div7, rng):
+        perm = rng.permutation(7)
+        other = div7.renumbered(perm)
+        data = bytes(rng.integers(48, 50, size=200).astype(np.uint8))
+        assert other.accepts(data) == div7.accepts(data)
+        assert perm[div7.run(data)] == other.run(data)
+
+    def test_identity_permutation_roundtrip(self, div7):
+        same = div7.renumbered(np.arange(7))
+        assert same == div7
+
+    def test_rejects_non_bijection(self, div7):
+        with pytest.raises(AutomatonError):
+            div7.renumbered(np.zeros(7, dtype=np.int64))
+
+    def test_rejects_wrong_length(self, div7):
+        with pytest.raises(AutomatonError):
+            div7.renumbered(np.arange(5))
+
+
+class TestEquality:
+    def test_equal_dfas(self, div7):
+        clone = DFA(
+            table=div7.table.copy(),
+            start=div7.start,
+            accepting=div7.accepting,
+            name="other-name",
+        )
+        assert clone == div7  # name is not part of identity
+        assert hash(clone) == hash(div7)
+
+    def test_unequal_accepting(self, div7):
+        other = DFA(table=div7.table.copy(), start=0, accepting={1})
+        assert other != div7
+
+    def test_accepting_mask(self, div7):
+        mask = div7.accepting_mask
+        assert mask[0] and not mask[1:].any()
+
+
+class TestClassicFactories:
+    def test_parity(self):
+        p = classic.parity()
+        assert p.accepts(b"abab11ba")  # two '1's
+        assert not p.accepts(b"1")
+
+    def test_keyword_scanner_finds_overlaps(self):
+        d = classic.keyword_scanner(b"aba")
+        assert d.accepts(b"xxababa")
+        assert not d.accepts(b"ab")
+
+    def test_keyword_scanner_is_sticky(self):
+        d = classic.keyword_scanner(b"ab")
+        assert d.accepts(b"abzzzzzz")
+
+    def test_cyclic_rotator_never_converges(self):
+        r = classic.cyclic_rotator(5, n_symbols=8)
+        ends = r.run_all_states(np.array([0, 1, 2], dtype=np.uint8))
+        assert np.unique(ends).size == 5
+
+    def test_divisibility_base10(self):
+        d = classic.divisibility(3, base=10)
+        assert d.accepts(b"123")  # 123 % 3 == 0
+        assert not d.accepts(b"124")

@@ -1,0 +1,64 @@
+"""Moore-minimization tests + Hopcroft cross-checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import DFA
+from repro.automata.minimize import minimize_dfa
+from repro.automata.moore import minimize_dfa_moore
+from repro.automata.regex import compile_regex
+from repro.workloads import classic
+
+
+def test_div7_already_minimal(div7):
+    assert minimize_dfa_moore(div7).n_states == 7
+
+
+def test_merges_equivalent_states():
+    table = np.array([[1, 2], [1, 1], [2, 2]], dtype=np.int32)
+    dfa = DFA(table=table, start=0, accepting={1, 2})
+    assert minimize_dfa_moore(dfa).n_states == 2
+
+
+def test_language_preserved(rng):
+    dfa = compile_regex("a(b|c){1,3}d", n_symbols=128, minimize=False)
+    m = minimize_dfa_moore(dfa)
+    for _ in range(200):
+        s = bytes(rng.integers(97, 123, size=int(rng.integers(0, 12))).astype(np.uint8))
+        assert m.accepts(s) == dfa.accepts(s)
+
+
+def test_agrees_with_hopcroft_on_scanner(scanner_dfa):
+    assert minimize_dfa_moore(scanner_dfa).n_states == minimize_dfa(scanner_dfa).n_states
+
+
+@st.composite
+def random_dfa(draw):
+    n = draw(st.integers(min_value=1, max_value=14))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    table = rng.integers(0, n, size=(n, 6)).astype(np.int32)
+    n_acc = draw(st.integers(min_value=0, max_value=n))
+    accepting = frozenset(rng.choice(n, size=n_acc, replace=False).tolist())
+    return DFA(table=table, start=0, accepting=accepting)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dfa())
+def test_moore_and_hopcroft_agree(dfa):
+    """The two independent minimizers must produce identically-sized
+    automata on arbitrary DFAs (the strongest cheap equivalence check)."""
+    a = minimize_dfa(dfa)
+    b = minimize_dfa_moore(dfa)
+    assert a.n_states == b.n_states
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_dfa(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_moore_language_equivalence(dfa, seed):
+    m = minimize_dfa_moore(dfa)
+    rng = np.random.default_rng(seed)
+    for _ in range(20):
+        s = rng.integers(0, 6, size=int(rng.integers(0, 15))).astype(np.uint8)
+        assert m.accepts(s) == dfa.accepts(s)

@@ -1,0 +1,127 @@
+"""NFA simulation, union, and subset-construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.automata.nfa import EPSILON, NFA, nfa_to_dfa, symbol_classes, union_nfas
+from repro.errors import AutomatonError
+
+
+def build_ab_or_b() -> NFA:
+    """NFA accepting 'ab' or 'b' (with an ε split)."""
+    nfa = NFA(n_symbols=4)
+    s0, s1, s2, s3 = (nfa.add_state() for _ in range(4))
+    nfa.start = s0
+    nfa.add_transition(s0, 0, s1)  # a
+    nfa.add_transition(s1, 1, s2)  # b
+    nfa.add_transition(s0, EPSILON, s3)
+    nfa.add_transition(s3, 1, s2)  # b
+    nfa.accepting = {s2}
+    return nfa
+
+
+class TestSimulation:
+    def test_accepts(self):
+        nfa = build_ab_or_b()
+        assert nfa.accepts([0, 1])
+        assert nfa.accepts([1])
+        assert not nfa.accepts([0])
+        assert not nfa.accepts([0, 1, 1])
+
+    def test_epsilon_closure(self):
+        nfa = build_ab_or_b()
+        closure = nfa.epsilon_closure([nfa.start])
+        assert nfa.start in closure
+        assert 3 in closure
+
+    def test_move(self):
+        nfa = build_ab_or_b()
+        assert nfa.move([0], 0) == {1}
+        assert nfa.move([0, 3], 1) == {2}
+
+    def test_dead_input_empties_active_set(self):
+        nfa = build_ab_or_b()
+        assert nfa.run([3, 3]) == frozenset()
+
+    def test_add_transition_validates(self):
+        nfa = NFA(n_symbols=2)
+        nfa.add_state()
+        with pytest.raises(AutomatonError):
+            nfa.add_transition(0, 5, 0)
+        with pytest.raises(AutomatonError):
+            nfa.add_transition(0, 0, 7)
+
+    def test_sticky_accepting(self):
+        nfa = build_ab_or_b()
+        nfa.make_accepting_sticky()
+        assert nfa.accepts([1, 3, 3, 0])
+
+
+class TestSubsetConstruction:
+    def test_equivalence_on_all_short_strings(self):
+        nfa = build_ab_or_b()
+        dfa = nfa_to_dfa(nfa)
+        import itertools
+
+        for length in range(4):
+            for s in itertools.product(range(4), repeat=length):
+                assert dfa.accepts(list(s)) == nfa.accepts(list(s)), s
+
+    def test_result_is_complete(self):
+        dfa = nfa_to_dfa(build_ab_or_b())
+        assert (dfa.table >= 0).all() and (dfa.table < dfa.n_states).all()
+
+    def test_max_states_guard(self):
+        nfa = build_ab_or_b()
+        with pytest.raises(AutomatonError):
+            nfa_to_dfa(nfa, max_states=1)
+
+    def test_start_is_zero(self):
+        assert nfa_to_dfa(build_ab_or_b()).start == 0
+
+
+class TestSymbolClasses:
+    def test_partition_covers_alphabet(self):
+        nfa = build_ab_or_b()
+        classes = symbol_classes(nfa)
+        all_syms = sorted(s for cls in classes for s in cls)
+        assert all_syms == list(range(4))
+
+    def test_unused_symbols_grouped(self):
+        nfa = build_ab_or_b()
+        classes = symbol_classes(nfa)
+        # Symbols 2 and 3 appear nowhere: same class.
+        for cls in classes:
+            if 2 in cls:
+                assert 3 in cls
+
+    def test_classes_equivalent_in_dfa(self):
+        nfa = build_ab_or_b()
+        dfa = nfa_to_dfa(nfa)
+        assert np.array_equal(dfa.table[:, 2], dfa.table[:, 3])
+
+
+class TestUnion:
+    def test_union_accepts_either(self):
+        a = build_ab_or_b()
+        b = NFA(n_symbols=4)
+        s0, s1 = b.add_state(), b.add_state()
+        b.start = s0
+        b.add_transition(s0, 2, s1)
+        b.accepting = {s1}
+        u = union_nfas([a, b])
+        assert u.accepts([1])
+        assert u.accepts([2])
+        assert not u.accepts([3])
+
+    def test_union_requires_nfas(self):
+        with pytest.raises(AutomatonError):
+            union_nfas([])
+
+    def test_union_alphabet_mismatch(self):
+        a = NFA(n_symbols=2)
+        a.add_state()
+        b = NFA(n_symbols=3)
+        b.add_state()
+        with pytest.raises(AutomatonError):
+            union_nfas([a, b])

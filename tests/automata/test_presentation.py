@@ -1,0 +1,55 @@
+"""Tests for the Fig. 1-style DFA presentation helpers."""
+
+import pytest
+
+from repro.workloads import classic
+
+
+@pytest.fixture(scope="module")
+def div7():
+    return classic.div7()
+
+
+class TestFormatTable:
+    def test_binary_columns(self, div7):
+        out = div7.format_table(symbols=[ord("0"), ord("1")])
+        lines = out.splitlines()
+        assert lines[0].startswith("state")
+        assert "0" in lines[0] and "1" in lines[0]
+        assert len(lines) == 2 + 7  # header + rule + 7 states
+
+    def test_start_marker_and_accepting_star(self, div7):
+        out = div7.format_table(symbols=[ord("0")])
+        assert "->s0*" in out  # s0 is both start and accepting in div7
+
+    def test_transition_values(self, div7):
+        out = div7.format_table(symbols=[ord("0"), ord("1")])
+        row_s1 = [l for l in out.splitlines() if "s1" in l.split("|")[0]][0]
+        # s1 --0--> s2, s1 --1--> s3 (value-mod-7 doubling).
+        assert "s2" in row_s1 and "s3" in row_s1
+
+    def test_nonprintable_symbols_escaped(self):
+        d = classic.parity(n_symbols=4, tracked_symbol=1)
+        out = d.format_table(symbols=[0, 1])
+        assert "\\x00" in out
+
+
+class TestToDot:
+    def test_structure(self, div7):
+        dot = div7.to_dot(symbols=[ord("0"), ord("1")])
+        assert dot.startswith("digraph dfa {")
+        assert dot.rstrip().endswith("}")
+        assert "doublecircle" in dot  # accepting state styling
+        assert "__start -> s0;" in dot
+
+    def test_edges_merged(self):
+        d = classic.parity(n_symbols=4, tracked_symbol=1)
+        dot = d.to_dot()
+        # s0 self-loops on symbols 0,2,3: one merged edge, not three.
+        self_loops = [l for l in dot.splitlines() if "s0 -> s0" in l]
+        assert len(self_loops) == 1
+
+    def test_all_states_present(self, div7):
+        dot = div7.to_dot(symbols=[ord("0")])
+        for q in range(7):
+            assert f"s{q} [shape=" in dot

@@ -1,0 +1,98 @@
+"""Tests for FSM property profiling (frequencies, convergence)."""
+
+import numpy as np
+import pytest
+
+from repro.automata.properties import (
+    absorbing_states,
+    convergence_profile,
+    profile_state_frequencies,
+    reachable_states,
+    unique_states_after,
+)
+from repro.errors import AutomatonError
+from repro.workloads import classic
+
+
+class TestFrequencies:
+    def test_counts_sum_to_path_length(self, div7, rng):
+        data = bytes(rng.integers(48, 50, size=500).astype(np.uint8))
+        prof = profile_state_frequencies(div7, data)
+        assert prof.counts.sum() == 501  # path includes the start state
+        assert prof.sample_length == 500
+
+    def test_order_is_hottest_first(self, div7, rng):
+        data = bytes(rng.integers(48, 50, size=1000).astype(np.uint8))
+        prof = profile_state_frequencies(div7, data)
+        counts_in_order = prof.counts[prof.order]
+        assert (np.diff(counts_in_order) <= 0).all()
+
+    def test_frequencies_normalized(self, div7):
+        prof = profile_state_frequencies(div7, b"1010")
+        assert prof.frequencies.sum() == pytest.approx(1.0)
+
+    def test_rank_inverts_order(self, div7):
+        prof = profile_state_frequencies(div7, b"101101")
+        rank = prof.rank_of()
+        assert np.array_equal(np.argsort(rank), prof.order)
+
+    def test_hot_states_prefix(self, div7):
+        prof = profile_state_frequencies(div7, b"1011")
+        assert np.array_equal(prof.hot_states(3), prof.order[:3])
+
+    def test_empty_sample(self, div7):
+        prof = profile_state_frequencies(div7, b"")
+        assert prof.counts.sum() == 1  # just the start state
+
+
+class TestConvergence:
+    def test_rotator_never_converges(self):
+        rot = classic.cyclic_rotator(9, n_symbols=16)
+        assert unique_states_after(rot, np.arange(10, dtype=np.uint8) % 16) == 9
+
+    def test_scanner_converges(self):
+        d = classic.keyword_scanner(b"abcdef")
+        # On a window with no keyword progress all states funnel to root or
+        # stay absorbed: exactly two survivors.
+        window = b"zzzzzzzzzz"
+        assert unique_states_after(d, window) == 2
+
+    def test_steps_argument_truncates(self, div7):
+        w = b"1111111111"
+        full = unique_states_after(div7, w)
+        assert unique_states_after(div7, w, steps=0) == 7
+        assert full <= 7
+
+    def test_convergence_profile_shape(self, div7, rng):
+        data = bytes(rng.integers(48, 50, size=400).astype(np.uint8))
+        prof = convergence_profile(div7, data, steps=10, n_windows=8)
+        assert prof.shape == (8,)
+        assert (prof >= 1).all() and (prof <= 7).all()
+
+    def test_convergence_profile_deterministic(self, div7, rng):
+        data = bytes(rng.integers(48, 50, size=400).astype(np.uint8))
+        a = convergence_profile(div7, data, seed=3)
+        b = convergence_profile(div7, data, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_too_short_input_raises(self, div7):
+        with pytest.raises(AutomatonError):
+            convergence_profile(div7, b"101", steps=10)
+
+
+class TestStructure:
+    def test_reachable_states_full(self, div7):
+        assert reachable_states(div7).size == 7
+
+    def test_reachable_states_partial(self):
+        import numpy as np
+        from repro.automata.dfa import DFA
+
+        table = np.array([[0, 0], [1, 1]], dtype=np.int32)
+        dfa = DFA(table=table, start=0)
+        assert reachable_states(dfa).tolist() == [0]
+
+    def test_absorbing_states_of_scanner(self):
+        d = classic.keyword_scanner(b"ab")
+        acc = absorbing_states(d)
+        assert set(acc.tolist()) == set(d.accepting)

@@ -1,0 +1,170 @@
+"""Regex compiler tests: parser, Thompson construction, and differential
+checks against Python's ``re`` module."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.automata.regex import (
+    Alternate,
+    Concat,
+    Literal,
+    Repeat,
+    compile_disjunction,
+    compile_regex,
+    parse_regex,
+    regex_to_nfa,
+)
+from repro.errors import RegexSyntaxError
+
+
+class TestParser:
+    def test_literal(self):
+        node = parse_regex("a")
+        assert isinstance(node, Literal)
+        assert node.symbols == frozenset({ord("a")})
+
+    def test_concat(self):
+        node = parse_regex("ab")
+        assert isinstance(node, Concat)
+        assert len(node.parts) == 2
+
+    def test_alternation(self):
+        node = parse_regex("a|b|c")
+        assert isinstance(node, Alternate)
+        assert len(node.options) == 3
+
+    def test_star_plus_question(self):
+        for pat, lo, hi in [("a*", 0, None), ("a+", 1, None), ("a?", 0, 1)]:
+            node = parse_regex(pat)
+            assert isinstance(node, Repeat)
+            assert (node.min, node.max) == (lo, hi)
+
+    def test_bounds(self):
+        node = parse_regex("a{2,5}")
+        assert (node.min, node.max) == (2, 5)
+        node = parse_regex("a{3}")
+        assert (node.min, node.max) == (3, 3)
+        node = parse_regex("a{2,}")
+        assert (node.min, node.max) == (2, None)
+
+    def test_char_class_range(self):
+        node = parse_regex("[a-c]")
+        assert node.symbols == frozenset({97, 98, 99})
+
+    def test_negated_class(self):
+        node = parse_regex("[^a]", n_symbols=128)
+        assert ord("a") not in node.symbols
+        assert len(node.symbols) == 127
+
+    def test_class_with_literal_dash(self):
+        node = parse_regex("[a-]")
+        assert node.symbols == frozenset({ord("a"), ord("-")})
+
+    def test_dot(self):
+        node = parse_regex(".", n_symbols=16)
+        assert len(node.symbols) == 16
+
+    def test_escapes(self):
+        assert parse_regex(r"\d").symbols == frozenset(range(48, 58))
+        assert parse_regex(r"\n").symbols == frozenset({10})
+        assert parse_regex(r"\x41").symbols == frozenset({0x41})
+        assert parse_regex(r"\.").symbols == frozenset({ord(".")})
+
+    def test_negated_escape_class(self):
+        node = parse_regex(r"\D", n_symbols=64)
+        assert frozenset(range(48, 58)) & node.symbols == frozenset()
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["(", ")", "*a", "a{", "a{2,1}", "[", "a{x}", "[z-a]"],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(bad)
+
+    def test_error_reports_position(self):
+        with pytest.raises(RegexSyntaxError) as exc:
+            parse_regex("ab*{2}(")
+        assert "position" in str(exc.value)
+
+    def test_symbol_out_of_alphabet(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a", n_symbols=32)
+
+
+class TestNFA:
+    def test_whole_match_semantics(self):
+        nfa = regex_to_nfa("ab|cd", n_symbols=128)
+        assert nfa.accepts(b"ab")
+        assert nfa.accepts(b"cd")
+        assert not nfa.accepts(b"abcd")
+        assert not nfa.accepts(b"a")
+
+    def test_empty_pattern_matches_empty(self):
+        nfa = regex_to_nfa("a?", n_symbols=128)
+        assert nfa.accepts(b"")
+        assert nfa.accepts(b"a")
+
+    def test_kleene(self):
+        nfa = regex_to_nfa("(ab)*", n_symbols=128)
+        assert nfa.accepts(b"")
+        assert nfa.accepts(b"abab")
+        assert not nfa.accepts(b"aba")
+
+
+@pytest.mark.parametrize(
+    "pattern",
+    [
+        "abc",
+        "a(b|c)*d",
+        "ab{2,4}c",
+        "x|yz+",
+        "[a-c]{2}d",
+        "a.{0,3}b",
+        "(ab|ba)+",
+        "a[^b]c",
+        "colou?r",
+        "(a|b)(c|d)(e|f)",
+    ],
+)
+def test_differential_against_re(pattern, rng):
+    """Compiled DFA must agree with re.search on random streams."""
+    dfa = compile_regex(pattern, n_symbols=128)
+    compiled = re.compile(pattern.encode())
+    for _ in range(150):
+        length = int(rng.integers(0, 30))
+        s = bytes(rng.integers(97, 123, size=length).astype(np.uint8))
+        assert dfa.accepts(s) == bool(compiled.search(s)), (pattern, s)
+
+
+def test_anchored_compile_matches_fullmatch(rng):
+    dfa = compile_regex("a(b|c)+", n_symbols=128, unanchored=False, sticky_accept=False)
+    compiled = re.compile(b"a(b|c)+")
+    for _ in range(200):
+        s = bytes(rng.integers(97, 100, size=int(rng.integers(0, 8))).astype(np.uint8))
+        assert dfa.accepts(s) == bool(compiled.fullmatch(s)), s
+
+
+def test_disjunction_matches_union_of_patterns(rng):
+    patterns = ["abc", "a{2,3}b", "q[rs]t"]
+    dfa = compile_disjunction(patterns, n_symbols=128)
+    singles = [compile_regex(p, n_symbols=128) for p in patterns]
+    for _ in range(150):
+        s = bytes(rng.integers(97, 123, size=int(rng.integers(0, 25))).astype(np.uint8))
+        assert dfa.accepts(s) == any(d.accepts(s) for d in singles), s
+
+
+def test_disjunction_requires_patterns():
+    with pytest.raises(RegexSyntaxError):
+        compile_disjunction([])
+
+
+def test_sticky_accept_is_absorbing(rng):
+    dfa = compile_regex("abc", n_symbols=128)
+    prefix = b"zzabc"
+    state = dfa.run(prefix)
+    assert state in dfa.accepting
+    suffix = bytes(rng.integers(97, 123, size=50).astype(np.uint8))
+    assert dfa.run(suffix, start=state) in dfa.accepting

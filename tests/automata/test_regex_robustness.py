@@ -1,0 +1,93 @@
+"""Additional regex-compiler robustness: tricky escapes, nesting, and
+randomized pattern generation cross-checked against Python's re."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.automata.regex import compile_regex, parse_regex
+from repro.errors import RegexSyntaxError
+
+
+class TestTrickyPatterns:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            r"a\{2\}",          # escaped braces are literals
+            r"[\x41-\x43]+",    # hex range in a class
+            r"(a|)(b|)",        # empty alternation branches
+            r"((a))",           # nested groups
+            r"a{0,0}b",         # zero-width repeat
+            r"[]a]",            # ']' first in a class is a literal
+            r"a|a|a",           # duplicate branches
+            r"(a{2}){2}",       # nested counted repeats
+            r"\.\*\+\?",        # escaped metacharacters
+        ],
+    )
+    def test_differential(self, pattern, rng):
+        dfa = compile_regex(pattern, n_symbols=128)
+        compiled = re.compile(pattern.encode())
+        for _ in range(120):
+            s = bytes(
+                rng.integers(97, 123, size=int(rng.integers(0, 10))).astype(np.uint8)
+            )
+            assert dfa.accepts(s) == bool(compiled.search(s)), (pattern, s)
+
+    def test_empty_class_matches_nothing(self, rng):
+        # [^\x00-\x7f] over a 128-symbol alphabet is empty.
+        dfa = compile_regex(r"a[^\x00-\x7f]b", n_symbols=128)
+        for _ in range(60):
+            s = bytes(rng.integers(0, 128, size=int(rng.integers(0, 8))).astype(np.uint8))
+            assert not dfa.accepts(s)
+
+    def test_large_counted_repeat(self):
+        dfa = compile_regex("a{30}", n_symbols=128, minimize=True)
+        assert dfa.accepts(b"x" + b"a" * 30)
+        assert not dfa.accepts(b"a" * 29)
+
+    def test_deeply_nested_groups(self):
+        pattern = "(" * 12 + "a" + ")" * 12
+        dfa = compile_regex(pattern, n_symbols=128)
+        assert dfa.accepts(b"a")
+
+
+def random_pattern(rng, depth=0) -> str:
+    """Random regex over {a, b, c} with the supported operators."""
+    if depth > 3:
+        return rng.choice(["a", "b", "c"])
+    roll = rng.integers(0, 8)
+    if roll <= 2:
+        return str(rng.choice(["a", "b", "c"]))
+    if roll == 3:
+        return random_pattern(rng, depth + 1) + random_pattern(rng, depth + 1)
+    if roll == 4:
+        return f"({random_pattern(rng, depth + 1)}|{random_pattern(rng, depth + 1)})"
+    if roll == 5:
+        return f"({random_pattern(rng, depth + 1)})*"
+    if roll == 6:
+        return f"({random_pattern(rng, depth + 1)})?"
+    lo = int(rng.integers(0, 3))
+    hi = lo + int(rng.integers(0, 3))
+    return f"({random_pattern(rng, depth + 1)}){{{lo},{hi}}}"
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_random_patterns_against_re(seed):
+    rng = np.random.default_rng(seed)
+    pattern = random_pattern(rng)
+    try:
+        dfa = compile_regex(pattern, n_symbols=128)
+    except RegexSyntaxError:
+        pytest.skip(f"generator produced unsupported pattern {pattern!r}")
+    compiled = re.compile(pattern.encode())
+    for _ in range(120):
+        s = bytes(rng.integers(97, 100, size=int(rng.integers(0, 10))).astype(np.uint8))
+        assert dfa.accepts(s) == bool(compiled.search(s)), (pattern, s)
+
+
+def test_parse_is_pure():
+    """Parsing must not mutate module state: same pattern, same AST."""
+    a = parse_regex("a(b|c){2,3}")
+    b = parse_regex("a(b|c){2,3}")
+    assert repr(a) == repr(b)

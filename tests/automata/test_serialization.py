@@ -1,0 +1,37 @@
+"""DFA save/load round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.automata.serialization import load_dfa, save_dfa
+from repro.errors import AutomatonError
+
+
+def test_roundtrip(tmp_path, div7):
+    path = tmp_path / "div7.npz"
+    save_dfa(div7, path)
+    loaded = load_dfa(path)
+    assert loaded == div7
+    assert loaded.name == div7.name
+
+
+def test_roundtrip_preserves_semantics(tmp_path, scanner_dfa, rng):
+    path = tmp_path / "scanner.npz"
+    save_dfa(scanner_dfa, path)
+    loaded = load_dfa(path)
+    for _ in range(50):
+        s = bytes(rng.integers(97, 123, size=int(rng.integers(0, 20))).astype(np.uint8))
+        assert loaded.accepts(s) == scanner_dfa.accepts(s)
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(AutomatonError):
+        load_dfa(tmp_path / "nope.npz")
+
+
+def test_accepts_path_without_suffix(tmp_path, div7):
+    # np.savez appends .npz; loading via the original stem must work.
+    path = tmp_path / "plain"
+    save_dfa(div7, path)
+    loaded = load_dfa(path)
+    assert loaded == div7

@@ -1,0 +1,46 @@
+"""CLI smoke tests (on the cached suite members)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_suite_listing(capsys):
+    assert main(["suite", "snort"]) == 0
+    out = capsys.readouterr().out
+    assert "regime" in out and "pm" in out
+
+
+def test_profile(capsys):
+    assert main(["profile", "snort", "1", "--training-length", "4096"]) == 0
+    out = capsys.readouterr().out
+    assert "spec1_accuracy" in out
+    assert "FSM" in out  # the explain() trace
+
+
+def test_run_forced_scheme(capsys):
+    rc = main(
+        ["run", "snort", "1", "--scheme", "sre",
+         "--input-length", "8192", "--threads", "64",
+         "--training-length", "2048"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scheme   : sre" in out
+    assert "kernel" in out
+
+
+def test_compare(capsys):
+    rc = main(
+        ["compare", "poweren", "3", "--input-length", "8192",
+         "--threads", "64", "--training-length", "2048"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "speedup/pm" in out
+    assert "*" in out  # selector's pick marked
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(SystemExit):
+        main(["suite", "nids"])

@@ -1,0 +1,46 @@
+"""CLI timeline/report command tests."""
+
+import pytest
+
+from repro.cli import _render_timeline, main
+
+
+def test_timeline_rendering():
+    out = _render_timeline([1, 5, 10])
+    assert "round 0" in out and "round 2" in out
+    assert "#" in out
+
+
+def test_timeline_empty():
+    assert "no recovery rounds" in _render_timeline([])
+
+
+def test_timeline_downsamples():
+    out = _render_timeline(list(range(100)), max_rows=8)
+    assert len(out.splitlines()) == 8
+    assert "round 0" in out and "round 99" in out
+
+
+def test_run_with_timeline(capsys):
+    rc = main(
+        ["run", "snort", "8", "--scheme", "rr",
+         "--input-length", "8192", "--threads", "64",
+         "--training-length", "2048", "--timeline"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "recovery-round activity" in out
+
+
+def test_report_command(capsys, tmp_path):
+    out_file = tmp_path / "report.md"
+    assert main(["report", "--output", str(out_file)]) == 0
+    assert out_file.exists()
+    text = out_file.read_text()
+    assert "# Experiment report" in text
+
+
+def test_report_to_stdout(capsys):
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 8" in out

@@ -1,0 +1,111 @@
+"""GSpecPal framework tests."""
+
+import numpy as np
+import pytest
+
+from repro.framework import GSpecPal, GSpecPalConfig
+from repro.workloads import classic
+from repro.errors import SchemeError
+
+
+@pytest.fixture(scope="module")
+def easy_dfa():
+    return classic.keyword_scanner(b"token")
+
+
+@pytest.fixture()
+def stream(rng):
+    return bytes(rng.integers(97, 123, size=2000).astype(np.uint8))
+
+
+@pytest.fixture()
+def training(rng):
+    return bytes(rng.integers(97, 123, size=500).astype(np.uint8))
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = GSpecPalConfig()
+        assert cfg.n_threads == 256
+        assert cfg.spec_k == 4
+        assert cfg.own_registers == cfg.others_registers == 16
+        assert cfg.use_transformation
+
+    def test_validation(self):
+        with pytest.raises(SchemeError):
+            GSpecPalConfig(n_threads=1)
+        with pytest.raises(SchemeError):
+            GSpecPalConfig(spec_k=0)
+        with pytest.raises(SchemeError):
+            GSpecPalConfig(training_fraction=0.0)
+
+
+class TestProfiling:
+    def test_profile_with_explicit_training(self, easy_dfa, training):
+        pal = GSpecPal(easy_dfa, training_input=training)
+        f = pal.profile()
+        assert f.name == easy_dfa.name
+        assert pal.profile() is f  # cached
+
+    def test_profile_without_training_needs_data(self, easy_dfa):
+        pal = GSpecPal(easy_dfa)
+        with pytest.raises(SchemeError):
+            pal.profile()
+
+    def test_profile_slices_data(self, easy_dfa, stream):
+        pal = GSpecPal(easy_dfa, GSpecPalConfig(n_threads=16, min_training_symbols=256))
+        f = pal.profile(stream)
+        assert f is not None
+
+
+class TestRun:
+    def test_auto_selection_correct(self, easy_dfa, stream, training):
+        pal = GSpecPal(easy_dfa, GSpecPalConfig(n_threads=16), training_input=training)
+        result = pal.run(stream)
+        assert result.end_state == easy_dfa.run(stream)
+        assert result.scheme in ("pm-spec4", "sre", "rr", "nf")
+
+    def test_forced_scheme(self, easy_dfa, stream, training):
+        pal = GSpecPal(easy_dfa, GSpecPalConfig(n_threads=16), training_input=training)
+        for name in ("pm", "sre", "rr", "nf", "seq", "spec-seq"):
+            result = pal.run(stream, scheme=name)
+            assert result.end_state == easy_dfa.run(stream), name
+
+    def test_unknown_scheme(self, easy_dfa, stream, training):
+        pal = GSpecPal(easy_dfa, training_input=training)
+        with pytest.raises(SchemeError):
+            pal.run(stream, scheme="warp-drive")
+
+    def test_select_scheme_on_easy_fsm(self, easy_dfa, stream, training):
+        pal = GSpecPal(easy_dfa, GSpecPalConfig(n_threads=16), training_input=training)
+        # Keyword scanner converges fast: the tree must not pick PM.
+        assert pal.select_scheme() in ("sre", "rr", "nf")
+
+    def test_compare_schemes(self, easy_dfa, stream, training):
+        pal = GSpecPal(easy_dfa, GSpecPalConfig(n_threads=16), training_input=training)
+        results = pal.compare_schemes(stream)
+        assert set(results) == {"pm", "sre", "rr", "nf"}
+        truth = easy_dfa.run(stream)
+        assert all(r.end_state == truth for r in results.values())
+
+    def test_transformation_ablation(self, easy_dfa, stream, training):
+        on = GSpecPal(
+            easy_dfa, GSpecPalConfig(n_threads=16), training_input=training
+        ).run(stream, scheme="rr")
+        off = GSpecPal(
+            easy_dfa,
+            GSpecPalConfig(n_threads=16, use_transformation=False),
+            training_input=training,
+        ).run(stream, scheme="rr")
+        assert on.end_state == off.end_state
+        # The hash-table layout pays per-step overhead: RANK must be faster.
+        assert on.cycles < off.cycles
+
+    def test_register_config_respected(self, easy_dfa, stream, training):
+        pal = GSpecPal(
+            easy_dfa,
+            GSpecPalConfig(n_threads=16, others_registers=2),
+            training_input=training,
+        )
+        result = pal.run(stream, scheme="rr")
+        assert result.end_state == easy_dfa.run(stream)

@@ -1,0 +1,104 @@
+"""Tests for first-match reporting and the incremental streaming API."""
+
+import numpy as np
+import pytest
+
+from repro.framework import GSpecPal, GSpecPalConfig
+from repro.workloads import classic
+from repro.automata.regex import compile_regex
+
+
+@pytest.fixture(scope="module")
+def scanner():
+    return classic.keyword_scanner(b"needle")
+
+
+def naive_first_match(dfa, data) -> int:
+    accept = dfa.accepting_mask
+    path = dfa.run_path(data)
+    idx = int(np.argmax(accept[path]))
+    return idx if accept[path[idx]] else None
+
+
+class TestFindFirstMatch:
+    def make_pal(self, dfa):
+        return GSpecPal(dfa, GSpecPalConfig(n_threads=16))
+
+    def test_no_match_returns_none(self, scanner, rng):
+        data = bytes(rng.integers(97, 109, size=800).astype(np.uint8))
+        assert b"needle" not in data
+        assert self.make_pal(scanner).find_first_match(data) is None
+
+    @pytest.mark.parametrize("pos", [0, 13, 399, 700, 793])
+    def test_single_match_offset(self, scanner, rng, pos):
+        data = bytearray(rng.integers(97, 109, size=800).astype(np.uint8))
+        data[pos : pos + 6] = b"needle"
+        data = bytes(data)
+        offset = self.make_pal(scanner).find_first_match(data)
+        assert offset == naive_first_match(scanner, data) == pos + 6
+
+    def test_first_of_many_matches(self, scanner, rng):
+        data = bytearray(rng.integers(97, 109, size=800).astype(np.uint8))
+        for pos in (500, 200, 650):
+            data[pos : pos + 6] = b"needle"
+        data = bytes(data)
+        offset = self.make_pal(scanner).find_first_match(data)
+        assert offset == naive_first_match(scanner, data) == 206
+
+    def test_with_regex_dfa(self, rng):
+        dfa = compile_regex("ab+c", n_symbols=128)
+        data = bytearray(rng.integers(100, 123, size=400).astype(np.uint8))
+        data[100:104] = b"abbc"
+        data = bytes(data)
+        pal = GSpecPal(dfa, GSpecPalConfig(n_threads=16))
+        assert pal.find_first_match(data) == naive_first_match(dfa, data)
+
+    @pytest.mark.parametrize("scheme", ["pm", "sre", "rr", "nf", "seq", "spec-seq"])
+    def test_every_scheme_agrees(self, scanner, rng, scheme):
+        data = bytearray(rng.integers(97, 109, size=640).astype(np.uint8))
+        data[300:306] = b"needle"
+        data = bytes(data)
+        pal = self.make_pal(scanner)
+        assert pal.find_first_match(data, scheme=scheme) == 306
+
+
+class TestStreaming:
+    def test_segments_equal_whole(self, scanner, rng):
+        data = bytes(rng.integers(97, 123, size=2400).astype(np.uint8))
+        pal = GSpecPal(scanner, GSpecPalConfig(n_threads=16))
+        session = pal.stream(scheme="sre")
+        for i in range(0, 2400, 800):
+            session.feed(data[i : i + 800])
+        assert session.state == scanner.run(data)
+        assert session.total_symbols == 2400
+        assert session.total_cycles > 0
+
+    def test_match_across_segment_boundary(self, scanner, rng):
+        head = bytes(rng.integers(97, 109, size=797).astype(np.uint8)) + b"nee"
+        tail = b"dle" + bytes(rng.integers(97, 109, size=797).astype(np.uint8))
+        pal = GSpecPal(scanner, GSpecPalConfig(n_threads=16))
+        session = pal.stream(scheme="nf")
+        session.feed(head)
+        assert not session.accepts
+        session.feed(tail)
+        assert session.accepts
+
+    def test_carried_state_feeds_prediction(self, rng):
+        """Chunk 0 of a later segment must start from the carried state,
+        not q0 — a wrong anchor would corrupt every verified end."""
+        dfa = classic.divisibility(7, base=10)
+        digits = bytes(rng.integers(48, 58, size=1600).astype(np.uint8))
+        pal = GSpecPal(dfa, GSpecPalConfig(n_threads=16))
+        session = pal.stream(scheme="rr")
+        session.feed(digits[:800])
+        session.feed(digits[800:])
+        assert session.state == dfa.run(digits)
+
+    def test_per_segment_results_returned(self, scanner, rng):
+        data = bytes(rng.integers(97, 123, size=1600).astype(np.uint8))
+        pal = GSpecPal(scanner, GSpecPalConfig(n_threads=16))
+        session = pal.stream(scheme="pm")
+        r1 = session.feed(data[:800])
+        r2 = session.feed(data[800:])
+        assert r1.scheme.startswith("pm") and r2.scheme.startswith("pm")
+        assert session.total_cycles == pytest.approx(r1.cycles + r2.cycles)

@@ -1,0 +1,53 @@
+"""Device-model tests."""
+
+import pytest
+
+from repro.gpu.device import RTX3090, DeviceSpec
+from repro.errors import SimulationError
+
+
+def test_rtx3090_spec_matches_paper():
+    assert RTX3090.n_sms == 82
+    assert RTX3090.cores_per_sm == 128
+    assert RTX3090.shared_memory_bytes_per_sm == 100 * 1024
+    assert RTX3090.global_memory_bytes == 24 * 1024**3
+    assert RTX3090.warp_size == 32
+
+
+def test_latency_ordering():
+    assert RTX3090.register_cycles <= RTX3090.shared_cycles <= RTX3090.global_cycles
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(SimulationError):
+        DeviceSpec(warp_size=0)
+
+
+def test_invalid_latency_ordering_rejected():
+    with pytest.raises(SimulationError):
+        DeviceSpec(shared_cycles=500, global_cycles=100)
+
+
+def test_warps_for_threads():
+    assert RTX3090.warps_for_threads(1) == 1
+    assert RTX3090.warps_for_threads(32) == 1
+    assert RTX3090.warps_for_threads(33) == 2
+    with pytest.raises(SimulationError):
+        RTX3090.warps_for_threads(0)
+
+
+def test_concurrency_factor():
+    assert RTX3090.concurrency_factor(10) == 1.0
+    over = RTX3090.max_concurrent_warps * 2
+    assert RTX3090.concurrency_factor(over) == pytest.approx(2.0)
+
+
+def test_cycles_to_ms():
+    ms = RTX3090.cycles_to_ms(RTX3090.clock_ghz * 1e6)
+    assert ms == pytest.approx(1.0)
+
+
+def test_shared_table_entries_reserves_staging():
+    # 8 KB reserved; the rest in 4-byte entries.
+    expected = (100 * 1024 - 8 * 1024) // 4
+    assert RTX3090.shared_table_entries == expected

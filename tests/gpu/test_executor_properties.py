@@ -1,0 +1,87 @@
+"""Property-based tests for the lockstep executor's cost accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import DFA
+from repro.gpu.device import DeviceSpec
+from repro.gpu.executor import LockstepExecutor
+from repro.gpu.memory import MemoryModel
+from repro.gpu.stats import KernelStats
+
+DEV = DeviceSpec(warp_size=4, n_sms=4, max_resident_warps_per_sm=8)
+
+
+@st.composite
+def executor_case(draw):
+    n_states = draw(st.integers(min_value=1, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    table = rng.integers(0, n_states, size=(n_states, 8)).astype(np.int32)
+    n_threads = draw(st.integers(min_value=1, max_value=12))
+    chunk_len = draw(st.integers(min_value=0, max_value=30))
+    chunks = rng.integers(0, 8, size=(n_threads, chunk_len)).astype(np.uint8)
+    starts = rng.integers(0, n_states, size=n_threads)
+    hot = draw(st.integers(min_value=0, max_value=n_states))
+    return table, chunks, starts, hot
+
+
+@settings(max_examples=60, deadline=None)
+@given(executor_case())
+def test_access_counts_equal_transitions(case):
+    table, chunks, starts, hot = case
+    mm = MemoryModel(device=DEV, hot_state_count=hot)
+    ex = LockstepExecutor(table, mm, DEV)
+    stats = KernelStats(device=DEV, n_threads=chunks.shape[0])
+    ex.run(chunks, starts, stats=stats)
+    assert stats.shared_accesses + stats.global_accesses == stats.transitions
+    assert stats.transitions == chunks.size
+
+
+@settings(max_examples=40, deadline=None)
+@given(executor_case())
+def test_functional_result_independent_of_memory_model(case):
+    """Hot/cold placement may never change *answers*."""
+    table, chunks, starts, hot = case
+    dfa = DFA(table=table, start=0)
+    a = LockstepExecutor(
+        table, MemoryModel(device=DEV, hot_state_count=hot), DEV
+    ).run(chunks, starts)
+    b = LockstepExecutor(
+        table, MemoryModel(device=DEV, hot_state_count=0), DEV
+    ).run(chunks, starts)
+    assert np.array_equal(a, b)
+    for t in range(chunks.shape[0]):
+        assert a[t] == dfa.run(chunks[t], start=int(starts[t]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(executor_case())
+def test_more_hot_states_never_cost_more(case):
+    """Cycle cost is monotone non-increasing in the hot-state budget."""
+    table, chunks, starts, hot = case
+    costs = []
+    for h in (0, hot, table.shape[0]):
+        stats = KernelStats(device=DEV, n_threads=chunks.shape[0])
+        LockstepExecutor(
+            table, MemoryModel(device=DEV, hot_state_count=h), DEV
+        ).run(chunks, starts, stats=stats)
+        costs.append(stats.cycles)
+    assert costs[0] >= costs[1] >= costs[2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(executor_case(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_determinism(case, _seed):
+    table, chunks, starts, hot = case
+    mm = MemoryModel(device=DEV, hot_state_count=hot)
+
+    def run_once():
+        stats = KernelStats(device=DEV, n_threads=chunks.shape[0])
+        ends = LockstepExecutor(table, mm, DEV).run(chunks, starts, stats=stats)
+        return ends, stats.cycles
+
+    (ends_a, cyc_a), (ends_b, cyc_b) = run_once(), run_once()
+    assert np.array_equal(ends_a, ends_b)
+    assert cyc_a == cyc_b

@@ -1,0 +1,65 @@
+"""GpuSimulator facade tests (transformation wiring, state translation)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import RTX3090
+from repro.gpu.kernel import GpuSimulator, KernelPhase
+from repro.gpu.memory import TableLayout
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def training(rng):
+    return bytes(rng.integers(48, 50, size=1000).astype(np.uint8))
+
+
+def test_transformation_enabled(div7, training):
+    sim = GpuSimulator(dfa=div7, use_transformation=True, training_input=training)
+    assert sim.transformed is not None
+    assert sim.memory.layout is TableLayout.RANK
+
+
+def test_transformation_requires_profile(div7):
+    with pytest.raises(SimulationError):
+        GpuSimulator(dfa=div7, use_transformation=True)
+
+
+def test_hash_layout_without_transformation(div7, training):
+    sim = GpuSimulator(dfa=div7, use_transformation=False, training_input=training)
+    assert sim.transformed is None
+    assert sim.memory.layout is TableLayout.HASH
+    assert sim.memory.hot_state_ids is not None
+
+
+def test_hash_layout_without_profile_defaults(div7):
+    sim = GpuSimulator(dfa=div7, use_transformation=False)
+    assert sim.memory.layout is TableLayout.HASH
+
+
+def test_state_translation_roundtrip(div7, training):
+    sim = GpuSimulator(dfa=div7, use_transformation=True, training_input=training)
+    for q in range(7):
+        assert sim.to_user_state(sim.to_exec_state(q)) == q
+    states = np.arange(7)
+    assert np.array_equal(sim.to_user_states(sim.to_exec_states(states)), states)
+
+
+def test_translation_identity_without_transform(div7, training):
+    sim = GpuSimulator(dfa=div7, use_transformation=False, training_input=training)
+    assert sim.to_exec_state(5) == 5
+    assert sim.to_user_state(5) == 5
+
+
+def test_exec_semantics_match(div7, training, rng):
+    sim = GpuSimulator(dfa=div7, use_transformation=True, training_input=training)
+    data = bytes(rng.integers(48, 50, size=300).astype(np.uint8))
+    end_exec = sim.exec_dfa.run(data, start=sim.exec_start_state)
+    assert sim.to_user_state(end_exec) == div7.run(data)
+
+
+def test_new_stats_charges_launch(div7, training):
+    sim = GpuSimulator(dfa=div7, use_transformation=True, training_input=training)
+    stats = sim.new_stats(n_threads=8)
+    assert stats.cycles == RTX3090.launch_overhead_cycles
+    assert KernelPhase.LAUNCH in stats.phase_cycles

@@ -1,0 +1,73 @@
+"""Memory-model tests: layouts, hot masks, overheads."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import RTX3090
+from repro.gpu.memory import MemoryModel, TableLayout
+from repro.errors import SimulationError
+
+
+def test_rank_layout_hot_mask():
+    mm = MemoryModel(device=RTX3090, hot_state_count=4, layout=TableLayout.RANK)
+    states = np.array([0, 3, 4, 10])
+    assert mm.hot_mask(states).tolist() == [True, True, False, False]
+
+
+def test_hash_layout_with_explicit_ids():
+    mm = MemoryModel(
+        device=RTX3090,
+        hot_state_count=2,
+        layout=TableLayout.HASH,
+        hot_state_ids=frozenset({5, 9}),
+    )
+    states = np.array([0, 5, 9, 10])
+    assert mm.hot_mask(states).tolist() == [False, True, True, False]
+
+
+def test_global_only_layout():
+    mm = MemoryModel(device=RTX3090, hot_state_count=100, layout=TableLayout.GLOBAL_ONLY)
+    assert not mm.hot_mask(np.arange(5)).any()
+
+
+def test_hash_layout_pays_per_step_overhead():
+    rank = MemoryModel(device=RTX3090, hot_state_count=4, layout=TableLayout.RANK)
+    hashed = MemoryModel(device=RTX3090, hot_state_count=4, layout=TableLayout.HASH)
+    assert rank.per_step_overhead_cycles == 0.0
+    assert hashed.per_step_overhead_cycles == float(
+        RTX3090.shared_cycles + RTX3090.hash_compute_cycles
+    )
+
+
+def test_for_dfa_sizes_hot_region():
+    mm = MemoryModel.for_dfa(RTX3090, n_states=10, n_symbols=256)
+    assert mm.hot_state_count == 10  # small DFA fits entirely
+    big = MemoryModel.for_dfa(RTX3090, n_states=10**6, n_symbols=256)
+    assert big.hot_state_count == RTX3090.shared_table_entries // 256
+
+
+def test_lookup_cycles():
+    mm = MemoryModel(device=RTX3090, hot_state_count=1)
+    out = mm.lookup_cycles(np.array([True, False]))
+    assert out[0] == RTX3090.shared_cycles
+    assert out[1] == RTX3090.global_cycles
+
+
+def test_negative_hot_count_rejected():
+    with pytest.raises(SimulationError):
+        MemoryModel(device=RTX3090, hot_state_count=-1)
+
+
+def test_shared_bytes_used():
+    mm = MemoryModel(device=RTX3090, hot_state_count=5)
+    assert mm.shared_bytes_used(n_symbols=256) == 5 * 256 * 4
+
+
+def test_empty_hash_set_all_cold():
+    mm = MemoryModel(
+        device=RTX3090,
+        hot_state_count=4,
+        layout=TableLayout.HASH,
+        hot_state_ids=frozenset(),
+    )
+    assert not mm.hot_mask(np.arange(6)).any()

@@ -1,0 +1,44 @@
+"""Device-preset tests."""
+
+import pytest
+
+from repro.gpu.presets import A100, DEVICE_PRESETS, EMBEDDED, RTX2080TI, RTX3090, V100
+
+
+def test_registry_complete():
+    assert set(DEVICE_PRESETS) == {"rtx3090", "rtx2080ti", "v100", "a100", "embedded"}
+    for name, device in DEVICE_PRESETS.items():
+        assert device.name == name
+
+
+def test_all_presets_validate():
+    # Construction already runs __post_init__ validation; spot-check shape.
+    for device in DEVICE_PRESETS.values():
+        assert device.warp_size == 32
+        assert device.n_sms > 0
+        assert device.register_cycles <= device.shared_cycles <= device.global_cycles
+
+
+def test_shared_capacity_ordering():
+    """A100 caches the most table rows; the embedded part the fewest."""
+    caps = {d.name: d.shared_table_entries for d in DEVICE_PRESETS.values()}
+    assert caps["a100"] > caps["rtx3090"] > caps["rtx2080ti"]
+    assert caps["embedded"] < caps["rtx2080ti"]
+
+
+def test_concurrency_capacity_ordering():
+    assert A100.max_concurrent_warps > EMBEDDED.max_concurrent_warps
+
+
+def test_schemes_run_on_every_preset(div7, rng):
+    import numpy as np
+    from repro.schemes import NFScheme
+
+    data = bytes(rng.integers(48, 50, size=400).astype(np.uint8))
+    training = bytes(rng.integers(48, 50, size=100).astype(np.uint8))
+    truth = div7.run(data)
+    for device in DEVICE_PRESETS.values():
+        scheme = NFScheme.for_dfa(
+            div7, n_threads=8, training_input=training, device=device
+        )
+        assert scheme.run(data).end_state == truth, device.name

@@ -1,0 +1,82 @@
+"""Warp-timing primitive tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.warp import lockstep_phase_time, warp_step_cycles, warp_time
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def dev():
+    return DeviceSpec(warp_size=4, n_sms=2, max_resident_warps_per_sm=2)
+
+
+def test_warp_step_is_max_over_lanes(dev):
+    lanes = np.array([1.0, 5.0, 2.0, 3.0, 10.0])  # 2 warps (padded)
+    out = warp_step_cycles(lanes, dev)
+    assert out.tolist() == [5.0, 10.0]
+
+
+def test_warp_time_concurrent(dev):
+    lanes = np.array([100.0, 50.0, 10.0, 10.0])
+    assert warp_time(lanes, dev) == 100.0
+
+
+def test_warp_time_oversubscribed(dev):
+    # 8 warps of cost 10 on a device holding 4 warps: work-conserving split.
+    lanes = np.full(8 * dev.warp_size, 10.0)
+    t = warp_time(lanes, dev)
+    assert t == pytest.approx(8 * 10.0 / dev.max_concurrent_warps)
+
+
+def test_warp_time_empty(dev):
+    assert warp_time(np.array([]), dev) == 0.0
+
+
+def test_rejects_2d_lanes(dev):
+    with pytest.raises(SimulationError):
+        warp_step_cycles(np.zeros((2, 2)), dev)
+
+
+class TestLockstepPhaseTime:
+    def test_all_hot(self, dev):
+        mask = np.ones((10, 4), dtype=bool)
+        t = lockstep_phase_time(mask, dev)
+        assert t == 10 * (dev.shared_cycles + dev.transition_compute_cycles)
+
+    def test_all_cold_serializes_transactions(self, dev):
+        mask = np.zeros((1, 4), dtype=bool)
+        t = lockstep_phase_time(mask, dev)
+        expected = (
+            dev.global_cycles
+            + 3 * dev.global_issue_cycles
+            + dev.transition_compute_cycles
+        )
+        assert t == expected
+
+    def test_single_cold_lane_costs_global(self, dev):
+        mask = np.ones((1, 4), dtype=bool)
+        mask[0, 2] = False
+        t = lockstep_phase_time(mask, dev)
+        assert t == dev.global_cycles + dev.transition_compute_cycles
+
+    def test_padding_lanes_are_hot(self, dev):
+        # 5 threads -> 2 warps; the padded lanes must not add cost.
+        mask = np.ones((1, 5), dtype=bool)
+        t = lockstep_phase_time(mask, dev)
+        assert t == dev.shared_cycles + dev.transition_compute_cycles
+
+    def test_extra_cycles_per_step(self, dev):
+        mask = np.ones((3, 4), dtype=bool)
+        base = lockstep_phase_time(mask, dev)
+        extra = lockstep_phase_time(mask, dev, extra_cycles_per_step=7.0)
+        assert extra == base + 3 * 7.0
+
+    def test_empty_phase(self, dev):
+        assert lockstep_phase_time(np.ones((0, 4), dtype=bool), dev) == 0.0
+
+    def test_rejects_1d(self, dev):
+        with pytest.raises(SimulationError):
+            lockstep_phase_time(np.ones(4, dtype=bool), dev)

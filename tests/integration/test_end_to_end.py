@@ -1,0 +1,56 @@
+"""End-to-end integration: suite members through the whole GSpecPal stack."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_member, verify_against_sequential
+from repro.workloads.suites import build_member
+
+
+@pytest.fixture(scope="module")
+def pm_member():
+    return build_member("snort", 1)
+
+
+@pytest.fixture(scope="module")
+def rr_member():
+    return build_member("snort", 8)
+
+
+def test_pm_member_end_to_end(pm_member):
+    run = run_member(
+        pm_member, input_length=8192, training_length=4096, n_threads=64
+    )
+    data = pm_member.generate_input(8192, seed=0)
+    assert verify_against_sequential(run, data)
+    assert run.selected in ("pm", "sre", "rr", "nf")
+    assert set(run.results) == {"pm", "sre", "rr", "nf"}
+
+
+def test_rr_member_regime_dynamics(rr_member):
+    run = run_member(
+        rr_member, input_length=16384, training_length=4096, n_threads=128
+    )
+    data = rr_member.generate_input(16384, seed=0)
+    assert verify_against_sequential(run, data)
+    # Aggressive recovery must activate far more threads than SRE here.
+    assert (
+        run.results["rr"].stats.avg_active_threads
+        > run.results["sre"].stats.avg_active_threads
+    )
+    # And lift the runtime speculation accuracy (Table III shape).
+    assert (
+        run.results["rr"].stats.runtime_speculation_accuracy
+        > run.results["sre"].stats.runtime_speculation_accuracy
+    )
+
+
+def test_speedups_are_finite(pm_member):
+    run = run_member(pm_member, input_length=8192, training_length=4096, n_threads=64)
+    for scheme, speedup in run.speedup_over("pm").items():
+        assert np.isfinite(speedup) and speedup > 0, scheme
+
+
+def test_best_scheme_exists(pm_member):
+    run = run_member(pm_member, input_length=8192, training_length=4096, n_threads=64)
+    assert run.best_scheme in run.results

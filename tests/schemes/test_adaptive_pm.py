@@ -1,0 +1,74 @@
+"""Adaptive spec-k extension tests (per-chunk path count)."""
+
+import numpy as np
+import pytest
+
+from repro.schemes import PMScheme
+from repro.workloads import classic
+from repro.workloads.components import counter_component
+from repro.automata.dfa import DFA
+from repro.errors import SchemeError
+
+
+@pytest.fixture(scope="module")
+def easy_case():
+    d = classic.keyword_scanner(b"token")
+    rng = np.random.default_rng(1)
+    data = bytes(rng.integers(97, 123, size=1600).astype(np.uint8))
+    training = bytes(rng.integers(97, 123, size=400).astype(np.uint8))
+    return d, data, training
+
+
+@pytest.fixture(scope="module")
+def hard_case():
+    comp = counter_component(10, n_symbols=64, seed=4)
+    d = DFA(table=comp.table, start=0, accepting=frozenset({0}))
+    rng = np.random.default_rng(2)
+    data = bytes(rng.integers(0, 64, size=1600).astype(np.uint8))
+    training = bytes(rng.integers(0, 64, size=400).astype(np.uint8))
+    return d, data, training
+
+
+def run(case, **kw):
+    dfa, data, training = case
+    scheme = PMScheme.for_dfa(dfa, n_threads=16, training_input=training, **kw)
+    result = scheme.run(data)
+    assert result.end_state == dfa.run(data)
+    return result
+
+
+def test_adaptive_correct_on_both_cases(easy_case, hard_case):
+    run(easy_case, k=4, adaptive=True)
+    run(hard_case, k=4, adaptive=True)
+
+
+def test_adaptive_cheaper_on_easy_fsm(easy_case):
+    """Concentrated queues -> adaptive drops to ~1 path per chunk."""
+    static = run(easy_case, k=4)
+    adaptive = run(easy_case, k=4, adaptive=True)
+    assert adaptive.stats.transitions <= static.stats.transitions
+
+
+def test_adaptive_keeps_paths_on_hard_fsm(hard_case):
+    """Uniform queues -> adaptive retains the full k coverage."""
+    static = run(hard_case, k=4)
+    adaptive = run(hard_case, k=4, adaptive=True)
+    # Same speculative coverage: no accuracy regression.
+    assert (
+        adaptive.stats.runtime_speculation_accuracy
+        >= static.stats.runtime_speculation_accuracy - 1e-9
+    )
+
+
+def test_adaptive_name():
+    from repro.workloads import classic
+
+    d = classic.parity()
+    scheme = PMScheme.for_dfa(d, n_threads=4, training_input=b"1100", adaptive=True)
+    assert scheme.name == "pm-adaptive4"
+
+
+def test_adaptive_mass_validation():
+    d = classic.parity()
+    with pytest.raises(SchemeError):
+        PMScheme.for_dfa(d, n_threads=4, training_input=b"11", adaptive_mass=0.0)

@@ -1,0 +1,170 @@
+"""Behavioural tests: the *cost-model* properties that make each scheme what
+it is (thread activity, recovery rounds, redundancy, phase structure)."""
+
+import numpy as np
+import pytest
+
+from repro.schemes import (
+    EnumerativeScheme,
+    NFScheme,
+    PMScheme,
+    RRScheme,
+    SequentialScheme,
+    SpecSequentialScheme,
+    SREScheme,
+)
+from repro.automata.dfa import DFA
+from repro.workloads import classic
+
+
+def _random_counter_dfa(r: int, n_symbols: int, seed: int) -> DFA:
+    """A permutation counter with random per-symbol weights: never converges
+    and its boundary states are genuinely input-dependent."""
+    from repro.workloads.components import counter_component
+
+    comp = counter_component(r, n_symbols=n_symbols, seed=seed)
+    return DFA(table=comp.table, start=0, accepting=frozenset({0}), name=f"ctr{r}")
+
+
+@pytest.fixture(scope="module")
+def hard_case(scanner_dfa=None):
+    """A non-converging FSM and stream: recovery is mandatory everywhere."""
+    rot = classic.cyclic_rotator(6, n_symbols=64)
+    rng = np.random.default_rng(7)
+    data = bytes(rng.integers(0, 64, size=800).astype(np.uint8))
+    training = bytes(rng.integers(0, 64, size=200).astype(np.uint8))
+    return rot, data, training
+
+
+@pytest.fixture(scope="module")
+def easy_case():
+    """A fast-converging scanner: speculation is nearly always right."""
+    d = classic.keyword_scanner(b"needle")
+    rng = np.random.default_rng(8)
+    data = bytes(rng.integers(97, 123, size=800).astype(np.uint8))
+    training = bytes(rng.integers(97, 123, size=200).astype(np.uint8))
+    return d, data, training
+
+
+def run(cls, case, n_threads=16, **kw):
+    dfa, data, training = case
+    return cls.for_dfa(dfa, n_threads=n_threads, training_input=training, **kw).run(data)
+
+
+class TestSequentialBaseline:
+    def test_sequential_has_no_recovery(self, easy_case):
+        r = run(SequentialScheme, easy_case)
+        assert r.stats.recovery_rounds == 0
+        assert r.stats.transitions == 800
+
+    def test_parallel_faster_than_sequential_easy(self, easy_case):
+        seq = run(SequentialScheme, easy_case)
+        sre = run(SREScheme, easy_case)
+        assert sre.cycles < seq.cycles
+
+
+class TestSpecSeq:
+    def test_hard_case_recovers_most_chunks(self, hard_case):
+        r = run(SpecSequentialScheme, hard_case)
+        # Rotation FSM: speculation is mostly wrong (ties can luck out when
+        # every chunk applies the same shift); recovery is one-thread-deep.
+        assert r.stats.recovery_rounds >= 8
+        assert r.stats.avg_active_threads == 1.0
+
+    def test_easy_case_rarely_recovers(self, easy_case):
+        r = run(SpecSequentialScheme, easy_case)
+        assert r.stats.runtime_speculation_accuracy > 0.9
+
+
+class TestPM:
+    def test_spec_k_transitions_scale(self, easy_case):
+        r1 = run(PMScheme, easy_case, k=1)
+        r4 = run(PMScheme, easy_case, k=4)
+        # spec-k executes ~k paths; the keyword scanner's queue usually has
+        # few candidates so growth is sub-linear but strictly positive.
+        assert r4.stats.transitions > r1.stats.transitions
+
+    def test_redundant_work_counted(self, hard_case):
+        r = run(PMScheme, hard_case, k=4)
+        assert r.stats.redundant_transitions > 0
+
+    def test_sequential_recovery_one_thread(self, hard_case):
+        r = run(PMScheme, hard_case)
+        assert r.stats.recovery_rounds > 0
+        assert r.stats.avg_active_threads == 1.0
+
+
+class TestSRE:
+    def test_frontier_rounds_bounded_by_chunks(self, hard_case):
+        r = run(SREScheme, hard_case)
+        assert r.stats.recovery_rounds <= 16
+
+    def test_easy_case_high_accuracy(self, easy_case):
+        r = run(SREScheme, easy_case)
+        assert r.stats.runtime_speculation_accuracy > 0.9
+
+
+class TestAggressive:
+    def test_rr_activates_more_threads_than_sre(self, hard_case):
+        sre = run(SREScheme, hard_case)
+        rr = run(RRScheme, hard_case)
+        assert rr.stats.avg_active_threads >= sre.stats.avg_active_threads
+
+    def test_nf_activates_at_least_rr(self, hard_case):
+        rr = run(RRScheme, hard_case)
+        nf = run(NFScheme, hard_case)
+        assert nf.stats.avg_active_threads >= 0.5 * rr.stats.avg_active_threads
+
+    def test_aggressive_boost_accuracy_on_random_counter(self):
+        """Truth is always within the counter's queue: enumeration by idle
+        threads must lift the frontier match rate far above SRE's."""
+        dfa = _random_counter_dfa(r=8, n_symbols=64, seed=5)
+        rng = np.random.default_rng(9)
+        data = bytes(rng.integers(0, 64, size=3200).astype(np.uint8))
+        training = bytes(rng.integers(0, 64, size=400).astype(np.uint8))
+        case = (dfa, data, training)
+        sre = run(SREScheme, case, n_threads=64)
+        rr = run(RRScheme, case, n_threads=64)
+        assert rr.stats.runtime_speculation_accuracy \
+            > sre.stats.runtime_speculation_accuracy + 0.2
+
+    def test_rr_beats_pm_on_hard_fsm(self):
+        dfa = _random_counter_dfa(r=10, n_symbols=64, seed=6)
+        rng = np.random.default_rng(10)
+        data = bytes(rng.integers(0, 64, size=6400).astype(np.uint8))
+        training = bytes(rng.integers(0, 64, size=400).astype(np.uint8))
+        case = (dfa, data, training)
+        pm = run(PMScheme, case, n_threads=64)
+        rr = run(RRScheme, case, n_threads=64)
+        nf = run(NFScheme, case, n_threads=64)
+        assert rr.cycles < pm.cycles
+        assert nf.cycles < pm.cycles
+
+    def test_pm_does_no_recovery_on_easy_fsm(self, easy_case):
+        """When speculation covers the truth, PM's delayed recovery never
+        has to fire (Fig. 8's Snort1-2 shape)."""
+        pm = run(PMScheme, easy_case)
+        assert pm.stats.recovery_rounds == 0
+        assert pm.stats.runtime_speculation_accuracy == 1.0
+
+
+class TestEnumerative:
+    def test_redundancy_is_state_count_minus_one(self, hard_case):
+        dfa, data, training = hard_case
+        r = run(EnumerativeScheme, hard_case)
+        assert r.stats.redundant_transitions == (dfa.n_states - 1) * len(data)
+
+    def test_no_recovery_ever(self, hard_case):
+        r = run(EnumerativeScheme, hard_case)
+        assert r.stats.recovery_rounds == 0
+
+
+class TestPhaseStructure:
+    def test_phases_present(self, hard_case):
+        r = run(RRScheme, hard_case)
+        for phase in ("launch", "predict", "speculative_execution", "verify_recover"):
+            assert phase in r.stats.phase_cycles, phase
+
+    def test_phase_cycles_sum_to_total(self, hard_case):
+        r = run(NFScheme, hard_case)
+        assert sum(r.stats.phase_cycles.values()) == pytest.approx(r.cycles)

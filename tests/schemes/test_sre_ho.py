@@ -1,0 +1,61 @@
+"""Higher-order SRE extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.schemes import SREHOScheme, SREScheme
+from repro.schemes.sre_ho import HigherOrderSREPolicy
+from repro.workloads.components import counter_component
+from repro.automata.dfa import DFA
+
+from tests.schemes.test_policies import make_ctx
+
+
+@pytest.fixture(scope="module")
+def hard_dfa():
+    comp = counter_component(10, n_symbols=64, seed=8)
+    return DFA(table=comp.table, start=0, accepting=frozenset({0}))
+
+
+def test_correctness(hard_dfa, rng):
+    data = bytes(rng.integers(0, 64, size=1600).astype(np.uint8))
+    training = bytes(rng.integers(0, 64, size=400).astype(np.uint8))
+    scheme = SREHOScheme.for_dfa(hard_dfa, n_threads=16, training_input=training)
+    assert scheme.run(data).end_state == hard_dfa.run(data)
+
+
+def test_second_order_candidates_scheduled():
+    ctx = make_ctx(frontier=3, stable=np.zeros(8, dtype=bool))
+    # Predecessor of thread 5 (chunk 4) has an extra recorded end.
+    ctx.vr.add(4, 77, 888, own=True)
+    tasks = HigherOrderSREPolicy().schedule(ctx)
+    assert (5, 5, 888) in tasks  # second-order: predecessor's alternate end
+    assert (3, 3, 103) in tasks  # the must-be-done frontier recovery
+
+
+def test_second_order_skips_tried_candidates():
+    ctx = make_ctx(frontier=3, stable=np.zeros(8, dtype=bool))
+    ctx.vr.add(4, 77, 888, own=True)
+    ctx.vr.add(5, 888, 1, own=True)  # 888 already tried on chunk 5
+    tasks = HigherOrderSREPolicy().schedule(ctx)
+    assert (5, 5, 888) not in tasks
+
+
+def test_accuracy_between_sre_and_aggressive(hard_dfa, rng):
+    """Higher-order candidates lift the frontier match rate above plain
+    SRE on non-converging FSMs."""
+    data = bytes(rng.integers(0, 64, size=6400).astype(np.uint8))
+    training = bytes(rng.integers(0, 64, size=400).astype(np.uint8))
+    sre = SREScheme.for_dfa(hard_dfa, n_threads=64, training_input=training).run(data)
+    ho = SREHOScheme.for_dfa(hard_dfa, n_threads=64, training_input=training).run(data)
+    assert ho.end_state == sre.end_state
+    assert (
+        ho.stats.runtime_speculation_accuracy
+        >= sre.stats.runtime_speculation_accuracy
+    )
+
+
+def test_keeps_thread_chunk_binding(hard_dfa):
+    ctx = make_ctx(frontier=2)
+    tasks = HigherOrderSREPolicy().schedule(ctx)
+    assert all(t == cid for t, cid, _ in tasks)

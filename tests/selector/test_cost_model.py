@@ -1,0 +1,79 @@
+"""Cost-model (Eq. 1–4) tests."""
+
+import pytest
+
+from repro.selector.cost_model import CostModel, CostModelInputs
+from tests.selector.test_decision_tree import features
+
+
+@pytest.fixture()
+def model():
+    return CostModel()
+
+
+@pytest.fixture()
+def inputs():
+    return CostModelInputs(input_length=65536, n_threads=256, k=4)
+
+
+def test_tp1_scales_with_chunk_length(model):
+    short = CostModelInputs(input_length=1000, n_threads=10)
+    long = CostModelInputs(input_length=10000, n_threads=10)
+    assert model.t_p1(long) == pytest.approx(10 * model.t_p1(short))
+
+
+def test_tp1_hot_cheaper_than_cold(model):
+    hot = CostModelInputs(input_length=1000, n_threads=10, hot_fraction=1.0)
+    cold = CostModelInputs(input_length=1000, n_threads=10, hot_fraction=0.0)
+    assert model.t_p1(hot) < model.t_p1(cold)
+
+
+def test_pm_estimate_grows_with_mispredictions(model, inputs):
+    good = features(spec4_accuracy=0.99)
+    bad = features(spec4_accuracy=0.01)
+    assert model.estimate_pm(bad, inputs) > model.estimate_pm(good, inputs)
+
+
+def test_sr_estimate_benefits_from_deltas(model, inputs):
+    f = features(spec1_accuracy=0.1)
+    none = model.estimate_sr(f, inputs, delta_end=0.0, delta_specs=0.0)
+    lots = model.estimate_sr(f, inputs, delta_end=0.5, delta_specs=0.4)
+    assert lots < none
+
+
+def test_delta_end_large_when_converging(model):
+    fast = features(convergence_states=1.0, spec1_accuracy=0.1)
+    slow = features(convergence_states=30.0, spec1_accuracy=0.1)
+    assert model.delta_end(fast) > model.delta_end(slow)
+
+
+def test_delta_specs_is_queue_depth_gain(model):
+    f = features(spec1_accuracy=0.1, spec16_accuracy=0.9)
+    assert model.delta_specs(f) == pytest.approx(0.8)
+
+
+def test_estimate_all_keys(model, inputs):
+    est = model.estimate_all(features(), inputs)
+    assert set(est) == {"pm", "sre", "rr", "nf"}
+    assert all(v > 0 for v in est.values())
+
+
+def test_best_scheme_pm_regime(model, inputs):
+    f = features(spec4_accuracy=0.999, spec1_accuracy=0.2, convergence_states=30.0,
+                 spec16_accuracy=0.999)
+    # With spec-4 nearly perfect, PM's recovery term vanishes; it should win
+    # or be close — at minimum beat SRE which keeps a big P_recover.
+    est = model.estimate_all(f, inputs)
+    assert est["pm"] < est["sre"]
+
+
+def test_best_scheme_sre_regime(model, inputs):
+    f = features(convergence_states=1.0, spec1_accuracy=0.3, spec4_accuracy=0.4)
+    best = model.best_scheme(f, inputs)
+    assert best in ("sre", "rr", "nf")  # delta_end saturates recovery for all
+
+
+def test_p_recover_clamped_non_negative(model, inputs):
+    f = features(spec1_accuracy=0.9)
+    t = model.estimate_sr(f, inputs, delta_end=0.5, delta_specs=0.5)
+    assert t > 0

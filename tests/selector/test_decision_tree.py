@@ -1,0 +1,77 @@
+"""Decision-tree selector tests (Fig. 6)."""
+
+import pytest
+
+from repro.selector.decision_tree import DecisionTreeSelector, SelectorThresholds
+from repro.selector.features import FSMFeatures
+
+
+def features(**overrides) -> FSMFeatures:
+    base = dict(
+        name="t",
+        n_states=100,
+        spec1_accuracy=0.1,
+        spec4_accuracy=0.2,
+        spec16_accuracy=0.8,
+        sensitivity=0.05,
+        convergence_states=20.0,
+        profiling_seconds=0.1,
+    )
+    base.update(overrides)
+    return FSMFeatures(**base)
+
+
+@pytest.fixture()
+def sel():
+    return DecisionTreeSelector()
+
+
+def test_speck_accurate_spec1_not_selects_pm(sel):
+    f = features(spec4_accuracy=0.95, spec1_accuracy=0.3)
+    assert sel.select(f) == "pm"
+
+
+def test_spec1_also_accurate_skips_pm(sel):
+    # When spec-1 already hits, spec-k redundancy buys nothing.
+    f = features(spec4_accuracy=0.97, spec1_accuracy=0.9, convergence_states=2.0)
+    assert sel.select(f) == "sre"
+
+
+def test_fast_convergence_selects_sre(sel):
+    f = features(convergence_states=2.0)
+    assert sel.select(f) == "sre"
+
+
+def test_input_sensitive_selects_nf(sel):
+    f = features(sensitivity=0.4)
+    assert sel.select(f) == "nf"
+
+
+def test_default_selects_rr(sel):
+    assert sel.select(features()) == "rr"
+
+
+def test_priority_pm_over_sre(sel):
+    # PM check fires before convergence check.
+    f = features(spec4_accuracy=0.95, spec1_accuracy=0.2, convergence_states=1.5)
+    assert sel.select(f) == "pm"
+
+
+def test_custom_thresholds():
+    sel = DecisionTreeSelector(SelectorThresholds(fast_convergence=50.0))
+    assert sel.select(features(convergence_states=20.0)) == "sre"
+
+
+def test_explain_mentions_decision(sel):
+    for f, scheme in [
+        (features(spec4_accuracy=0.95), "PM"),
+        (features(convergence_states=1.0), "SRE"),
+        (features(sensitivity=0.5), "NF"),
+        (features(), "RR"),
+    ]:
+        text = sel.explain(f)
+        assert scheme in text
+
+
+def test_schemes_constant():
+    assert set(DecisionTreeSelector.SCHEMES) == {"pm", "sre", "rr", "nf"}

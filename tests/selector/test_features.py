@@ -1,0 +1,68 @@
+"""Feature-profiling tests."""
+
+import numpy as np
+import pytest
+
+from repro.selector.features import profile_features, speculation_accuracy
+from repro.workloads import classic
+from repro.workloads.components import counter_component
+from repro.automata.dfa import DFA
+from repro.errors import SchemeError
+
+
+@pytest.fixture(scope="module")
+def counter_dfa():
+    comp = counter_component(9, n_symbols=64, seed=3)
+    return DFA(table=comp.table, start=0, accepting=frozenset({0}))
+
+
+def make_stream(rng, n, hi=64):
+    return bytes(rng.integers(0, hi, size=n).astype(np.uint8))
+
+
+def test_features_fields(counter_dfa, rng):
+    f = profile_features(counter_dfa, make_stream(rng, 4000), n_chunks=32)
+    assert f.n_states == 9
+    assert 0.0 <= f.spec1_accuracy <= 1.0
+    assert f.spec1_accuracy <= f.spec4_accuracy <= f.spec16_accuracy
+    assert f.convergence_states >= 1.0
+    assert f.profiling_seconds > 0
+
+
+def test_counter_is_hard_to_predict(counter_dfa, rng):
+    f = profile_features(counter_dfa, make_stream(rng, 4000), n_chunks=32)
+    assert f.spec1_accuracy < 0.5
+    assert f.convergence_states == pytest.approx(9.0)  # never converges
+
+
+def test_scanner_is_easy(rng):
+    d = classic.keyword_scanner(b"needle")
+    data = bytes(rng.integers(97, 123, size=4000).astype(np.uint8))
+    f = profile_features(d, data, n_chunks=32)
+    assert f.spec1_accuracy > 0.9
+    assert f.convergence_states < 4
+
+
+def test_speculation_accuracy_topk_monotone(counter_dfa, rng):
+    data = make_stream(rng, 3000)
+    a1 = speculation_accuracy(counter_dfa, data, k=1)
+    a9 = speculation_accuracy(counter_dfa, data, k=9)
+    assert a9 >= a1
+    assert a9 == 1.0  # truth always inside the counter's full queue
+
+
+def test_too_short_training_raises(counter_dfa):
+    with pytest.raises(SchemeError):
+        profile_features(counter_dfa, b"ab", n_chunks=64)
+
+
+def test_as_dict_roundtrip(counter_dfa, rng):
+    f = profile_features(counter_dfa, make_stream(rng, 2000), n_chunks=16)
+    d = f.as_dict()
+    assert d["n_states"] == 9
+    assert set(d) >= {"spec1_accuracy", "sensitivity", "convergence_states"}
+
+
+def test_input_sensitive_flag(counter_dfa, rng):
+    f = profile_features(counter_dfa, make_stream(rng, 2000), n_chunks=16)
+    assert f.input_sensitive == (f.sensitivity > 0.15)

@@ -1,0 +1,145 @@
+"""All-state lookback-2 predictor tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import RTX3090
+from repro.gpu.stats import KernelStats
+from repro.speculation.chunks import partition_input
+from repro.speculation.predictor import (
+    SpeculationQueue,
+    predict_start_states,
+    true_start_states,
+)
+from repro.workloads import classic
+from repro.errors import SchemeError
+
+
+class TestSpeculationQueue:
+    def test_front_and_dequeue(self):
+        q = SpeculationQueue(states=np.array([3, 1, 2]), weights=np.array([5, 2, 1]))
+        assert q.front() == 3
+        assert q.dequeue() == 3
+        assert q.front() == 1
+        assert q.size == 2
+
+    def test_exhaustion_raises(self):
+        q = SpeculationQueue(states=np.array([1]), weights=np.array([1]))
+        q.dequeue()
+        with pytest.raises(SchemeError):
+            q.front()
+
+    def test_top_k_ignores_cursor(self):
+        q = SpeculationQueue(states=np.array([3, 1, 2]), weights=np.array([5, 2, 1]))
+        q.dequeue()
+        assert q.top_k(2).tolist() == [3, 1]
+
+    def test_top_k_truncates(self):
+        q = SpeculationQueue(states=np.array([3]), weights=np.array([5]))
+        assert q.top_k(10).tolist() == [3]
+
+    def test_rank_of(self):
+        q = SpeculationQueue(states=np.array([3, 1, 2]), weights=np.array([5, 2, 1]))
+        assert q.rank_of(1) == 1
+        assert q.rank_of(9) is None
+
+    def test_reset(self):
+        q = SpeculationQueue(states=np.array([3, 1]), weights=np.array([5, 2]))
+        q.dequeue()
+        q.reset()
+        assert q.front() == 3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SchemeError):
+            SpeculationQueue(states=np.array([1, 2]), weights=np.array([1]))
+
+
+class TestPrediction:
+    def test_chunk0_queue_is_true_start(self, div7, rng):
+        data = rng.integers(48, 50, size=200).astype(np.uint8)
+        p = partition_input(data, 8)
+        pred = predict_start_states(div7, p)
+        assert pred.queues[0].front() == div7.start
+
+    def test_truth_always_in_queue(self, div7, rng):
+        """The convergence property guarantees the true start is in the
+        produced end-state set."""
+        data = rng.integers(48, 50, size=400).astype(np.uint8)
+        p = partition_input(data, 16)
+        pred = predict_start_states(div7, p)
+        truth = true_start_states(div7, p)
+        for i in range(1, 16):
+            assert pred.queues[i].rank_of(int(truth[i])) is not None
+
+    def test_queue_ranked_by_weight(self, scanner_dfa, rng):
+        data = rng.integers(97, 123, size=600).astype(np.uint8)
+        p = partition_input(data, 8)
+        pred = predict_start_states(scanner_dfa, p)
+        for q in pred.queues[1:]:
+            assert (np.diff(q.weights) <= 0).all()
+
+    def test_weights_sum_to_state_count(self, div7, rng):
+        data = rng.integers(48, 50, size=200).astype(np.uint8)
+        p = partition_input(data, 4)
+        pred = predict_start_states(div7, p)
+        for q in pred.queues[1:]:
+            assert q.weights.sum() == div7.n_states
+
+    def test_rotator_queue_is_single_state(self, rng):
+        """A pure rotation maps all states 1:1: lookback-2 from all states
+        yields all states — but each with weight 1, so the queue is wide."""
+        rot = classic.cyclic_rotator(5, n_symbols=8)
+        data = rng.integers(0, 8, size=50).astype(np.uint8)
+        p = partition_input(data, 5)
+        pred = predict_start_states(rot, p)
+        for q in pred.queues[1:]:
+            assert q.states.size == 5  # no convergence: everything possible
+
+    def test_accuracy_against_perfect(self, div7, rng):
+        data = rng.integers(48, 50, size=300).astype(np.uint8)
+        p = partition_input(data, 8)
+        pred = predict_start_states(div7, p)
+        truth = true_start_states(div7, p)
+        acc_all = pred.accuracy_against(truth, k=div7.n_states)
+        assert acc_all == 1.0  # truth always somewhere in the queue
+
+    def test_accuracy_monotone_in_k(self, scanner_dfa, rng):
+        data = rng.integers(97, 123, size=800).astype(np.uint8)
+        p = partition_input(data, 16)
+        pred = predict_start_states(scanner_dfa, p)
+        truth = true_start_states(scanner_dfa, p)
+        accs = [pred.accuracy_against(truth, k=k) for k in (1, 2, 4, 16)]
+        assert all(a <= b + 1e-12 for a, b in zip(accs, accs[1:]))
+
+    def test_prediction_cost_charged(self, div7, rng):
+        data = rng.integers(48, 50, size=200).astype(np.uint8)
+        p = partition_input(data, 8)
+        stats = KernelStats(device=RTX3090, n_threads=8)
+        predict_start_states(div7, p, stats=stats)
+        assert stats.phase_cycles.get("predict", 0) > 0
+
+    def test_front_states_vector(self, div7, rng):
+        data = rng.integers(48, 50, size=200).astype(np.uint8)
+        p = partition_input(data, 4)
+        pred = predict_start_states(div7, p)
+        fronts = pred.front_states()
+        assert fronts.shape == (4,)
+        assert fronts[0] == div7.start
+
+
+class TestTrueStarts:
+    def test_chain_matches_full_run(self, div7, rng):
+        data = rng.integers(48, 50, size=333).astype(np.uint8)
+        p = partition_input(data, 8)
+        truth = true_start_states(div7, p)
+        assert truth[0] == div7.start
+        # End of last chunk == full sequential run.
+        end = div7.run(p.chunk(7), start=int(truth[7]))
+        assert end == div7.run(data)
+
+    def test_each_start_is_predecessor_end(self, div7, rng):
+        data = rng.integers(48, 50, size=200).astype(np.uint8)
+        p = partition_input(data, 5)
+        truth = true_start_states(div7, p)
+        for i in range(1, 5):
+            assert truth[i] == div7.run(p.chunk(i - 1), start=int(truth[i - 1]))

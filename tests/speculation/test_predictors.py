@@ -1,0 +1,148 @@
+"""Pluggable-predictor tests."""
+
+import numpy as np
+import pytest
+
+from repro.schemes import NFScheme, SREScheme
+from repro.speculation.chunks import partition_input
+from repro.speculation.predictor import true_start_states
+from repro.speculation.predictors import (
+    PREDICTOR_REGISTRY,
+    AdaptiveLookbackPredictor,
+    LookbackPredictor,
+    OraclePredictor,
+    UniformPredictor,
+)
+from repro.workloads import classic
+from repro.workloads.components import counter_component
+from repro.automata.dfa import DFA
+from repro.errors import SchemeError
+
+
+@pytest.fixture(scope="module")
+def dfa():
+    comp = counter_component(9, n_symbols=64, sync_symbols=(5,), seed=7)
+    return DFA(table=comp.table, start=0, accepting=frozenset({0}))
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(20)
+    data = rng.integers(0, 64, size=1024).astype(np.uint8)
+    syncs = rng.random(1024) < 0.05
+    data[syncs] = 5
+    return data
+
+
+def accuracy(pred, dfa, partition, k=1):
+    truth = true_start_states(dfa, partition)
+    return pred.accuracy_against(truth, k=k)
+
+
+class TestLookback:
+    def test_window_validation(self):
+        with pytest.raises(SchemeError):
+            LookbackPredictor(0)
+
+    def test_matches_default_at_window_2(self, dfa, stream):
+        from repro.speculation.predictor import predict_start_states
+
+        p = partition_input(stream, 16)
+        a = LookbackPredictor(2).predict(dfa, p, dfa.start)
+        b = predict_start_states(dfa, p)
+        for qa, qb in zip(a.queues, b.queues):
+            assert np.array_equal(qa.states, qb.states)
+
+    def test_longer_window_no_worse(self, dfa, stream):
+        p = partition_input(stream, 16)
+        short = accuracy(LookbackPredictor(1).predict(dfa, p, dfa.start), dfa, p)
+        long = accuracy(LookbackPredictor(8).predict(dfa, p, dfa.start), dfa, p)
+        assert long >= short
+
+    def test_truth_always_contained(self, dfa, stream):
+        p = partition_input(stream, 16)
+        pred = LookbackPredictor(4).predict(dfa, p, dfa.start)
+        truth = true_start_states(dfa, p)
+        for i in range(1, 16):
+            assert pred.queues[i].rank_of(int(truth[i])) is not None
+
+
+class TestAdaptive:
+    def test_validation(self):
+        with pytest.raises(SchemeError):
+            AdaptiveLookbackPredictor(target_candidates=0)
+
+    def test_truth_contained_and_queues_small_near_syncs(self, dfa, stream):
+        p = partition_input(stream, 16)
+        pred = AdaptiveLookbackPredictor(target_candidates=3, max_window=32).predict(
+            dfa, p, dfa.start
+        )
+        truth = true_start_states(dfa, p)
+        for i in range(1, 16):
+            assert pred.queues[i].rank_of(int(truth[i])) is not None
+
+    def test_at_least_as_accurate_as_fixed_2(self, dfa, stream):
+        p = partition_input(stream, 16)
+        fixed = accuracy(LookbackPredictor(2).predict(dfa, p, dfa.start), dfa, p, k=2)
+        adaptive = accuracy(
+            AdaptiveLookbackPredictor(target_candidates=2, max_window=32).predict(
+                dfa, p, dfa.start
+            ),
+            dfa,
+            p,
+            k=2,
+        )
+        assert adaptive >= fixed - 1e-12
+
+
+class TestBounds:
+    def test_oracle_is_perfect(self, dfa, stream):
+        p = partition_input(stream, 16)
+        pred = OraclePredictor().predict(dfa, p, dfa.start)
+        assert accuracy(pred, dfa, p, k=1) == 1.0
+
+    def test_uniform_contains_everything(self, dfa, stream):
+        p = partition_input(stream, 16)
+        pred = UniformPredictor().predict(dfa, p, dfa.start)
+        assert accuracy(pred, dfa, p, k=dfa.n_states) == 1.0
+        assert pred.queues[1].states.size == dfa.n_states
+
+
+class TestSchemesUnderPredictors:
+    @pytest.mark.parametrize("key", sorted(PREDICTOR_REGISTRY))
+    def test_correctness_under_every_predictor(self, key, dfa, stream):
+        predictor = PREDICTOR_REGISTRY[key]()
+        truth = dfa.run(stream)
+        for cls in (SREScheme, NFScheme):
+            scheme = cls.for_dfa(
+                dfa,
+                n_threads=8,
+                training_input=bytes(stream[:128]),
+                predictor=predictor,
+            )
+            assert scheme.run(stream).end_state == truth, (key, cls.__name__)
+
+    def test_oracle_never_recovers(self, dfa, stream):
+        scheme = SREScheme.for_dfa(
+            dfa,
+            n_threads=8,
+            training_input=bytes(stream[:128]),
+            predictor=OraclePredictor(),
+        )
+        result = scheme.run(stream)
+        assert result.stats.recoveries_executed == 0
+
+    def test_uniform_needs_more_recoveries_than_lookback(self, dfa, stream):
+        """Under Algorithm 2 (sequential recovery), prediction quality maps
+        directly to recovery count: the informed predictor must trigger no
+        more recoveries than the uninformed one."""
+        from repro.schemes import SpecSequentialScheme
+
+        base = dict(n_threads=16, training_input=bytes(stream[:128]))
+        look = SpecSequentialScheme.for_dfa(
+            dfa, predictor=LookbackPredictor(2), **base
+        ).run(stream)
+        uni = SpecSequentialScheme.for_dfa(
+            dfa, predictor=UniformPredictor(), **base
+        ).run(stream)
+        assert look.stats.recoveries_executed <= uni.stats.recoveries_executed

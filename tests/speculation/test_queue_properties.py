@@ -1,0 +1,104 @@
+"""Hypothesis property tests for speculation queues and VR stores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.speculation.predictor import SpeculationQueue
+from repro.speculation.records import VRStore
+from repro.errors import SchemeError
+
+
+@st.composite
+def queue(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    states = rng.permutation(100)[:n]
+    weights = np.sort(rng.integers(1, 50, size=n))[::-1]
+    return SpeculationQueue(states=states, weights=weights)
+
+
+@settings(max_examples=50, deadline=None)
+@given(queue())
+def test_dequeue_drains_in_order(q):
+    expected = q.states.tolist()
+    drained = [q.dequeue() for _ in range(q.size)]
+    assert drained == expected
+    assert q.size == 0
+    with pytest.raises(SchemeError):
+        q.front()
+
+
+@settings(max_examples=50, deadline=None)
+@given(queue(), st.integers(min_value=0, max_value=40))
+def test_top_k_prefix_property(q, k):
+    top = q.top_k(k)
+    assert top.size == min(k, q.states.size)
+    assert np.array_equal(top, q.states[: top.size])
+
+
+@settings(max_examples=50, deadline=None)
+@given(queue())
+def test_rank_of_consistency(q):
+    for rank, state in enumerate(q.states.tolist()):
+        assert q.rank_of(int(state)) == rank
+    assert q.rank_of(101) is None  # outside the state universe used
+
+
+@st.composite
+def vr_ops(draw):
+    n_chunks = draw(st.integers(min_value=1, max_value=6))
+    own_cap = draw(st.integers(min_value=1, max_value=5))
+    others_cap = draw(st.integers(min_value=0, max_value=5))
+    n_ops = draw(st.integers(min_value=0, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    ops = [
+        (
+            int(rng.integers(0, n_chunks)),
+            int(rng.integers(0, 20)),
+            int(rng.integers(0, 20)),
+            bool(rng.integers(0, 2)),
+        )
+        for _ in range(n_ops)
+    ]
+    return n_chunks, own_cap, others_cap, ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(vr_ops())
+def test_vrstore_invariants(case):
+    n_chunks, own_cap, others_cap, ops = case
+    vr = VRStore(n_chunks=n_chunks, own_capacity=own_cap, others_capacity=others_cap)
+    model = [dict() for _ in range(n_chunks)]  # chunk -> start -> end
+    for chunk, start, end, own in ops:
+        stored = vr.add(chunk, start, end, own=own)
+        if stored and start not in model[chunk]:
+            model[chunk][start] = end
+        # Capacity invariants hold at every point.
+        records = vr.records(chunk)
+        assert sum(1 for r in records if r.own) <= own_cap
+        assert sum(1 for r in records if not r.own) <= others_cap
+    # Lookup agrees with the reference model (first-write-wins).
+    for chunk in range(n_chunks):
+        for start, end in model[chunk].items():
+            assert vr.lookup(chunk, start) == end
+        assert vr.count(chunk) == len(model[chunk])
+
+
+@settings(max_examples=40, deadline=None)
+@given(vr_ops())
+def test_vrstore_shared_traffic_counts_foreign_only(case):
+    n_chunks, own_cap, others_cap, ops = case
+    vr = VRStore(n_chunks=n_chunks, own_capacity=own_cap, others_capacity=others_cap)
+    foreign_stored = 0
+    seen = set()
+    for chunk, start, end, own in ops:
+        stored = vr.add(chunk, start, end, own=own)
+        if stored and not own and (chunk, start) not in seen:
+            foreign_stored += 1
+        if stored:
+            seen.add((chunk, start))
+    assert vr.stores_to_shared == foreign_stored
+    assert vr.loads_from_shared == foreign_stored

@@ -1,0 +1,137 @@
+"""Product-construction component tests."""
+
+import numpy as np
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.workloads.components import (
+    Component,
+    counter_component,
+    funnel_component,
+    product_dfa,
+    scanner_component,
+    window_component,
+)
+from repro.workloads import classic
+from repro.errors import AutomatonError
+
+
+class TestCounter:
+    def test_permutation_per_symbol(self):
+        c = counter_component(7, n_symbols=16, seed=1)
+        for a in range(16):
+            col = c.table[:, a]
+            assert sorted(col.tolist()) == list(range(7))  # bijection
+
+    def test_sync_collapses(self):
+        c = counter_component(7, n_symbols=16, sync_symbols=(3,), seed=1)
+        col = c.table[:, 3]
+        assert np.unique(col).size == 1
+
+    def test_weights_respected(self):
+        w = np.zeros(8, dtype=np.int64)
+        w[2] = 3
+        c = counter_component(5, n_symbols=8, weights=w)
+        assert c.table[0, 2] == 3
+        assert c.table[0, 0] == 0
+
+    def test_bad_modulus(self):
+        with pytest.raises(AutomatonError):
+            counter_component(0, n_symbols=4)
+
+
+class TestFunnel:
+    def test_converges_in_one_step(self):
+        f = funnel_component(6, n_symbols=16, seed=2)
+        for a in range(16):
+            assert np.unique(f.table[:, a]).size == 1
+
+
+class TestWindow:
+    def test_state_count(self):
+        w = window_component(3, window=2, n_symbols=16, seed=3)
+        assert w.n_states == 9
+
+    def test_converges_in_window_steps(self):
+        w = window_component(3, window=2, n_symbols=16, seed=3)
+        dfa = DFA(table=w.table, start=0)
+        data = np.array([5, 11], dtype=np.uint8)
+        assert np.unique(dfa.run_all_states(data)).size == 1
+
+    def test_does_not_converge_earlier(self):
+        w = window_component(4, window=3, n_symbols=16, seed=4)
+        dfa = DFA(table=w.table, start=0)
+        ends = dfa.run_all_states(np.array([5, 11], dtype=np.uint8))
+        assert np.unique(ends).size == 4  # one class of history left
+
+    def test_bad_params(self):
+        with pytest.raises(AutomatonError):
+            window_component(1, window=2)
+
+
+class TestProduct:
+    def make_product(self):
+        c = counter_component(3, n_symbols=64, seed=5)
+        f = funnel_component(2, n_symbols=64, seed=6)
+        scanner = classic.keyword_scanner(b"ab", n_symbols=64)
+        s = scanner_component(scanner)
+
+        def accepting(factors):
+            x, _y, si = factors
+            mask = scanner.accepting_mask
+            return mask[si] & (x == 0)
+
+        return c, f, scanner, product_dfa([c, f, s], accepting_fn=accepting)
+
+    def test_size(self):
+        c, f, scanner, prod = self.make_product()
+        assert prod.n_states == 3 * 2 * scanner.n_states
+
+    def test_factor_semantics_preserved(self, rng):
+        """Each factor evolves independently inside the product."""
+        c, f, scanner, prod = self.make_product()
+        data = rng.integers(0, 64, size=200).astype(np.uint8)
+        end = prod.run(data)
+        s_size = scanner.n_states
+        s_end = end % s_size
+        y_end = (end // s_size) % 2
+        x_end = end // (s_size * 2)
+        assert s_end == scanner.run(data)
+        assert x_end == DFA(table=c.table, start=0).run(data)
+        assert y_end == DFA(table=f.table, start=0).run(data)
+
+    def test_acceptance_combines_factors(self, rng):
+        c, f, scanner, prod = self.make_product()
+        data = rng.integers(0, 64, size=100).astype(np.uint8)
+        end = prod.run(data)
+        s_size = scanner.n_states
+        expected = (end % s_size in scanner.accepting) and (end // (s_size * 2) == 0)
+        assert (end in prod.accepting) == expected
+
+    def test_alphabet_mismatch(self):
+        a = counter_component(2, n_symbols=4)
+        b = counter_component(2, n_symbols=8)
+        with pytest.raises(AutomatonError):
+            product_dfa([a, b], accepting_fn=lambda f: np.zeros(4, dtype=bool))
+
+    def test_empty_product(self):
+        with pytest.raises(AutomatonError):
+            product_dfa([], accepting_fn=lambda f: np.zeros(0, dtype=bool))
+
+    def test_size_guard(self):
+        a = counter_component(2000, n_symbols=4)
+        b = counter_component(2000, n_symbols=4)
+        with pytest.raises(AutomatonError):
+            product_dfa([a, b], accepting_fn=lambda f: np.zeros(4_000_000, dtype=bool))
+
+    def test_bad_accepting_shape(self):
+        a = counter_component(3, n_symbols=4)
+        with pytest.raises(AutomatonError):
+            product_dfa([a], accepting_fn=lambda f: np.zeros(7, dtype=bool))
+
+
+def test_component_validation():
+    with pytest.raises(AutomatonError):
+        Component(table=np.zeros((2, 2), dtype=np.int32), start=5)
+    with pytest.raises(AutomatonError):
+        Component(table=np.zeros(4, dtype=np.int32), start=0)

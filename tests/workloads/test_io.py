@@ -1,0 +1,63 @@
+"""Workload export/import round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.workloads.components import counter_component
+from repro.workloads.io import export_member, import_member, load_trace
+from repro.workloads.suites import SuiteMember
+from repro.workloads.traces import TracePhase, TraceSpec
+from repro.errors import ReproError
+
+
+@pytest.fixture()
+def member():
+    comp = counter_component(5, n_symbols=64, seed=9)
+    dfa = DFA(table=comp.table, start=0, accepting=frozenset({0}), name="io-test")
+    trace = TraceSpec(
+        weights=np.concatenate([np.ones(64), np.zeros(192)]),
+        sync_symbols=(3,),
+        sync_density=0.1,
+        keywords=(b"\x01\x02", b"abc"),
+        keyword_density=0.01,
+        phases=(TracePhase(0.5, 0.2), TracePhase(0.5, 0.0)),
+        name="io-trace",
+    )
+    return SuiteMember(suite="snort", index=4, regime="rr", dfa=dfa, trace=trace)
+
+
+def test_roundtrip(tmp_path, member):
+    export_member(member, tmp_path / "m")
+    loaded = import_member(tmp_path / "m")
+    assert loaded.suite == member.suite
+    assert loaded.index == member.index
+    assert loaded.regime == member.regime
+    assert loaded.dfa == member.dfa
+
+
+def test_roundtrip_preserves_trace_generation(tmp_path, member):
+    export_member(member, tmp_path / "m")
+    loaded = import_member(tmp_path / "m")
+    a = member.generate_input(512, seed=5)
+    b = loaded.generate_input(512, seed=5)
+    assert np.array_equal(a, b)
+
+
+def test_pregenerated_traces(tmp_path, member):
+    export_member(member, tmp_path / "m", trace_lengths=[256, 512], trace_seed=3)
+    t0 = load_trace(tmp_path / "m", 0)
+    t1 = load_trace(tmp_path / "m", 1)
+    assert t0.shape == (256,) and t1.shape == (512,)
+    assert np.array_equal(t0, member.generate_input(256, seed=3))
+
+
+def test_missing_manifest(tmp_path):
+    with pytest.raises(ReproError):
+        import_member(tmp_path)
+
+
+def test_missing_trace_file(tmp_path, member):
+    export_member(member, tmp_path / "m")
+    with pytest.raises(ReproError):
+        load_trace(tmp_path / "m", 0)

@@ -1,0 +1,70 @@
+"""Suite-builder tests.
+
+Building a member compiles a regex disjunction (seconds); the compiled
+scanner is cached on disk, so repeated test runs are fast.  Only a couple of
+members per regime are exercised here — the full 36-FSM sweep lives in the
+benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.suites import (
+    MAX_PRODUCT_STATES,
+    REGIME_LAYOUT,
+    SUITES,
+    build_member,
+)
+from repro.errors import ReproError
+
+
+def test_regime_layout_shape():
+    for suite in SUITES:
+        layout = REGIME_LAYOUT[suite]
+        assert len(layout) == 12
+        assert set(layout) <= {"pm", "sre", "rr", "nf"}
+        # Every suite leads with PM-friendly members (the *1-2 narrative).
+        assert layout[0] == "pm" and layout[1] == "pm"
+
+
+def test_input_sensitive_counts_match_table2():
+    # Table II: Snort 3, ClamAV 5, PowerEN 6 input-sensitive FSMs.
+    expected = {"snort": 3, "clamav": 5, "poweren": 6}
+    for suite, count in expected.items():
+        assert REGIME_LAYOUT[suite].count("nf") == count
+
+
+def test_invalid_member_requests():
+    with pytest.raises(ReproError):
+        build_member("nids", 1)
+    with pytest.raises(ReproError):
+        build_member("snort", 0)
+    with pytest.raises(ReproError):
+        build_member("snort", 13)
+
+
+@pytest.mark.parametrize("suite,index", [("snort", 1), ("snort", 8), ("poweren", 3)])
+def test_member_construction(suite, index):
+    m = build_member(suite, index)
+    assert m.name == f"{suite}{index}"
+    assert m.dfa.n_states <= MAX_PRODUCT_STATES
+    assert m.regime == REGIME_LAYOUT[suite][index - 1]
+    # Deterministic rebuild.
+    again = build_member(suite, index)
+    assert again.dfa == m.dfa
+
+
+def test_member_inputs_deterministic():
+    m = build_member("snort", 1)
+    a = m.generate_input(1000, seed=3)
+    b = m.generate_input(1000, seed=3)
+    assert np.array_equal(a, b)
+    tr = m.training_input(512)
+    assert tr.shape == (512,)
+
+
+def test_member_runs_on_its_trace():
+    m = build_member("snort", 1)
+    data = m.generate_input(2000, seed=1)
+    end = m.dfa.run(data)
+    assert 0 <= end < m.dfa.n_states

