@@ -19,11 +19,29 @@ from repro.analysis.experiments import MemberRun, run_member
 from repro.workloads.suites import SUITES, build_suite
 
 RESULTS_DIR = Path(__file__).parent / "results"
+TRACES_DIR = RESULTS_DIR / "traces"
 
 #: Evaluation-scale knobs (overridable via environment for quick runs).
 INPUT_LENGTH = int(os.environ.get("REPRO_BENCH_INPUT", 65_536))
 N_THREADS = int(os.environ.get("REPRO_BENCH_THREADS", 256))
 TRAINING_LENGTH = int(os.environ.get("REPRO_BENCH_TRAINING", 8_192))
+#: Set REPRO_BENCH_TRACE=1 to record a span trace per member and dump them
+#: to benchmarks/results/traces/<member>.jsonl at session end.
+TRACE_ENABLED = os.environ.get("REPRO_BENCH_TRACE", "") not in ("", "0")
+
+#: member name -> Tracer, filled by the sweep when tracing is enabled.
+_TRACERS: Dict[str, object] = {}
+
+
+def _tracer_for(name: str):
+    """A fresh Tracer for one member, or None when tracing is off."""
+    if not TRACE_ENABLED:
+        return None
+    from repro.observability import Tracer
+
+    tracer = Tracer()
+    _TRACERS[name] = tracer
+    return tracer
 
 
 def emit(name: str, text: str) -> None:
@@ -35,6 +53,13 @@ def emit(name: str, text: str) -> None:
 
 def pytest_sessionfinish(session, exitstatus):
     """Assemble benchmarks/results/REPORT.md from whatever ran."""
+    try:
+        if _TRACERS:
+            TRACES_DIR.mkdir(parents=True, exist_ok=True)
+            for name, tracer in _TRACERS.items():
+                (TRACES_DIR / f"{name}.jsonl").write_text(tracer.to_jsonl())
+    except Exception:
+        pass  # trace artifacts must never fail the harness
     try:
         from repro.analysis.report import build_report
 
@@ -61,5 +86,6 @@ def sweep(members) -> Dict[str, MemberRun]:
                 input_length=INPUT_LENGTH,
                 training_length=TRAINING_LENGTH,
                 n_threads=N_THREADS,
+                tracer=_tracer_for(member.name),
             )
     return runs

@@ -7,6 +7,9 @@ Commands
 ``compare``  — race all four schemes on one member.
 ``profile``  — print a member's feature vector and the selector's reasoning.
 ``suite``    — list a suite's members and their regimes.
+``trace``    — run a member with tracing on and print the per-phase span
+               timeline plus executor/memory metrics; ``--jsonl`` exports
+               the spans for external tooling.
 
 Examples
 --------
@@ -16,6 +19,7 @@ Examples
     python -m repro.cli profile snort 8
     python -m repro.cli run snort 8 --scheme nf --input-length 65536
     python -m repro.cli compare poweren 4 --threads 256
+    python -m repro.cli trace snort 1 --input-length 4096 --threads 32
 """
 
 from __future__ import annotations
@@ -39,7 +43,7 @@ def _add_member_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
-def _build(args):
+def _build(args, tracer=None, metrics=None):
     member = build_member(args.suite, args.index)
     training = member.training_input(args.training_length)
     data = member.generate_input(args.input_length, seed=args.seed)
@@ -47,6 +51,8 @@ def _build(args):
         member.dfa,
         GSpecPalConfig(n_threads=args.threads),
         training_input=training,
+        tracer=tracer,
+        metrics=metrics,
     )
     return member, pal, data
 
@@ -108,6 +114,35 @@ def cmd_run(args) -> int:
     if args.timeline:
         print("recovery-round activity:")
         print(_render_timeline(stats.active_thread_samples))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.observability import (
+        MetricsRegistry,
+        Tracer,
+        render_metrics,
+        render_timeline,
+    )
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    member, pal, data = _build(args, tracer=tracer, metrics=metrics)
+    result = pal.run(data, scheme=args.scheme)
+    print(f"member   : {member.name} ({member.dfa.n_states} states)")
+    print(f"scheme   : {result.scheme}")
+    print(f"accepts  : {result.accepts}")
+    print(f"kernel   : {result.time_ms:.3f} ms ({result.cycles:.0f} cycles)")
+    print()
+    print(render_timeline(tracer, title=f"{member.name}: phase timeline"))
+    print()
+    print(render_metrics(metrics))
+    if args.jsonl:
+        from pathlib import Path
+
+        path = Path(args.jsonl)
+        path.write_text(tracer.to_jsonl())
+        print(f"\nwrote {len(tracer.to_dicts())} spans to {path}")
     return 0
 
 
@@ -179,6 +214,24 @@ def main(argv=None) -> int:
         help="show per-recovery-round thread activity",
     )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "trace", help="run a member with tracing and print the span timeline"
+    )
+    _add_member_args(p)
+    p.add_argument(
+        "--scheme",
+        choices=("pm", "sre", "rr", "nf", "seq", "spec-seq"),
+        default=None,
+        help="force a scheme (default: selector's pick)",
+    )
+    p.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="also export the spans as JSON lines",
+    )
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("report", help="assemble the experiment report")
     p.add_argument("--output", default=None, help="write to a file")

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.automata.dfa import DFA, _as_symbol_array
 from repro.gpu.kernel import GpuSimulator
+from repro.observability import NULL_TRACER
 from repro.schemes import (
     NFScheme,
     PMScheme,
@@ -50,10 +51,16 @@ class GSpecPal:
         config: Optional[GSpecPalConfig] = None,
         *,
         training_input=None,
+        tracer=None,
+        metrics=None,
     ):
         self.dfa = dfa
         self.config = config if config is not None else GSpecPalConfig()
         self.selector = DecisionTreeSelector(self.config.thresholds)
+        #: observability sinks; both default to off (no-op tracer / no
+        #: registry) so instrumented paths cost nothing unless asked for.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self._training: Optional[np.ndarray] = (
             _as_symbol_array(training_input) if training_input is not None else None
         )
@@ -105,6 +112,7 @@ class GSpecPal:
                 device=self.config.device,
                 use_transformation=self.config.use_transformation,
                 training_input=bytes(np.asarray(self._training, dtype=np.uint8)),
+                metrics=self.metrics,
             )
         return self._sim
 
@@ -112,21 +120,30 @@ class GSpecPal:
     # selection and execution
     # ------------------------------------------------------------------
     def select_scheme(self, data=None) -> str:
-        """Run the Fig. 6 decision tree on the profiled features."""
-        return self.selector.select(self.profile(data))
+        """Run the Fig. 6 decision tree on the profiled features.
+
+        With tracing enabled, a ``select`` span records the feature vector
+        and the tree's decision path.
+        """
+        features = self.profile(data)
+        with self.tracer.span("select") as span:
+            return self.selector.select(features, span=span)
 
     def build_scheme(self, name: str) -> Scheme:
-        """Instantiate a scheme sharing this framework's simulator/config."""
+        """Instantiate a scheme sharing this framework's simulator/config
+        (and its tracer, so scheme phase spans nest under framework spans)."""
         sim = self._simulator()
         cfg = self.config
+        tracer = self.tracer
         if name in ("pm", f"pm-spec{cfg.spec_k}"):
-            return PMScheme(sim, n_threads=cfg.n_threads, k=cfg.spec_k)
+            return PMScheme(sim, n_threads=cfg.n_threads, k=cfg.spec_k, tracer=tracer)
         if name == "sre":
             return SREScheme(
                 sim,
                 n_threads=cfg.n_threads,
                 own_capacity=cfg.own_registers,
                 others_capacity=cfg.others_registers,
+                tracer=tracer,
             )
         if name == "rr":
             return RRScheme(
@@ -134,6 +151,7 @@ class GSpecPal:
                 n_threads=cfg.n_threads,
                 own_capacity=cfg.own_registers,
                 others_capacity=cfg.others_registers,
+                tracer=tracer,
             )
         if name == "nf":
             return NFScheme(
@@ -141,11 +159,12 @@ class GSpecPal:
                 n_threads=cfg.n_threads,
                 own_capacity=cfg.own_registers,
                 others_capacity=cfg.others_registers,
+                tracer=tracer,
             )
         if name == "seq":
-            return SequentialScheme(sim, n_threads=1)
+            return SequentialScheme(sim, n_threads=1, tracer=tracer)
         if name == "spec-seq":
-            return SpecSequentialScheme(sim, n_threads=cfg.n_threads)
+            return SpecSequentialScheme(sim, n_threads=cfg.n_threads, tracer=tracer)
         raise SchemeError(f"unknown scheme {name!r}")
 
     def run(self, data, scheme: Optional[str] = None) -> SchemeResult:
@@ -159,8 +178,16 @@ class GSpecPal:
         symbols = _as_symbol_array(data)
         if self._training is None:
             self._training = self._training_slice(symbols)
-        name = scheme if scheme is not None else self.select_scheme(symbols)
-        return self.build_scheme(name).run(symbols)
+        with self.tracer.span(
+            "gspecpal.run", input_symbols=int(symbols.size)
+        ) as span:
+            name = scheme if scheme is not None else self.select_scheme(symbols)
+            result = self.build_scheme(name).run(symbols)
+            if span:
+                span.set_attr("scheme", name)
+                span.set_attr("forced", scheme is not None)
+                span.set_attr("cycles", result.cycles)
+        return result
 
     def compare_schemes(
         self, data, schemes: Optional[Iterable[str]] = None
@@ -224,6 +251,7 @@ class StreamSession:
         self._pal = pal
         self._scheme = scheme
         self.state: int = pal.dfa.start
+        self.segments: int = 0
         self.total_symbols: int = 0
         self.total_cycles: float = 0.0
 
@@ -237,13 +265,25 @@ class StreamSession:
         symbols = _as_symbol_array(segment)
         if self._pal._training is None:
             self._pal._training = self._pal._training_slice(symbols)
-        name = (
-            self._scheme
-            if self._scheme is not None
-            else self._pal.select_scheme(symbols)
-        )
-        result = self._pal.build_scheme(name).run(symbols, start_state=self.state)
+        with self._pal.tracer.span(
+            "stream.feed",
+            segment=self.segments,
+            segment_symbols=int(symbols.size),
+            carried_state=self.state,
+        ) as span:
+            name = (
+                self._scheme
+                if self._scheme is not None
+                else self._pal.select_scheme(symbols)
+            )
+            result = self._pal.build_scheme(name).run(
+                symbols, start_state=self.state
+            )
+            if span:
+                span.set_attr("scheme", name)
+                span.set_attr("end_state", result.end_state)
         self.state = result.end_state
+        self.segments += 1
         self.total_symbols += int(symbols.size)
         self.total_cycles += result.cycles
         return result

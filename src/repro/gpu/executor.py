@@ -39,14 +39,26 @@ class LockstepExecutor:
         The :class:`MemoryModel` describing hot-row placement.
     device:
         The simulated GPU.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; when
+        attached, each batch records executor counters (batches,
+        transitions, warp-step divergence) and the memory model records its
+        access traffic.  ``None`` (the default) skips all recording.
     """
 
-    def __init__(self, table: np.ndarray, memory: MemoryModel, device: DeviceSpec):
+    def __init__(
+        self,
+        table: np.ndarray,
+        memory: MemoryModel,
+        device: DeviceSpec,
+        metrics=None,
+    ):
         self.table = np.ascontiguousarray(np.asarray(table, dtype=STATE_DTYPE))
         if self.table.ndim != 2:
             raise SimulationError("transition table must be 2-D")
         self.memory = memory
         self.device = device
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     def run(
@@ -115,6 +127,9 @@ class LockstepExecutor:
                 raise SimulationError("lengths out of range")
 
         if chunk_len == 0 or not active_mask.any():
+            if self.metrics is not None:
+                self.metrics.counter("executor.batches").inc()
+                self.metrics.counter("executor.empty_batches").inc()
             return states
 
         device = self.device
@@ -158,6 +173,10 @@ class LockstepExecutor:
         gi = float(device.global_issue_cycles)
         sh = float(device.shared_cycles)
 
+        track_metrics = self.metrics is not None
+        divergent_warp_steps = 0
+        warp_steps = 0
+
         for j in range(chunk_len):
             working = active_mask & (j < lens)
             n_working = int(np.count_nonzero(working))
@@ -190,6 +209,17 @@ class LockstepExecutor:
             per_warp_cycles += np.where(
                 warp_active, compute + overhead + per_warp_fetch, 0.0
             )
+            if track_metrics:
+                # Memory divergence: a warp step mixing hot and cold lanes
+                # serializes transactions — the effect the paper's
+                # transformation shrinks, surfaced here as a counter.
+                warp_hot_any = (
+                    (lane_working & ~lane_cold).reshape(n_warps, ws).any(axis=1)
+                )
+                divergent_warp_steps += int(
+                    np.count_nonzero((warp_cold > 0) & warp_hot_any)
+                )
+                warp_steps += int(np.count_nonzero(warp_active))
 
             # Advance states of working lanes only.
             nxt = table[states, chunks[:, j]]
@@ -206,6 +236,19 @@ class LockstepExecutor:
             stats.redundant_transitions += redundant
             stats.shared_accesses += shared_hits
             stats.global_accesses += global_hits
+        if track_metrics:
+            m = self.metrics
+            m.counter("executor.batches").inc()
+            m.counter("executor.transitions").inc(total_transitions)
+            m.counter("executor.redundant_transitions").inc(redundant)
+            m.counter("executor.warp_steps").inc(warp_steps)
+            m.counter("executor.divergent_warp_steps").inc(divergent_warp_steps)
+            m.histogram("executor.active_lanes").observe(
+                int(np.count_nonzero(active_mask))
+            )
+            self.memory.observe(
+                m, shared_hits=shared_hits, global_hits=global_hits
+            )
         return states
 
     # ------------------------------------------------------------------

@@ -54,6 +54,8 @@ class GpuSimulator:
     use_transformation: bool = True
     profile: Optional[StateFrequencyProfile] = None
     training_input: Optional[bytes] = None
+    #: optional MetricsRegistry the executor/memory model record into.
+    metrics: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.profile is None:
@@ -98,7 +100,9 @@ class GpuSimulator:
             )
         self.exec_dfa: DFA = exec_dfa
         self.memory: MemoryModel = memory
-        self.executor = LockstepExecutor(exec_dfa.table, memory, self.device)
+        self.executor = LockstepExecutor(
+            exec_dfa.table, memory, self.device, metrics=self.metrics
+        )
 
     # ------------------------------------------------------------------
     # state-id translation between caller space and execution space

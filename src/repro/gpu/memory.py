@@ -123,3 +123,20 @@ class MemoryModel:
     def shared_bytes_used(self, n_symbols: int, entry_bytes: int = 4) -> int:
         """Shared-memory footprint of the cached rows."""
         return self.hot_state_count * n_symbols * entry_bytes
+
+    # ------------------------------------------------------------------
+    def observe(self, registry, *, shared_hits: int, global_hits: int) -> None:
+        """Record one batch's table-lookup traffic into a metrics registry.
+
+        Counter names (``memory.*``) are part of the observability
+        contract — see ``docs/observability.md``.
+        """
+        registry.counter("memory.shared_accesses").inc(shared_hits)
+        registry.counter("memory.global_accesses").inc(global_hits)
+        registry.gauge("memory.hot_state_count").set(self.hot_state_count)
+        registry.gauge("memory.layout_overhead_cycles").set(
+            self.per_step_overhead_cycles
+        )
+        total = shared_hits + global_hits
+        if total:
+            registry.gauge("memory.hot_access_fraction").set(shared_hits / total)

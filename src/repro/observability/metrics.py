@@ -1,0 +1,128 @@
+"""Counter/gauge/histogram registry for low-level instrumentation.
+
+The executor and memory model are too hot (and too far from any
+``KernelStats`` ledger consumer) to grow ad-hoc reporting fields; instead
+they record into a :class:`MetricsRegistry` when one is attached.  The
+registry is create-on-first-use — ``registry.counter("executor.batches")``
+returns the same :class:`Counter` every call — and exports to a flat dict
+whose key names are part of the observability contract (see
+``docs/observability.md``).
+
+All instruments are plain python objects: no locks (the simulator is
+single-threaded) and no background machinery.  When no registry is attached
+(the default) the instrumented code skips recording entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (events, operations, accesses)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (fractions, sizes, current levels)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean).
+
+    Full reservoirs are overkill for the simulator; the aggregate moments
+    cover the dashboards' needs while staying O(1) per observation.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instrument store with create-on-first-use accessors."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat name → value export.
+
+        Counters and gauges map directly; histograms expand to
+        ``<name>.count`` / ``<name>.mean`` / ``<name>.min`` / ``<name>.max``.
+        """
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, hist in self._histograms.items():
+            out[f"{name}.count"] = float(hist.count)
+            out[f"{name}.mean"] = hist.mean
+            out[f"{name}.min"] = hist.min if hist.count else 0.0
+            out[f"{name}.max"] = hist.max if hist.count else 0.0
+        return dict(sorted(out.items()))
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,317 @@
+"""Structured span tracing for scheme executions.
+
+A :class:`Span` is one named, nestable region of work, stamped with both
+wall-clock time (``time.perf_counter``) and — when a *cycle source* such as a
+:class:`~repro.gpu.stats.KernelStats` ledger is supplied — simulated-cycle
+boundaries.  Because spans read the ledger the schemes charge into, a span's
+``cycles`` is exactly the simulated cost incurred while it was open; sibling
+phase spans tile a scheme run, so their cycle sums reproduce
+``SchemeResult.cycles`` (asserted by the test suite).
+
+Tracing is **off by default and zero-cost when off**: every traced code path
+holds a tracer that defaults to :data:`NULL_TRACER`, whose ``span()`` returns
+a shared no-op context manager.  No span objects are built, no clocks are
+read, and — crucially — tracing never touches the cycle ledger, so results
+are identical with and without it.
+
+Usage::
+
+    tracer = Tracer()
+    pal = GSpecPal(dfa, tracer=tracer)
+    pal.run(data)
+    print(tracer.to_jsonl())          # one JSON object per span
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+import numpy as np
+
+#: Key order of the exported span schema (kept stable for dashboards —
+#: snapshot-tested; extend only by appending).
+SPAN_SCHEMA_KEYS = (
+    "span_id",
+    "parent_id",
+    "name",
+    "depth",
+    "wall_start_s",
+    "wall_end_s",
+    "wall_ms",
+    "cycle_start",
+    "cycle_end",
+    "cycles",
+    "attrs",
+)
+
+
+def _json_default(obj: Any) -> Any:
+    """Make numpy scalars/arrays (common in attrs) JSON-serializable."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return str(obj)
+
+
+class Span:
+    """One traced region: name, wall/cycle stamps, attributes, children."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "attrs",
+        "children",
+        "wall_start",
+        "wall_end",
+        "cycle_start",
+        "cycle_end",
+        "_tracer",
+        "_cycle_source",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent: Optional["Span"],
+        cycle_source: Any = None,
+        cycle_start: Optional[float] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ):
+        self._tracer = tracer
+        self._cycle_source = cycle_source
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent.span_id if parent is not None else None
+        self.depth = parent.depth + 1 if parent is not None else 0
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+        self.wall_start = tracer._clock()
+        self.wall_end: Optional[float] = None
+        if cycle_start is not None:
+            self.cycle_start: Optional[float] = float(cycle_start)
+        elif cycle_source is not None:
+            self.cycle_start = float(cycle_source.cycles)
+        else:
+            self.cycle_start = None
+        self.cycle_end: Optional[float] = None
+
+    # -- context-manager protocol --------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self)
+        return False
+
+    def __bool__(self) -> bool:  # real spans are truthy, NULL_SPAN is not
+        return True
+
+    # -- recording ------------------------------------------------------
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach one attribute (overwrites an existing key)."""
+        self.attrs[key] = value
+
+    # -- derived --------------------------------------------------------
+    @property
+    def cycles(self) -> float:
+        """Simulated cycles charged while the span was open (0 when the
+        span had no cycle source)."""
+        if self.cycle_start is None or self.cycle_end is None:
+            return 0.0
+        return self.cycle_end - self.cycle_start
+
+    @property
+    def wall_ms(self) -> float:
+        """Wall-clock duration in milliseconds (0 until closed)."""
+        if self.wall_end is None:
+            return 0.0
+        return (self.wall_end - self.wall_start) * 1e3
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat export record following :data:`SPAN_SCHEMA_KEYS`."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "wall_start_s": self.wall_start,
+            "wall_end_s": self.wall_end,
+            "wall_ms": self.wall_ms,
+            "cycle_start": self.cycle_start,
+            "cycle_end": self.cycle_end,
+            "cycles": self.cycles,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, cycles={self.cycles:.0f}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """Shared do-nothing span; falsy so callers can gate attr computation."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+#: The shared no-op span every :class:`NullTracer` call returns.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: ``span()`` hands back :data:`NULL_SPAN` untouched.
+
+    This is the default on every traced object, making tracing opt-in and
+    (near-)zero-cost when off — no allocation, no clock reads.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **kwargs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    @property
+    def roots(self) -> tuple:
+        return ()
+
+    def iter_spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return []
+
+    def to_jsonl(self) -> str:
+        return ""
+
+
+#: Module-level singleton used as the default tracer everywhere.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects a forest of :class:`Span` trees for one or more runs.
+
+    Parameters
+    ----------
+    clock:
+        Wall-clock source (``time.perf_counter`` by default; injectable for
+        deterministic tests).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._ids = itertools.count()
+        self._stack: List[Span] = []
+        self.roots: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        *,
+        cycle_source: Any = None,
+        cycle_start: Optional[float] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a child span of the innermost open span (context manager).
+
+        Parameters
+        ----------
+        cycle_source:
+            Object exposing ``.cycles`` (typically a ``KernelStats``
+            ledger); read on open and close to cycle-stamp the span.
+        cycle_start:
+            Explicit opening cycle stamp overriding ``cycle_source``'s
+            current reading (used for spans that must cover charges made
+            before they could be opened, e.g. kernel launch).
+        attrs:
+            Initial span attributes.
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            self,
+            name,
+            span_id=next(self._ids),
+            parent=parent,
+            cycle_source=cycle_source,
+            cycle_start=cycle_start,
+            attrs=attrs,
+        )
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.wall_end = self._clock()
+        if span._cycle_source is not None:
+            span.cycle_end = float(span._cycle_source.cycles)
+        elif span.cycle_start is not None:
+            span.cycle_end = span.cycle_start
+        # Close any children left open (defensive; normal flow is LIFO).
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # queries and export
+    # ------------------------------------------------------------------
+    def iter_spans(self) -> Iterator[Span]:
+        """All spans, depth-first in creation order."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def find(self, name: str) -> Optional[Span]:
+        """First span with ``name`` (depth-first), or None."""
+        for span in self.iter_spans():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> List[Span]:
+        """Every span with ``name``, depth-first order."""
+        return [s for s in self.iter_spans() if s.name == name]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Flat list of span records (depth-first)."""
+        return [s.to_dict() for s in self.iter_spans()]
+
+    def to_jsonl(self) -> str:
+        """JSON-lines export: one span object per line, depth-first."""
+        return "\n".join(
+            json.dumps(record, default=_json_default) for record in self.to_dicts()
+        )
+
+    def clear(self) -> None:
+        """Drop all recorded spans (reuse the tracer across runs)."""
+        self.roots = []
+        self._stack = []

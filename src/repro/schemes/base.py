@@ -21,6 +21,7 @@ from repro.automata.dfa import DFA
 from repro.gpu.device import RTX3090, DeviceSpec
 from repro.gpu.kernel import GpuSimulator, KernelPhase
 from repro.gpu.stats import KernelStats
+from repro.observability import NULL_TRACER
 from repro.speculation.chunks import Partition, partition_input
 from repro.speculation.predictor import Prediction, predict_start_states
 from repro.speculation.records import VRStore
@@ -79,12 +80,16 @@ class Scheme(abc.ABC):
 
     name: str = "abstract"
 
-    def __init__(self, sim: GpuSimulator, n_threads: int = 256, predictor=None):
+    def __init__(
+        self, sim: GpuSimulator, n_threads: int = 256, predictor=None, tracer=None
+    ):
         if n_threads < 1:
             raise SchemeError(f"n_threads must be >= 1, got {n_threads}")
         self.sim = sim
         self.n_threads = int(n_threads)
         self.predictor = predictor  # None -> the paper's lookback-2
+        #: span sink; the no-op default keeps tracing opt-in and free.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     @classmethod
@@ -96,11 +101,14 @@ class Scheme(abc.ABC):
         device: DeviceSpec = RTX3090,
         training_input=None,
         use_transformation: bool = True,
+        metrics=None,
         **kwargs,
     ) -> "Scheme":
         """Convenience constructor: load ``dfa`` on a device and build the
         scheme.  ``training_input`` feeds the frequency profile; when absent
-        the transformation is skipped (hash layout with a trivial profile)."""
+        the transformation is skipped (hash layout with a trivial profile).
+        ``metrics`` attaches a registry to the executor; a ``tracer`` kwarg
+        is forwarded to the scheme."""
         if training_input is None and use_transformation:
             use_transformation = False
         sim = GpuSimulator(
@@ -108,8 +116,36 @@ class Scheme(abc.ABC):
             device=device,
             use_transformation=use_transformation,
             training_input=bytes(training_input) if training_input is not None else None,
+            metrics=metrics,
         )
         return cls(sim, n_threads=n_threads, **kwargs)
+
+    # ------------------------------------------------------------------
+    # tracing helpers
+    # ------------------------------------------------------------------
+    def _phase_span(self, name: str, stats: KernelStats, **attrs):
+        """A cycle-stamped span using the run's ledger as its clock, so the
+        span's ``cycles`` is exactly what was charged while it was open."""
+        return self.tracer.span(name, cycle_source=stats, **attrs)
+
+    def _scheme_span(self, stats: KernelStats, **attrs):
+        """Root span of one ``run()``: opens at cycle 0 so it covers the
+        launch overhead ``new_stats`` pre-charged before tracing began."""
+        return self.tracer.span(
+            f"scheme:{self.name}",
+            cycle_source=stats,
+            cycle_start=0.0,
+            scheme=self.name,
+            n_threads=self.n_threads,
+            **attrs,
+        )
+
+    def _launch_span(self, stats: KernelStats):
+        """Zero-width span claiming the pre-charged kernel-launch cycles, so
+        sibling phase spans tile the ledger exactly."""
+        return self.tracer.span(
+            KernelPhase.LAUNCH, cycle_source=stats, cycle_start=0.0
+        )
 
     # ------------------------------------------------------------------
     # shared phases

@@ -33,32 +33,41 @@ class EnumerativeScheme(Scheme):
         n = partition.n_chunks
         n_states = self.sim.exec_dfa.n_states
         stats = self.sim.new_stats(n_threads=self.n_threads * n_states)
+        with self._scheme_span(stats, n_chunks=n, n_states=n_states):
+            with self._launch_span(stats):
+                pass
+            # Lane layout: lane (i * n_states + s) runs chunk i from state s.
+            with self._phase_span(KernelPhase.SPECULATIVE_EXECUTION, stats):
+                chunk_ids = np.repeat(np.arange(n, dtype=np.int64), n_states)
+                starts = np.tile(np.arange(n_states, dtype=np.int64), n)
+                ends = self.sim.executor.run_gathered(
+                    partition.chunks,
+                    chunk_ids,
+                    starts,
+                    stats=stats,
+                    phase=KernelPhase.SPECULATIVE_EXECUTION,
+                    lengths=partition.lengths[chunk_ids],
+                )
+                stats.charge_sync(KernelPhase.SPECULATIVE_EXECUTION)
+            chunk_fn = ends.reshape(n, n_states)
+            # All but one path per chunk is off the ground truth.
+            stats.redundant_transitions += int(partition.lengths.sum()) * (
+                n_states - 1
+            )
 
-        # Lane layout: lane (i * n_states + s) runs chunk i from state s.
-        chunk_ids = np.repeat(np.arange(n, dtype=np.int64), n_states)
-        starts = np.tile(np.arange(n_states, dtype=np.int64), n)
-        ends = self.sim.executor.run_gathered(
-            partition.chunks,
-            chunk_ids,
-            starts,
-            stats=stats,
-            phase=KernelPhase.SPECULATIVE_EXECUTION,
-            lengths=partition.lengths[chunk_ids],
-        )
-        stats.charge_sync(KernelPhase.SPECULATIVE_EXECUTION)
-        chunk_fn = ends.reshape(n, n_states)
-        # All but one path per chunk is off the ground truth.
-        stats.redundant_transitions += int(partition.lengths.sum()) * (n_states - 1)
+            # Compose: log-depth pairwise function composition (prefix "sum").
+            with self._phase_span(KernelPhase.MERGE, stats):
+                rounds = max(0, math.ceil(math.log2(n))) if n > 1 else 0
+                for _ in range(rounds):
+                    stats.charge(
+                        KernelPhase.MERGE, self.sim.device.shared_cycles * 2
+                    )
+                    stats.charge_sync(KernelPhase.MERGE)
 
-        # Compose: log-depth pairwise function composition (prefix "sum").
-        rounds = max(0, math.ceil(math.log2(n))) if n > 1 else 0
-        for _ in range(rounds):
-            stats.charge(KernelPhase.MERGE, self.sim.device.shared_cycles * 2)
-            stats.charge_sync(KernelPhase.MERGE)
-
-        state = self._exec_start(start_state)
-        chunk_ends = np.empty(n, dtype=np.int64)
-        for i in range(n):
-            state = int(chunk_fn[i, state])
-            chunk_ends[i] = state
-        return self._finish(state, stats, chunk_ends_exec=chunk_ends)
+                state = self._exec_start(start_state)
+                chunk_ends = np.empty(n, dtype=np.int64)
+                for i in range(n):
+                    state = int(chunk_fn[i, state])
+                    chunk_ends[i] = state
+                result = self._finish(state, stats, chunk_ends_exec=chunk_ends)
+        return result

@@ -54,8 +54,9 @@ class PMScheme(Scheme):
         adaptive: bool = False,
         adaptive_mass: float = 0.9,
         predictor=None,
+        tracer=None,
     ):
-        super().__init__(sim, n_threads=n_threads, predictor=predictor)
+        super().__init__(sim, n_threads=n_threads, predictor=predictor, tracer=tracer)
         if k < 1:
             raise SchemeError(f"spec-k needs k >= 1, got {k}")
         if not (0.0 < adaptive_mass <= 1.0):
@@ -82,103 +83,131 @@ class PMScheme(Scheme):
         partition = self._partition(data)
         n = partition.n_chunks
         stats = self.sim.new_stats(n_threads=self.n_threads)
-        exec_start = self._exec_start(start_state)
-        prediction = self._predict(partition, stats, exec_start=exec_start)
-        vr = VRStore(n_chunks=n, own_capacity=max(self.k, 16))
+        with self._scheme_span(stats, n_chunks=n, k=self.k):
+            with self._launch_span(stats):
+                pass
+            exec_start = self._exec_start(start_state)
+            with self._phase_span(KernelPhase.PREDICT, stats):
+                prediction = self._predict(partition, stats, exec_start=exec_start)
+            vr = VRStore(n_chunks=n, own_capacity=max(self.k, 16))
 
-        # --- spec-k parallel execution (α_k ≈ k serialized paths) -------
-        top_k = [self._paths_for_chunk(prediction.queues[i]) for i in range(n)]
-        paths_run = np.asarray([t.size for t in top_k], dtype=np.int64)
-        for j in range(self.k):
-            active = paths_run > j
-            if not active.any():
-                break
-            starts = np.asarray(
-                [int(top_k[i][j]) if paths_run[i] > j else 0 for i in range(n)],
-                dtype=np.int64,
-            )
-            ends = self.sim.executor.run(
-                partition.chunks,
-                starts,
-                stats=stats,
-                phase=KernelPhase.SPECULATIVE_EXECUTION,
-                lengths=partition.lengths,
-                active=active,
-            )
-            for i in range(n):
-                if active[i]:
-                    vr.add(i, int(starts[i]), int(ends[i]), own=True)
-        stats.charge_sync(KernelPhase.SPECULATIVE_EXECUTION)
+            # --- spec-k parallel execution (α_k ≈ k serialized paths) ---
+            with self._phase_span(KernelPhase.SPECULATIVE_EXECUTION, stats):
+                top_k = [
+                    self._paths_for_chunk(prediction.queues[i]) for i in range(n)
+                ]
+                paths_run = np.asarray([t.size for t in top_k], dtype=np.int64)
+                for j in range(self.k):
+                    active = paths_run > j
+                    if not active.any():
+                        break
+                    starts = np.asarray(
+                        [
+                            int(top_k[i][j]) if paths_run[i] > j else 0
+                            for i in range(n)
+                        ],
+                        dtype=np.int64,
+                    )
+                    ends = self.sim.executor.run(
+                        partition.chunks,
+                        starts,
+                        stats=stats,
+                        phase=KernelPhase.SPECULATIVE_EXECUTION,
+                        lengths=partition.lengths,
+                        active=active,
+                    )
+                    for i in range(n):
+                        if active[i]:
+                            vr.add(i, int(starts[i]), int(ends[i]), own=True)
+                stats.charge_sync(KernelPhase.SPECULATIVE_EXECUTION)
 
-        # --- stage 1: parallel tree-like verification & merge -----------
-        # Two levels, as in the paper's Fig. 2: ① intra-warp verification
-        # first (register shuffles between neighbouring lanes), then
-        # ② inter-warp rounds through shared memory with barriers.
-        dev = self.sim.device
-        intra_rounds = (
-            math.ceil(math.log2(min(n, dev.warp_size))) if n > 1 else 0
-        )
-        n_warps = -(-n // dev.warp_size)
-        inter_rounds = math.ceil(math.log2(n_warps)) if n_warps > 1 else 0
-        for _ in range(intra_rounds):
-            stats.comm_ops += self.k * n
-            stats.charge(KernelPhase.MERGE, dev.shuffle_cycles)
-            stats.charge_verify(
-                KernelPhase.MERGE,
-                checks_per_thread=self.k,
-                total_checks=self.k * n,
-            )
-        for _ in range(inter_rounds):
-            stats.comm_ops += self.k * n_warps
-            stats.charge(KernelPhase.MERGE, dev.comm_cycles)
-            stats.charge_verify(
-                KernelPhase.MERGE,
-                checks_per_thread=self.k,
-                total_checks=self.k * n_warps,
-            )
-            stats.charge_sync(KernelPhase.MERGE)
+            # --- stage 1: parallel tree-like verification & merge -------
+            # Two levels, as in the paper's Fig. 2: ① intra-warp
+            # verification first (register shuffles between neighbouring
+            # lanes), then ② inter-warp rounds through shared memory with
+            # barriers.
+            dev = self.sim.device
+            with self._phase_span(KernelPhase.MERGE, stats):
+                intra_rounds = (
+                    math.ceil(math.log2(min(n, dev.warp_size))) if n > 1 else 0
+                )
+                n_warps = -(-n // dev.warp_size)
+                inter_rounds = (
+                    math.ceil(math.log2(n_warps)) if n_warps > 1 else 0
+                )
+                for _ in range(intra_rounds):
+                    stats.comm_ops += self.k * n
+                    stats.charge(KernelPhase.MERGE, dev.shuffle_cycles)
+                    stats.charge_verify(
+                        KernelPhase.MERGE,
+                        checks_per_thread=self.k,
+                        total_checks=self.k * n,
+                    )
+                for _ in range(inter_rounds):
+                    stats.comm_ops += self.k * n_warps
+                    stats.charge(KernelPhase.MERGE, dev.comm_cycles)
+                    stats.charge_verify(
+                        KernelPhase.MERGE,
+                        checks_per_thread=self.k,
+                        total_checks=self.k * n_warps,
+                    )
+                    stats.charge_sync(KernelPhase.MERGE)
 
-        # --- stage 2: sequential verification and must-be-done recovery -
-        end_p = vr.records(0)[0].end  # chunk 0 ran from the real start state
-        chunk_ends = np.empty(n, dtype=np.int64)
-        chunk_ends[0] = end_p
-        matched_path_len = int(partition.lengths[0])
-        useful_transitions = matched_path_len
-        for i in range(1, n):
-            recorded = vr.lookup(i, int(end_p))
-            if recorded is not None:
-                stats.matches += 1
-                end_p = int(recorded)
-                chunk_ends[i] = end_p
-                useful_transitions += int(partition.lengths[i])
-                continue
-            stats.mismatches += 1
-            stats.record_recovery_round(active_threads=1)
-            stats.recoveries_executed += 1
-            stats.charge_comm(KernelPhase.VERIFY_RECOVER, 1)
-            stats.charge_verify(
-                KernelPhase.VERIFY_RECOVER,
-                checks_per_thread=self.k,
-                total_checks=self.k,
-            )
-            recovery_start = int(end_p)
-            before = stats.phase_cycles.get(KernelPhase.VERIFY_RECOVER, 0.0)
-            ends = self.sim.executor.run(
-                partition.chunks[i : i + 1],
-                np.asarray([recovery_start], dtype=np.int64),
-                stats=stats,
-                phase=KernelPhase.VERIFY_RECOVER,
-                lengths=partition.lengths[i : i + 1],
-                chunk_ids=np.asarray([i]),
-            )
-            stats.recovery_exec_cycles += (
-                stats.phase_cycles.get(KernelPhase.VERIFY_RECOVER, 0.0) - before
-            )
-            end_p = int(ends[0])
-            chunk_ends[i] = end_p
-            vr.add(i, recovery_start, end_p, own=True)
-            useful_transitions += int(partition.lengths[i])
+            # --- stage 2: sequential verification and must-be-done
+            # recovery --------------------------------------------------
+            end_p = vr.records(0)[0].end  # chunk 0 ran from the real start state
+            chunk_ends = np.empty(n, dtype=np.int64)
+            chunk_ends[0] = end_p
+            matched_path_len = int(partition.lengths[0])
+            useful_transitions = matched_path_len
+            for i in range(1, n):
+                recorded = vr.lookup(i, int(end_p))
+                if recorded is not None:
+                    stats.matches += 1
+                    end_p = int(recorded)
+                    chunk_ends[i] = end_p
+                    useful_transitions += int(partition.lengths[i])
+                    continue
+                with self._phase_span(
+                    "verify_recover.round",
+                    stats,
+                    frontier=i,
+                    matched=False,
+                    active_threads=1,
+                ):
+                    stats.mismatches += 1
+                    stats.record_recovery_round(active_threads=1)
+                    stats.recoveries_executed += 1
+                    stats.charge_comm(KernelPhase.VERIFY_RECOVER, 1)
+                    stats.charge_verify(
+                        KernelPhase.VERIFY_RECOVER,
+                        checks_per_thread=self.k,
+                        total_checks=self.k,
+                    )
+                    recovery_start = int(end_p)
+                    before = stats.phase_cycles.get(
+                        KernelPhase.VERIFY_RECOVER, 0.0
+                    )
+                    ends = self.sim.executor.run(
+                        partition.chunks[i : i + 1],
+                        np.asarray([recovery_start], dtype=np.int64),
+                        stats=stats,
+                        phase=KernelPhase.VERIFY_RECOVER,
+                        lengths=partition.lengths[i : i + 1],
+                        chunk_ids=np.asarray([i]),
+                    )
+                    stats.recovery_exec_cycles += (
+                        stats.phase_cycles.get(KernelPhase.VERIFY_RECOVER, 0.0)
+                        - before
+                    )
+                    end_p = int(ends[0])
+                    chunk_ends[i] = end_p
+                    vr.add(i, recovery_start, end_p, own=True)
+                    useful_transitions += int(partition.lengths[i])
 
-        # Everything executed beyond the ground-truth path was redundant.
-        stats.redundant_transitions += max(0, stats.transitions - useful_transitions)
-        return self._finish(end_p, stats, chunk_ends_exec=chunk_ends)
+            # Everything executed beyond the ground-truth path was redundant.
+            stats.redundant_transitions += max(
+                0, stats.transitions - useful_transitions
+            )
+            result = self._finish(end_p, stats, chunk_ends_exec=chunk_ends)
+        return result

@@ -101,8 +101,9 @@ class FrontierLoopScheme(Scheme):
         others_capacity: int = 16,
         predictor=None,
         keep_trace: bool = False,
+        tracer=None,
     ):
-        super().__init__(sim, n_threads=n_threads, predictor=predictor)
+        super().__init__(sim, n_threads=n_threads, predictor=predictor, tracer=tracer)
         self.own_capacity = own_capacity
         self.others_capacity = others_capacity
         #: observability: when True, ``last_trace`` records one
@@ -115,94 +116,108 @@ class FrontierLoopScheme(Scheme):
         partition = self._partition(data)
         n = partition.n_chunks
         stats = self.sim.new_stats(n_threads=self.n_threads)
-        exec_start = self._exec_start(start_state)
-        prediction = self._predict(partition, stats, exec_start=exec_start)
-        vr = VRStore(
-            n_chunks=n,
-            own_capacity=self.own_capacity,
-            others_capacity=self.others_capacity,
-        )
-        end_c = self._speculative_execution(partition, prediction, stats, vr)
-        end_c = end_c.astype(np.int64)
-
-        phase = KernelPhase.VERIFY_RECOVER
-        prev_snapshot = end_c.copy()
-        last_change_round = np.zeros(n, dtype=np.int64)  # round a thread's end last changed
-        self.last_trace = []
-
-        for f in range(n):
-            # --- communication: forward predecessor end states ---------
-            end_p = np.empty(n, dtype=np.int64)
-            end_p[0] = exec_start
-            end_p[1:] = prev_snapshot[:-1]
-            stats.charge_comm(phase, n - 1 if n > 1 else 0)
-
-            # --- verification scan --------------------------------------
-            found = np.zeros(n, dtype=bool)
-            scan_depth = 0
-            new_end = end_c.copy()
-            for t in range(n):
-                scan_depth = max(scan_depth, vr.count(t))
-                hit = vr.lookup(t, int(end_p[t]))
-                if hit is not None:
-                    found[t] = True
-                    new_end[t] = hit
-            stats.charge_verify(
-                phase,
-                checks_per_thread=scan_depth,
-                total_checks=sum(vr.count(t) for t in range(n)),
+        with self._scheme_span(stats, n_chunks=n):
+            with self._launch_span(stats):
+                pass
+            exec_start = self._exec_start(start_state)
+            with self._phase_span(KernelPhase.PREDICT, stats):
+                prediction = self._predict(partition, stats, exec_start=exec_start)
+            vr = VRStore(
+                n_chunks=n,
+                own_capacity=self.own_capacity,
+                others_capacity=self.others_capacity,
             )
-            changed = new_end != end_c
-            end_c = new_end
+            with self._phase_span(KernelPhase.SPECULATIVE_EXECUTION, stats):
+                end_c = self._speculative_execution(partition, prediction, stats, vr)
+            end_c = end_c.astype(np.int64)
 
-            mark = bool(found[f])
-            if mark:
-                stats.matches += 1
-            else:
-                stats.mismatches += 1
-            stats.charge_sync(phase)
-
-            # stability: a forwarded state is stable when its producer's
-            # end state did not change in the previous round.
-            stable = np.ones(n, dtype=bool)
-            stable[1:] = last_change_round[:-1] < f  # changed this round ⇒ unstable next
-            last_change_round[changed] = f + 1
-
-            n_active = 0
-            if not mark:
-                ctx = RoundContext(
-                    frontier=f,
-                    end_p=end_p,
-                    found=found,
-                    stable=stable,
-                    partition=partition,
-                    prediction=prediction,
-                    vr=vr,
-                )
-                assignments = self.policy.schedule(ctx)
-                n_active = len(assignments)
-                if assignments:
-                    end_c = self._execute_recoveries(
-                        assignments, partition, end_c, vr, stats, f
-                    )
-                    last_change_round[
-                        [t for t, cid, _ in assignments if cid == t]
-                    ] = f + 1
-                else:
-                    stats.record_recovery_round(active_threads=0)
-            vr.charge_shared_traffic(stats, phase)
+            phase = KernelPhase.VERIFY_RECOVER
             prev_snapshot = end_c.copy()
-            if self.keep_trace:
-                self.last_trace.append(
-                    RoundTrace(
-                        frontier=f,
-                        matched=mark,
-                        active_threads=n_active,
-                        end_c=end_c.copy(),
-                    )
-                )
+            last_change_round = np.zeros(n, dtype=np.int64)  # round a thread's end last changed
+            self.last_trace = []
 
-        return self._finish(int(end_c[n - 1]), stats, chunk_ends_exec=end_c)
+            for f in range(n):
+                with self._phase_span(
+                    "verify_recover.round", stats, frontier=f
+                ) as round_span:
+                    # --- communication: forward predecessor end states ---
+                    end_p = np.empty(n, dtype=np.int64)
+                    end_p[0] = exec_start
+                    end_p[1:] = prev_snapshot[:-1]
+                    stats.charge_comm(phase, n - 1 if n > 1 else 0)
+
+                    # --- verification scan -------------------------------
+                    found = np.zeros(n, dtype=bool)
+                    scan_depth = 0
+                    new_end = end_c.copy()
+                    for t in range(n):
+                        scan_depth = max(scan_depth, vr.count(t))
+                        hit = vr.lookup(t, int(end_p[t]))
+                        if hit is not None:
+                            found[t] = True
+                            new_end[t] = hit
+                    stats.charge_verify(
+                        phase,
+                        checks_per_thread=scan_depth,
+                        total_checks=sum(vr.count(t) for t in range(n)),
+                    )
+                    changed = new_end != end_c
+                    end_c = new_end
+
+                    mark = bool(found[f])
+                    if mark:
+                        stats.matches += 1
+                    else:
+                        stats.mismatches += 1
+                    stats.charge_sync(phase)
+
+                    # stability: a forwarded state is stable when its
+                    # producer's end state did not change in the previous
+                    # round.
+                    stable = np.ones(n, dtype=bool)
+                    stable[1:] = last_change_round[:-1] < f  # changed this round ⇒ unstable next
+                    last_change_round[changed] = f + 1
+
+                    n_active = 0
+                    if not mark:
+                        ctx = RoundContext(
+                            frontier=f,
+                            end_p=end_p,
+                            found=found,
+                            stable=stable,
+                            partition=partition,
+                            prediction=prediction,
+                            vr=vr,
+                        )
+                        assignments = self.policy.schedule(ctx)
+                        n_active = len(assignments)
+                        if assignments:
+                            end_c = self._execute_recoveries(
+                                assignments, partition, end_c, vr, stats, f
+                            )
+                            last_change_round[
+                                [t for t, cid, _ in assignments if cid == t]
+                            ] = f + 1
+                        else:
+                            stats.record_recovery_round(active_threads=0)
+                    vr.charge_shared_traffic(stats, phase)
+                    prev_snapshot = end_c.copy()
+                    if round_span:
+                        round_span.set_attr("matched", mark)
+                        round_span.set_attr("active_threads", n_active)
+                    if self.keep_trace:
+                        self.last_trace.append(
+                            RoundTrace(
+                                frontier=f,
+                                matched=mark,
+                                active_threads=n_active,
+                                end_c=end_c.copy(),
+                            )
+                        )
+
+            with self._phase_span(KernelPhase.MERGE, stats):
+                result = self._finish(int(end_c[n - 1]), stats, chunk_ends_exec=end_c)
+        return result
 
     # ------------------------------------------------------------------
     def _execute_recoveries(

@@ -23,11 +23,17 @@ class SequentialScheme(Scheme):
     def run(self, data, start_state=None) -> SchemeResult:
         symbols = _as_symbol_array(data)
         stats = self.sim.new_stats(n_threads=1)
-        start = np.asarray([self._exec_start(start_state)], dtype=np.int64)
-        ends = self.sim.executor.run(
-            symbols.reshape(1, -1),
-            start,
-            stats=stats,
-            phase=KernelPhase.SPECULATIVE_EXECUTION,
-        )
-        return self._finish(int(ends[0]), stats, chunk_ends_exec=ends)
+        with self._scheme_span(stats, n_chunks=1):
+            with self._launch_span(stats):
+                pass
+            start = np.asarray([self._exec_start(start_state)], dtype=np.int64)
+            with self._phase_span(KernelPhase.SPECULATIVE_EXECUTION, stats):
+                ends = self.sim.executor.run(
+                    symbols.reshape(1, -1),
+                    start,
+                    stats=stats,
+                    phase=KernelPhase.SPECULATIVE_EXECUTION,
+                )
+            with self._phase_span(KernelPhase.MERGE, stats):
+                result = self._finish(int(ends[0]), stats, chunk_ends_exec=ends)
+        return result

@@ -25,43 +25,62 @@ class SpecSequentialScheme(Scheme):
         partition = self._partition(data)
         n = partition.n_chunks
         stats = self.sim.new_stats(n_threads=self.n_threads)
-        exec_start = self._exec_start(start_state)
-        prediction = self._predict(partition, stats, exec_start=exec_start)
-        vr = VRStore(n_chunks=n)
-        self._speculative_execution(partition, prediction, stats, vr)
+        with self._scheme_span(stats, n_chunks=n):
+            with self._launch_span(stats):
+                pass
+            exec_start = self._exec_start(start_state)
+            with self._phase_span(KernelPhase.PREDICT, stats):
+                prediction = self._predict(partition, stats, exec_start=exec_start)
+            vr = VRStore(n_chunks=n)
+            with self._phase_span(KernelPhase.SPECULATIVE_EXECUTION, stats):
+                self._speculative_execution(partition, prediction, stats, vr)
 
-        # Sequential verification and recovery (lines 8-14 of Algorithm 2).
-        end_p = vr.records(0)[0].end  # chunk 0 started from the real state
-        chunk_ends = np.empty(n, dtype=np.int64)
-        chunk_ends[0] = end_p
-        for i in range(1, n):
-            stats.charge_comm(KernelPhase.VERIFY_RECOVER, 1)
-            vr.charge_check(stats, i, KernelPhase.VERIFY_RECOVER)
-            recorded = vr.lookup(i, int(end_p))
-            if recorded is None:
-                stats.mismatches += 1
-                stats.record_recovery_round(active_threads=1)
-                stats.recoveries_executed += 1
-                before = stats.phase_cycles.get(KernelPhase.VERIFY_RECOVER, 0.0)
-                # One thread re-executes chunk i from the verified state;
-                # everyone else idles — this is the sequential bottleneck.
-                ends = self.sim.executor.run(
-                    partition.chunks[i : i + 1],
-                    np.asarray([end_p], dtype=np.int64),
-                    stats=stats,
-                    phase=KernelPhase.VERIFY_RECOVER,
-                    lengths=partition.lengths[i : i + 1],
-                    chunk_ids=np.asarray([i]),
-                )
-                stats.recovery_exec_cycles += (
-                    stats.phase_cycles.get(KernelPhase.VERIFY_RECOVER, 0.0) - before
-                )
-                end_c = int(ends[0])
-                vr.add(i, int(end_p), end_c, own=True)
-            else:
-                stats.matches += 1
-                end_c = int(recorded)
-            end_p = end_c
-            chunk_ends[i] = end_c
-        vr.charge_shared_traffic(stats, KernelPhase.VERIFY_RECOVER)
-        return self._finish(end_p, stats, chunk_ends_exec=chunk_ends)
+            # Sequential verification and recovery (lines 8-14 of Alg. 2).
+            end_p = vr.records(0)[0].end  # chunk 0 started from the real state
+            chunk_ends = np.empty(n, dtype=np.int64)
+            chunk_ends[0] = end_p
+            for i in range(1, n):
+                with self._phase_span(
+                    "verify_recover.round", stats, frontier=i
+                ) as round_span:
+                    stats.charge_comm(KernelPhase.VERIFY_RECOVER, 1)
+                    vr.charge_check(stats, i, KernelPhase.VERIFY_RECOVER)
+                    recorded = vr.lookup(i, int(end_p))
+                    if recorded is None:
+                        stats.mismatches += 1
+                        stats.record_recovery_round(active_threads=1)
+                        stats.recoveries_executed += 1
+                        before = stats.phase_cycles.get(
+                            KernelPhase.VERIFY_RECOVER, 0.0
+                        )
+                        # One thread re-executes chunk i from the verified
+                        # state; everyone else idles — this is the
+                        # sequential bottleneck.
+                        ends = self.sim.executor.run(
+                            partition.chunks[i : i + 1],
+                            np.asarray([end_p], dtype=np.int64),
+                            stats=stats,
+                            phase=KernelPhase.VERIFY_RECOVER,
+                            lengths=partition.lengths[i : i + 1],
+                            chunk_ids=np.asarray([i]),
+                        )
+                        stats.recovery_exec_cycles += (
+                            stats.phase_cycles.get(KernelPhase.VERIFY_RECOVER, 0.0)
+                            - before
+                        )
+                        end_c = int(ends[0])
+                        vr.add(i, int(end_p), end_c, own=True)
+                    else:
+                        stats.matches += 1
+                        end_c = int(recorded)
+                    if round_span:
+                        round_span.set_attr("matched", recorded is not None)
+                        round_span.set_attr(
+                            "active_threads", 0 if recorded is not None else 1
+                        )
+                    end_p = end_c
+                    chunk_ends[i] = end_c
+            with self._phase_span(KernelPhase.MERGE, stats):
+                vr.charge_shared_traffic(stats, KernelPhase.VERIFY_RECOVER)
+                result = self._finish(end_p, stats, chunk_ends_exec=chunk_ends)
+        return result

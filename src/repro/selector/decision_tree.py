@@ -50,28 +50,46 @@ class DecisionTreeSelector:
     def __init__(self, thresholds: SelectorThresholds = SelectorThresholds()):
         self.thresholds = thresholds
 
-    def select(self, features: FSMFeatures) -> str:
-        """Return the chosen scheme name for the profiled FSM."""
+    def select(self, features: FSMFeatures, span=None) -> str:
+        """Return the chosen scheme name for the profiled FSM.
+
+        ``span``, when truthy, receives the feature vector, the sequence of
+        tree nodes visited (``path``) and the final ``decision``.
+        """
+        name, path = self._walk(features)
+        if span:
+            span.set_attr("features", dict(features.as_dict()))
+            span.set_attr("path", path)
+            span.set_attr("decision", name)
+        return name
+
+    def _walk(self, features: FSMFeatures):
+        """The tree itself: returns ``(scheme, visited-node labels)``."""
         t = self.thresholds
+        path = []
         # Orange node 1: does enumerative speculation make recovery rare,
         # where plain spec-1 would not?
+        path.append("speck_accurate")
         if (
             features.spec4_accuracy >= t.speck_accurate
             and features.spec1_accuracy < t.spec1_accurate
         ):
-            return "pm"
+            return "pm", path
         # Gray node: fast state convergence makes end-forwarding win.
+        path.append("fast_convergence")
         if features.convergence_states <= t.fast_convergence:
-            return "sre"
+            return "sre", path
         # Orange node 2: when deeper enumeration cannot lift accuracy
         # (Δ_Specs ≈ 0), aggressive recovery only burns memory bandwidth.
+        path.append("enumeration_gain")
         if features.spec16_accuracy - features.spec1_accuracy < t.enumeration_gain:
-            return "sre"
+            return "sre", path
         # Orange node 3: input-sensitive speculation needs concentrated
         # recovery resources near the frontier.
+        path.append("input_sensitive")
         if features.sensitivity >= t.input_sensitive:
-            return "nf"
-        return "rr"
+            return "nf", path
+        return "rr", path
 
     def explain(self, features: FSMFeatures) -> str:
         """Human-readable trace of the decision path (for reports)."""

@@ -1,0 +1,103 @@
+"""StreamSession invariants: carried state, accept tracking, accounting.
+
+``test_streaming_and_matching.py`` checks the matcher semantics; this file
+pins down the session object itself — that feeding a stream in k segments is
+state-equivalent to one shot for *any* k, that ``accepts``/``segments``
+track the carried state, that cycles accumulate per segment, and that a
+traced session nests one ``stream.feed`` span per segment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.framework import GSpecPal, GSpecPalConfig
+from repro.observability import Tracer
+
+
+@pytest.fixture()
+def pal(scanner_dfa, rng):
+    training = bytes(rng.integers(97, 123, size=256).astype(np.uint8))
+    return GSpecPal(
+        scanner_dfa, GSpecPalConfig(n_threads=8), training_input=training
+    )
+
+
+def segment(data, k):
+    """Split ``data`` into k near-equal contiguous pieces (all non-empty)."""
+    n = len(data)
+    bounds = np.linspace(0, n, k + 1).astype(int)
+    return [data[bounds[i] : bounds[i + 1]] for i in range(k)]
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+def test_k_segment_state_equals_one_shot(pal, scanner_dfa, rng, k):
+    data = bytes(rng.integers(97, 123, size=640).astype(np.uint8))
+    session = pal.stream(scheme="rr")
+    for piece in segment(data, k):
+        session.feed(piece)
+    assert session.state == scanner_dfa.run(data)
+    assert session.segments == k
+    assert session.total_symbols == len(data)
+
+
+def test_accepts_property_tracks_carried_state(scanner_dfa, rng):
+    training = bytes(rng.integers(97, 123, size=256).astype(np.uint8))
+    pal = GSpecPal(
+        scanner_dfa, GSpecPalConfig(n_threads=4), training_input=training
+    )
+    session = pal.stream(scheme="sre")
+    assert not session.accepts  # fresh session sits at q0
+    filler = bytes(rng.integers(101, 119, size=64).astype(np.uint8))
+    session.feed(filler)
+    assert not session.accepts
+    # Sticky accept: once "abc" matches mid-segment, the state stays final.
+    session.feed(b"abc" + filler)
+    assert session.accepts
+    session.feed(filler)
+    assert session.accepts
+
+
+def test_cycles_accumulate_per_segment(pal, rng):
+    data = bytes(rng.integers(97, 123, size=480).astype(np.uint8))
+    session = pal.stream(scheme="nf")
+    per_segment = [session.feed(piece).cycles for piece in segment(data, 3)]
+    assert all(c > 0 for c in per_segment)
+    assert session.total_cycles == pytest.approx(sum(per_segment))
+
+
+def test_each_scheme_preserves_segmented_equivalence(scanner_dfa, rng):
+    data = bytes(rng.integers(97, 123, size=400).astype(np.uint8))
+    training = bytes(rng.integers(97, 123, size=200).astype(np.uint8))
+    truth = scanner_dfa.run(data)
+    for scheme in GSpecPal.SELECTABLE + ("seq", "spec-seq"):
+        pal = GSpecPal(
+            scanner_dfa, GSpecPalConfig(n_threads=8), training_input=training
+        )
+        session = pal.stream(scheme=scheme)
+        for piece in segment(data, 4):
+            session.feed(piece)
+        assert session.state == truth, scheme
+
+
+def test_traced_session_emits_one_feed_span_per_segment(scanner_dfa, rng):
+    training = bytes(rng.integers(97, 123, size=256).astype(np.uint8))
+    tracer = Tracer()
+    pal = GSpecPal(
+        scanner_dfa,
+        GSpecPalConfig(n_threads=8),
+        training_input=training,
+        tracer=tracer,
+    )
+    data = bytes(rng.integers(97, 123, size=320).astype(np.uint8))
+    session = pal.stream(scheme="rr")
+    for piece in segment(data, 3):
+        session.feed(piece)
+    feeds = tracer.find_all("stream.feed")
+    assert len(feeds) == 3
+    assert [s.attrs["segment"] for s in feeds] == [0, 1, 2]
+    # Each feed span carries the state handoff and nests the scheme run.
+    for i, span in enumerate(feeds):
+        assert span.attrs["scheme"] == "rr"
+        assert any(c.name.startswith("scheme:") for c in span.children)
+        if i:
+            assert span.attrs["carried_state"] == feeds[i - 1].attrs["end_state"]

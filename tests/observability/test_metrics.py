@@ -1,0 +1,88 @@
+"""MetricsRegistry unit tests: instruments, create-on-first-use, export."""
+
+import pytest
+
+from repro.observability import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        c.inc(0.5)
+        assert c.value == 5.5
+
+    def test_rejects_negative(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_moments(self):
+        h = Histogram("h")
+        for v in (4, 1, 7):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 12.0
+        assert h.min == 1.0 and h.max == 7.0
+        assert h.mean == pytest.approx(4.0)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_namespaces_are_separate(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(2)
+        reg.gauge("y").set(9)
+        assert reg.counter("x").value == 2
+        assert reg.gauge("y").value == 9
+
+    def test_as_dict_expands_histograms_and_sorts(self):
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc(3)
+        reg.gauge("a.level").set(0.25)
+        h = reg.histogram("m.lanes")
+        h.observe(2)
+        h.observe(6)
+        flat = reg.as_dict()
+        assert list(flat) == sorted(flat)
+        assert flat["a.level"] == 0.25
+        assert flat["z.count"] == 3
+        assert flat["m.lanes.count"] == 2.0
+        assert flat["m.lanes.mean"] == 4.0
+        assert flat["m.lanes.min"] == 2.0
+        assert flat["m.lanes.max"] == 6.0
+
+    def test_empty_histogram_exports_zero_bounds(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        flat = reg.as_dict()
+        assert flat["h.min"] == 0.0 and flat["h.max"] == 0.0
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.as_dict() == {}
+        assert reg.counter("a").value == 0.0

@@ -1,0 +1,74 @@
+"""Golden snapshots of the observability export contracts.
+
+External consumers (dashboards, the benchmark trace dumps, REPORT.md
+plumbing) key on ``KernelStats.summary()`` names and the span JSON schema.
+These tests pin both — a failure here means a *breaking* contract change:
+extend by appending, never rename/remove silently.
+"""
+
+import json
+
+import numpy as np
+
+from repro.gpu.device import RTX3090
+from repro.gpu.stats import KernelStats
+from repro.observability import Tracer
+from repro.observability.tracer import SPAN_SCHEMA_KEYS
+
+#: Golden key set of KernelStats.summary() — the benchmark tables' columns.
+SUMMARY_KEYS = (
+    "cycles",
+    "time_ms",
+    "transitions",
+    "redundant_transitions",
+    "shared_accesses",
+    "global_accesses",
+    "recovery_rounds",
+    "avg_active_threads",
+    "speculation_accuracy",
+)
+
+#: Golden span-record schema — the trace JSONL consumers' field list.
+GOLDEN_SPAN_KEYS = (
+    "span_id",
+    "parent_id",
+    "name",
+    "depth",
+    "wall_start_s",
+    "wall_end_s",
+    "wall_ms",
+    "cycle_start",
+    "cycle_end",
+    "cycles",
+    "attrs",
+)
+
+
+def test_kernel_stats_summary_keys_are_golden():
+    stats = KernelStats(device=RTX3090, n_threads=4)
+    stats.charge("predict", 10.0)
+    assert tuple(stats.summary().keys()) == SUMMARY_KEYS
+
+
+def test_summary_values_are_plain_floats():
+    stats = KernelStats(device=RTX3090, n_threads=4)
+    stats.transitions += 5
+    for key, value in stats.summary().items():
+        assert isinstance(value, float), key
+
+
+def test_span_schema_constant_is_golden():
+    assert SPAN_SCHEMA_KEYS == GOLDEN_SPAN_KEYS
+
+
+def test_exported_records_follow_the_schema():
+    tracer = Tracer()
+    ledger = KernelStats(device=RTX3090, n_threads=2)
+    with tracer.span("outer", cycle_source=ledger, kind="test") as span:
+        ledger.charge("p", 12.5)
+        span.set_attr("ends", np.array([1, 2, 3]))
+    for record in tracer.to_dicts():
+        assert tuple(record.keys()) == GOLDEN_SPAN_KEYS
+    # And the JSONL form parses back to the same schema.
+    for line in tracer.to_jsonl().splitlines():
+        assert tuple(json.loads(line).keys()) == GOLDEN_SPAN_KEYS

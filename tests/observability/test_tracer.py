@@ -1,0 +1,177 @@
+"""Tracer/Span unit tests: nesting, cycle stamping, export, null objects."""
+
+import json
+
+import pytest
+
+from repro.observability import NULL_SPAN, NULL_TRACER, Span, Tracer
+from repro.observability.tracer import SPAN_SCHEMA_KEYS
+
+
+class FakeLedger:
+    """Stand-in for KernelStats: just a mutable .cycles."""
+
+    def __init__(self):
+        self.cycles = 0.0
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 0.5
+        return self.t
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                with tracer.span("a1") as a1:
+                    pass
+            with tracer.span("b") as b:
+                pass
+        assert tracer.roots == [root]
+        assert root.children == [a, b]
+        assert a.children == [a1]
+        assert (root.depth, a.depth, a1.depth) == (0, 1, 2)
+        assert a1.parent_id == a.span_id
+
+    def test_iteration_is_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.iter_spans()] == ["root", "a", "a1", "b"]
+
+    def test_find_and_find_all(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            for i in range(3):
+                with tracer.span("round", index=i):
+                    pass
+        assert tracer.find("run").name == "run"
+        assert tracer.find("missing") is None
+        rounds = tracer.find_all("round")
+        assert [s.attrs["index"] for s in rounds] == [0, 1, 2]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_clear_resets(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.roots == [] and list(tracer.iter_spans()) == []
+
+
+class TestCycleStamping:
+    def test_cycles_follow_the_source(self):
+        ledger = FakeLedger()
+        tracer = Tracer()
+        with tracer.span("run", cycle_source=ledger) as run:
+            ledger.cycles += 100.0
+            with tracer.span("inner", cycle_source=ledger) as inner:
+                ledger.cycles += 40.0
+        assert inner.cycle_start == 100.0 and inner.cycle_end == 140.0
+        assert inner.cycles == 40.0
+        assert run.cycles == 140.0
+
+    def test_explicit_cycle_start_override(self):
+        """The launch-span pattern: claim charges made before opening."""
+        ledger = FakeLedger()
+        ledger.cycles = 2000.0  # pre-charged launch overhead
+        tracer = Tracer()
+        with tracer.span("launch", cycle_source=ledger, cycle_start=0.0) as s:
+            pass
+        assert s.cycles == 2000.0
+
+    def test_sourceless_span_has_zero_cycles(self):
+        tracer = Tracer()
+        with tracer.span("outer") as s:
+            pass
+        assert s.cycles == 0.0
+        assert s.cycle_start is None
+
+    def test_wall_clock_stamps(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("t") as s:
+            pass
+        assert s.wall_end > s.wall_start
+        assert s.wall_ms == pytest.approx(500.0)
+
+    def test_siblings_tile_their_parent(self):
+        """The invariant the scheme phase spans rely on."""
+        ledger = FakeLedger()
+        tracer = Tracer()
+        with tracer.span("run", cycle_source=ledger) as run:
+            for charge in (10.0, 25.0, 5.0):
+                with tracer.span("phase", cycle_source=ledger):
+                    ledger.cycles += charge
+        assert sum(c.cycles for c in run.children) == pytest.approx(run.cycles)
+
+
+class TestExport:
+    def test_to_dict_schema(self):
+        tracer = Tracer()
+        with tracer.span("x", foo=1):
+            pass
+        record = tracer.to_dicts()[0]
+        assert tuple(record.keys()) == SPAN_SCHEMA_KEYS
+        assert record["attrs"] == {"foo": 1}
+
+    def test_jsonl_round_trip_with_numpy_attrs(self):
+        import numpy as np
+
+        ledger = FakeLedger()
+        tracer = Tracer()
+        with tracer.span("run", cycle_source=ledger) as s:
+            ledger.cycles += 7.0
+            s.set_attr("count", np.int64(3))
+            s.set_attr("ratio", np.float64(0.5))
+            s.set_attr("ends", np.array([1, 2]))
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["name"] == "run"
+        assert record["cycles"] == 7.0
+        assert record["attrs"] == {"count": 3, "ratio": 0.5, "ends": [1, 2]}
+
+    def test_empty_tracer_exports_empty(self):
+        assert Tracer().to_jsonl() == ""
+        assert Tracer().to_dicts() == []
+
+
+class TestNullObjects:
+    def test_null_tracer_returns_shared_null_span(self):
+        span = NULL_TRACER.span("anything", cycle_source=object(), attr=1)
+        assert span is NULL_SPAN
+
+    def test_null_span_is_falsy_and_inert(self):
+        with NULL_TRACER.span("x") as span:
+            assert not span
+            span.set_attr("ignored", 42)  # must not raise
+        assert NULL_TRACER.to_jsonl() == ""
+        assert list(NULL_TRACER.iter_spans()) == []
+        assert NULL_TRACER.roots == ()
+
+    def test_real_span_is_truthy(self):
+        tracer = Tracer()
+        with tracer.span("x") as span:
+            assert span
+        assert isinstance(span, Span)
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NULL_TRACER.enabled is False

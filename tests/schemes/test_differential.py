@@ -1,0 +1,178 @@
+"""Cross-scheme differential harness: every scheme vs. the sequential oracle.
+
+The grid spans DFA *construction modes* (regex-compiled scanners, uniformly
+random transition tables, adversarial non-converging rotators) crossed with
+input *regimes* (uniform random, two-symbol skew, constant, bursty runs).
+For every combination, every selectable scheme plus the sequential baselines
+must reproduce the oracle's ``end_state``, ``accepts`` decision, and — when
+the scheme materializes them — the per-chunk verified end states.
+
+Everything is seeded; a failure here is a real speculation/recovery bug, not
+flakiness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.automata import compile_disjunction, compile_regex
+from repro.automata.dfa import DFA
+from repro.framework import GSpecPal, GSpecPalConfig
+from repro.speculation.chunks import partition_input
+from repro.workloads import classic
+
+SEED = 20260805
+N_THREADS = 8
+INPUT_LENGTH = 333  # deliberately not a multiple of N_THREADS
+TRAINING_LENGTH = 128
+
+#: Schemes under differential test: the selector's four plus both baselines.
+SCHEMES = GSpecPal.SELECTABLE + ("seq", "spec-seq")
+
+
+# ----------------------------------------------------------------------
+# DFA grid: (name, build(), alphabet size the inputs must respect)
+# ----------------------------------------------------------------------
+def _random_table_dfa(n_states: int, n_symbols: int, seed: int, name: str) -> DFA:
+    rng = np.random.default_rng(seed)
+    table = rng.integers(0, n_states, size=(n_states, n_symbols))
+    accepting = frozenset(
+        int(s)
+        for s in rng.choice(n_states, size=max(1, n_states // 8), replace=False)
+    )
+    return DFA(table=table, start=0, accepting=accepting, name=name)
+
+
+DFAS = [
+    (
+        "scanner-disjunction",
+        lambda: compile_disjunction(
+            ["abc", "a(b|c){2,4}d", "xy+z"], n_symbols=128, name="diff-scan"
+        ),
+        (97, 123),
+    ),
+    (
+        "scanner-regex",
+        lambda: compile_regex("(ab|ba)+c", n_symbols=128, name="diff-regex"),
+        (97, 123),
+    ),
+    ("random-table-small", lambda: _random_table_dfa(9, 8, SEED + 1, "rt9"), (0, 8)),
+    ("random-table-mid", lambda: _random_table_dfa(33, 16, SEED + 2, "rt33"), (0, 16)),
+    ("random-table-big", lambda: _random_table_dfa(80, 24, SEED + 3, "rt80"), (0, 24)),
+    ("rotator", lambda: classic.cyclic_rotator(11, n_symbols=32), (0, 32)),
+    ("div7", classic.div7, (48, 50)),
+]
+
+
+# ----------------------------------------------------------------------
+# Input grid: (name, generate(rng, lo, hi, length))
+# ----------------------------------------------------------------------
+def _uniform(rng, lo, hi, n):
+    return rng.integers(lo, hi, size=n)
+
+
+def _skewed(rng, lo, hi, n):
+    """90% of symbols drawn from the two lowest codes — easy speculation."""
+    pool = np.where(rng.random(n) < 0.9, rng.integers(lo, lo + 2, size=n),
+                    rng.integers(lo, hi, size=n))
+    return pool
+
+
+def _constant(rng, lo, hi, n):
+    return np.full(n, lo, dtype=np.int64)
+
+
+def _bursty(rng, lo, hi, n):
+    """Runs of one symbol with random lengths — adversarial boundaries."""
+    out = np.empty(n, dtype=np.int64)
+    i = 0
+    while i < n:
+        run = int(rng.integers(1, 24))
+        out[i : i + run] = int(rng.integers(lo, hi))
+        i += run
+    return out
+
+
+INPUTS = [
+    ("uniform", _uniform),
+    ("skewed", _skewed),
+    ("constant", _constant),
+    ("bursty", _bursty),
+]
+
+GRID = [
+    (dfa_name, input_name)
+    for dfa_name, _, _ in DFAS
+    for input_name, _ in INPUTS
+]
+
+
+def test_grid_is_large_enough():
+    """The acceptance bar: at least 20 DFA x input combinations."""
+    assert len(GRID) >= 20
+
+
+def _oracle_chunk_ends(dfa: DFA, symbols: np.ndarray, n_chunks: int) -> np.ndarray:
+    """Sequentially walk the same partition the schemes use."""
+    part = partition_input(symbols, n_chunks)
+    ends = np.empty(part.n_chunks, dtype=np.int64)
+    state = dfa.start
+    for i in range(part.n_chunks):
+        state = dfa.run(part.chunk(i), start=state)
+        ends[i] = state
+    return ends
+
+
+@pytest.fixture(scope="module")
+def dfa_cache():
+    """Compile each grid DFA once for the whole module."""
+    return {name: build() for name, build, _ in DFAS}
+
+
+@pytest.mark.parametrize("dfa_name,input_name", GRID)
+def test_all_schemes_match_oracle(dfa_name, input_name, dfa_cache):
+    dfa = dfa_cache[dfa_name]
+    lo, hi = next(rng for name, _, rng in DFAS if name == dfa_name)
+    generate = next(fn for name, fn in INPUTS if name == input_name)
+    rng = np.random.default_rng(SEED ^ hash((dfa_name, input_name)) % (2**32))
+    symbols = np.asarray(generate(rng, lo, hi, INPUT_LENGTH), dtype=np.uint8)
+    training = np.asarray(generate(rng, lo, hi, TRAINING_LENGTH), dtype=np.uint8)
+
+    truth_end = dfa.run(symbols)
+    truth_accepts = truth_end in dfa.accepting
+    oracle_cache = {}  # n_chunks -> chunk ends (seq runs with 1 chunk)
+
+    pal = GSpecPal(
+        dfa, GSpecPalConfig(n_threads=N_THREADS), training_input=training
+    )
+    for scheme in SCHEMES:
+        result = pal.run(symbols, scheme=scheme)
+        label = f"{scheme} on {dfa_name}/{input_name}"
+        assert result.end_state == truth_end, f"{label}: end state"
+        assert result.accepts == truth_accepts, f"{label}: accepts"
+        if result.chunk_ends is not None:
+            n = result.n_chunks
+            if n not in oracle_cache:
+                oracle_cache[n] = _oracle_chunk_ends(dfa, symbols, n)
+            np.testing.assert_array_equal(
+                np.asarray(result.chunk_ends),
+                oracle_cache[n],
+                err_msg=f"{label}: chunk_ends",
+            )
+
+
+def test_parallel_schemes_expose_chunk_ends(dfa_cache):
+    """The four selectable schemes must materialize verified chunk ends
+    (the differential harness would silently weaken without them)."""
+    dfa = dfa_cache["scanner-disjunction"]
+    rng = np.random.default_rng(SEED)
+    symbols = rng.integers(97, 123, size=INPUT_LENGTH).astype(np.uint8)
+    training = rng.integers(97, 123, size=TRAINING_LENGTH).astype(np.uint8)
+    pal = GSpecPal(
+        dfa, GSpecPalConfig(n_threads=N_THREADS), training_input=training
+    )
+    for scheme in GSpecPal.SELECTABLE:
+        result = pal.run(symbols, scheme=scheme)
+        assert result.chunk_ends is not None, scheme
+        assert len(result.chunk_ends) == N_THREADS, scheme
