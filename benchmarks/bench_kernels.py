@@ -5,18 +5,31 @@ throughput, the predictor, partitioning, and the frequency transformation —
 so regressions in the vectorized hot paths show up in CI.
 """
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.automata.dfa import run_lockstep
 from repro.automata.transform import frequency_transform
+from repro.engine import FastBackend, SimBackend
 from repro.gpu.device import RTX3090
-from repro.gpu.executor import LockstepExecutor
+from repro.gpu.executor import LockstepExecutor, distinct_chunks_per_warp
 from repro.gpu.memory import MemoryModel
 from repro.gpu.stats import KernelStats
 from repro.speculation.chunks import partition_input
 from repro.speculation.predictor import predict_start_states
 from repro.workloads import classic
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Minimum wall-clock of ``repeats`` calls (noise-robust timing)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 @pytest.fixture(scope="module")
@@ -77,3 +90,64 @@ def test_bench_sequential_reference(benchmark, dfa, stream):
     short = stream[:16_384]
     end = benchmark(lambda: dfa.run(short))
     assert 0 <= end < dfa.n_states
+
+
+def test_bench_fast_backend(benchmark, dfa, stream):
+    """Wall clock of the answer-only backend on the N=256 lockstep batch."""
+    fast = FastBackend(dfa.table)
+    chunks = stream.reshape(256, -1)
+    starts = np.zeros(256, dtype=np.int64)
+    ends = benchmark(lambda: fast.run_batch(chunks, starts))
+    assert ends.shape == (256,)
+
+
+def test_fast_backend_speedup_guard(dfa, stream):
+    """Acceptance bar: FastBackend beats SimBackend by ≥5× wall clock on
+    the N=256 lockstep microbenchmark (identical end states required)."""
+    mm = MemoryModel.for_dfa(RTX3090, dfa.n_states, dfa.n_symbols)
+    sim = SimBackend(LockstepExecutor(dfa.table, mm, RTX3090))
+    fast = FastBackend(dfa.table)
+    chunks = stream.reshape(256, -1)
+    starts = np.zeros(256, dtype=np.int64)
+
+    def run_sim():
+        stats = KernelStats(device=RTX3090, n_threads=256)
+        return sim.run_batch(chunks, starts, stats=stats, phase="p")
+
+    np.testing.assert_array_equal(run_sim(), fast.run_batch(chunks, starts))
+    t_sim = _best_of(run_sim, repeats=3)
+    t_fast = _best_of(lambda: fast.run_batch(chunks, starts), repeats=3)
+    speedup = t_sim / t_fast
+    print(f"\nfast-vs-sim lockstep (N=256): {speedup:.1f}x "
+          f"({t_sim * 1e3:.2f} ms -> {t_fast * 1e3:.2f} ms)")
+    assert speedup >= 5.0, f"fast backend only {speedup:.2f}x faster than sim"
+
+
+def _naive_distinct_chunks(lane_chunk, n_warps, ws):
+    """The pre-vectorization per-warp np.unique loop, kept as reference."""
+    out = np.zeros(n_warps, dtype=np.int64)
+    for w in range(n_warps):
+        lanes = lane_chunk[w * ws : (w + 1) * ws]
+        out[w] = np.unique(lanes[lanes >= 0]).size
+    return out
+
+
+def test_fetch_coalescing_vectorization_guard():
+    """The segmented fetch-coalescing pass must match the per-warp loop and
+    beat it on a wide launch (N = 16384 threads ≥ the 512-thread bar)."""
+    rng = np.random.default_rng(42)
+    ws = RTX3090.warp_size
+    n_threads = 16_384
+    n_warps = n_threads // ws
+    lane_chunk = rng.integers(-1, n_threads, size=n_warps * ws)
+
+    np.testing.assert_array_equal(
+        distinct_chunks_per_warp(lane_chunk, n_warps, ws),
+        _naive_distinct_chunks(lane_chunk, n_warps, ws),
+    )
+    t_naive = _best_of(lambda: _naive_distinct_chunks(lane_chunk, n_warps, ws))
+    t_vec = _best_of(lambda: distinct_chunks_per_warp(lane_chunk, n_warps, ws))
+    speedup = t_naive / t_vec
+    print(f"\nfetch-coalescing setup ({n_warps} warps): {speedup:.1f}x "
+          f"({t_naive * 1e3:.2f} ms -> {t_vec * 1e3:.2f} ms)")
+    assert speedup >= 3.0, f"vectorized pass barely beats the loop ({speedup:.2f}x)"

@@ -7,15 +7,13 @@ bench file stays a thin declaration of its figure/table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
-
-import numpy as np
 
 from repro.framework.config import GSpecPalConfig
 from repro.framework.gspecpal import GSpecPal
 from repro.schemes.base import SchemeResult
-from repro.selector.features import FSMFeatures, profile_features
+from repro.selector.features import FSMFeatures
 from repro.workloads.suites import SuiteMember
 
 #: Evaluation defaults: scaled-down analogue of the paper's 10 MB inputs /

@@ -81,7 +81,7 @@ def render_bars(
     if not values:
         return title or ""
     peak = max(max(values), 1e-12)
-    label_w = max(len(l) for l in labels)
+    label_w = max(len(label) for label in labels)
     lines = [title] if title else []
     for label, value in zip(labels, values):
         n = max(0, int(round(width * value / peak)))

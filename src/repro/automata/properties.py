@@ -14,7 +14,7 @@ Three families of properties drive GSpecPal's decisions:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

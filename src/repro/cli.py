@@ -41,6 +41,14 @@ def _add_member_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--training-length", type=int, default=8_192)
     p.add_argument("--threads", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend",
+        choices=("sim", "fast"),
+        default=None,
+        help="execution backend: 'sim' = cycle-accurate simulation "
+        "(default), 'fast' = answer-only serving path with no cycle "
+        "ledger ($REPRO_BACKEND overrides the default)",
+    )
 
 
 def _build(args, tracer=None, metrics=None):
@@ -49,7 +57,7 @@ def _build(args, tracer=None, metrics=None):
     data = member.generate_input(args.input_length, seed=args.seed)
     pal = GSpecPal(
         member.dfa,
-        GSpecPalConfig(n_threads=args.threads),
+        GSpecPalConfig(n_threads=args.threads, backend=getattr(args, "backend", None)),
         training_input=training,
         tracer=tracer,
         metrics=metrics,
@@ -97,10 +105,15 @@ def _render_timeline(samples, max_rows: int = 16) -> str:
 
 
 def cmd_run(args) -> int:
+    from repro.engine import resolve_backend_name
+
     member, pal, data = _build(args)
+    backend = resolve_backend_name(args.backend)
     result = pal.run(data, scheme=args.scheme)
     print(f"member   : {member.name} ({member.dfa.n_states} states)")
     print(f"scheme   : {result.scheme}")
+    print(f"backend  : {backend}"
+          + ("  (answer-only: cycle figures exclude execution)" if backend != "sim" else ""))
     print(f"accepts  : {result.accepts}")
     print(f"kernel   : {result.time_ms:.3f} ms ({result.cycles:.0f} cycles)")
     stats = result.stats

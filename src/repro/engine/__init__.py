@@ -1,0 +1,74 @@
+"""Pluggable execution backends: the algorithm/engine split.
+
+The speculation pipeline (predict → speculate → verify/recover → merge)
+is pure algorithm; *how* each batch of transitions actually executes — and
+whether simulated cycles are accounted — is an
+:class:`~repro.engine.base.ExecutionBackend`:
+
+* ``"sim"`` — :class:`~repro.engine.sim.SimBackend`: the cycle-accurate
+  lockstep executor with the memory model, warp timing and metrics.  The
+  default; what every paper figure is measured with.
+* ``"fast"`` — :class:`~repro.engine.fast.FastBackend`: an answer-only
+  flattened-gather numpy path for production serving, where simulated
+  cycles are irrelevant and wall clock is everything.
+
+End states are bit-identical across backends for every scheme (enforced by
+the differential and hypothesis suites); only ``sim`` populates the cycle
+ledger.  Select a backend via ``GpuSimulator(backend=...)``,
+``GSpecPalConfig(backend=...)``, the ``--backend`` CLI flag, or the
+``REPRO_BACKEND`` environment variable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.base import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    CostSink,
+    ExecutionBackend,
+    resolve_backend_name,
+)
+from repro.engine.fast import FastBackend
+from repro.engine.sim import SimBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "CostSink",
+    "ExecutionBackend",
+    "FastBackend",
+    "SimBackend",
+    "create_backend",
+    "resolve_backend_name",
+]
+
+
+def create_backend(
+    name: Optional[str],
+    *,
+    executor=None,
+    table=None,
+) -> ExecutionBackend:
+    """Build the named backend (``None`` → ``$REPRO_BACKEND`` or ``sim``).
+
+    Parameters
+    ----------
+    executor:
+        The :class:`~repro.gpu.executor.LockstepExecutor` the ``sim``
+        backend wraps (required for ``sim``).
+    table:
+        The executor-space transition table the ``fast`` backend gathers
+        from (required for ``fast``).
+    """
+    resolved = resolve_backend_name(name)
+    if resolved == "sim":
+        if executor is None:
+            raise ValueError("the sim backend needs an executor to wrap")
+        return SimBackend(executor)
+    if table is None:
+        raise ValueError("the fast backend needs a transition table")
+    return FastBackend(table)

@@ -1,0 +1,120 @@
+"""The execution-backend contract: functional execution, pluggable cost.
+
+Every scheme drives ``state = T[state, sym]`` through an
+:class:`ExecutionBackend` instead of a concrete executor.  The contract has
+two halves:
+
+* **function** — ``run_batch`` maps ``(chunks, starts, lengths, active,
+  chunk_ids)`` to end states, and is required to be *bit-identical* across
+  backends (the differential and hypothesis suites enforce this for every
+  scheme × DFA × input);
+* **cost** — an optional :class:`CostSink` (in practice a
+  :class:`~repro.gpu.stats.KernelStats` ledger) the backend may charge.
+  Only backends with :attr:`ExecutionBackend.accounts_cycles` set populate
+  it; answer-only backends accept the ledger for signature parity and leave
+  it untouched.
+
+Backend selection is by name (``"sim"``, ``"fast"``); when no name is given
+the ``REPRO_BACKEND`` environment variable decides, defaulting to ``"sim"``
+so existing cost-model workflows are unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Environment variable consulted when no backend name is given explicitly.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: The default backend: full cycle-accurate simulation.
+DEFAULT_BACKEND = "sim"
+
+#: Names accepted by :func:`resolve_backend_name`, in registration order.
+BACKEND_NAMES: Tuple[str, ...] = ("sim", "fast")
+
+
+@runtime_checkable
+class CostSink(Protocol):
+    """The ledger slice a cycle-accounting backend charges into.
+
+    Structurally matched by :class:`~repro.gpu.stats.KernelStats`; the
+    protocol exists so future backends (and tests) can depend on the engine
+    layer without importing the GPU cost model.
+    """
+
+    transitions: int
+    redundant_transitions: int
+    shared_accesses: int
+    global_accesses: int
+
+    def charge(self, phase: str, cycles: float) -> None:
+        """Add ``cycles`` to the total and to ``phase``'s bucket."""
+        ...
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """One way of executing chunk batches of DFA transitions.
+
+    Implementations must agree on the *functional* result for identical
+    inputs; they differ only in what else they compute (cycle accounting,
+    metrics) and how fast they run on the host.
+    """
+
+    #: Registry name (``"sim"``, ``"fast"`` …).
+    name: str
+    #: Whether ``run_batch`` charges the ``stats`` ledger it is handed.
+    accounts_cycles: bool
+
+    def run_batch(
+        self,
+        chunks: np.ndarray,
+        starts: np.ndarray,
+        *,
+        stats: Optional[CostSink] = None,
+        phase: str = "execution",
+        lengths: Optional[np.ndarray] = None,
+        active: Optional[np.ndarray] = None,
+        count_redundant: Optional[np.ndarray] = None,
+        chunk_ids: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Advance each thread through its chunk; return the end states.
+
+        Semantics (shared by all backends): inactive lanes keep their start
+        state; positions at or beyond a lane's ``lengths`` entry are
+        skipped; ``chunk_ids``/``count_redundant`` only influence cost
+        accounting and may be ignored by answer-only backends.
+        """
+        ...
+
+    def run_gathered(
+        self,
+        input_chunks: np.ndarray,
+        chunk_ids: np.ndarray,
+        starts: np.ndarray,
+        **kwargs,
+    ) -> np.ndarray:
+        """Run with an explicit thread→chunk assignment (broken binding)."""
+        ...
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """Normalize a backend name, falling back to ``$REPRO_BACKEND``/sim.
+
+    Raises :class:`~repro.errors.SimulationError` for unknown names so a
+    typo in a config or the environment fails loudly at construction time,
+    not as a silently-wrong default.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    normalized = str(name).strip().lower()
+    if normalized not in BACKEND_NAMES:
+        raise SimulationError(
+            f"unknown execution backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    return normalized

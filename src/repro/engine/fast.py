@@ -1,0 +1,124 @@
+"""The answer-only backend: optimized numpy execution, no cost model.
+
+``FastBackend`` serves the production question — *what state does this
+input end in?* — without simulating the GPU that the paper's measurements
+need.  It keeps the transition table as one flattened row-major vector and
+advances all lanes with a single ``flat[state * n_symbols + symbol]``
+gather per input position: no memory-model hot/cold classification, no
+per-warp reductions, no ledger charges, no metrics.  The ``stats``,
+``phase``, ``chunk_ids`` and ``count_redundant`` parameters are accepted
+for signature parity with :class:`~repro.engine.sim.SimBackend` and
+ignored — with this backend a :class:`~repro.gpu.stats.KernelStats` ledger
+only ever contains what the *scheme* charged (launch, comm, verify, sync),
+never execution cycles.
+
+The functional contract is bit-identical to the lockstep executor:
+inactive lanes keep their start state, positions beyond a lane's length
+are skipped, and the returned dtype matches
+:data:`~repro.automata.dfa.STATE_DTYPE`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.automata.dfa import STATE_DTYPE
+from repro.errors import SimulationError
+
+
+class FastBackend:
+    """Flattened-gather DFA execution for answer-only serving."""
+
+    name = "fast"
+    accounts_cycles = False
+
+    def __init__(self, table: np.ndarray):
+        table = np.ascontiguousarray(np.asarray(table, dtype=STATE_DTYPE))
+        if table.ndim != 2:
+            raise SimulationError("transition table must be 2-D")
+        self.table = table
+        self.n_states, self.n_symbols = table.shape
+        # int64 flat copy: index arithmetic and gathers stay in one dtype,
+        # so the inner loop is a single fancy-index per position.
+        self._flat = table.ravel().astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        chunks: np.ndarray,
+        starts: np.ndarray,
+        *,
+        stats=None,
+        phase: str = "execution",
+        lengths: Optional[np.ndarray] = None,
+        active: Optional[np.ndarray] = None,
+        count_redundant: Optional[np.ndarray] = None,
+        chunk_ids: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        chunks = np.ascontiguousarray(chunks)
+        if chunks.ndim != 2:
+            raise SimulationError(f"chunks must be 2-D, got shape {chunks.shape}")
+        n_threads, chunk_len = chunks.shape
+        states = np.asarray(starts, dtype=np.int64).copy()
+        if states.shape != (n_threads,):
+            raise SimulationError("starts must match the number of threads")
+
+        if active is None:
+            active_mask = None
+        else:
+            active_mask = np.asarray(active, dtype=bool)
+        if lengths is None:
+            lens = None
+        else:
+            lens = np.asarray(lengths, dtype=np.int64)
+            if lens.shape != (n_threads,):
+                raise SimulationError("lengths must match the number of threads")
+            if (lens < 0).any() or (lens > chunk_len).any():
+                raise SimulationError("lengths out of range")
+            if (lens == chunk_len).all():
+                lens = None  # rectangular after all
+
+        if chunk_len == 0 or (active_mask is not None and not active_mask.any()):
+            return states.astype(STATE_DTYPE)
+
+        flat = self._flat
+        m = self.n_symbols
+        syms = chunks.astype(np.int64, copy=False)
+
+        if active_mask is None and lens is None:
+            # Rectangular all-active batch: one gather per position.
+            for j in range(chunk_len):
+                states = flat[states * m + syms[:, j]]
+            return states.astype(STATE_DTYPE)
+
+        # Ragged and/or masked batch: gather only the working lanes.
+        if active_mask is None:
+            active_mask = np.ones(n_threads, dtype=bool)
+        if lens is None:
+            lens = np.full(n_threads, chunk_len, dtype=np.int64)
+        max_len = int(lens[active_mask].max(initial=0))
+        for j in range(max_len):
+            working = active_mask & (j < lens)
+            if not working.any():
+                break
+            states[working] = flat[states[working] * m + syms[working, j]]
+        return states.astype(STATE_DTYPE)
+
+    # ------------------------------------------------------------------
+    def run_gathered(
+        self,
+        input_chunks: np.ndarray,
+        chunk_ids: np.ndarray,
+        starts: np.ndarray,
+        **kwargs,
+    ) -> np.ndarray:
+        """Run with an explicit thread→chunk assignment."""
+        chunk_ids = np.asarray(chunk_ids, dtype=np.int64)
+        gathered = np.asarray(input_chunks)[chunk_ids]
+        kwargs.setdefault("chunk_ids", chunk_ids)
+        return self.run_batch(gathered, starts, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FastBackend(n_states={self.n_states}, n_symbols={self.n_symbols})"

@@ -43,3 +43,14 @@ class SimulationError(ReproError):
 
 class SchemeError(ReproError):
     """A parallelization scheme was invoked with invalid parameters."""
+
+
+class MissingTrainingInputWarning(UserWarning):
+    """The frequency transformation was silently disabled.
+
+    Emitted when a convenience constructor is asked for the transformed
+    (RANK) hot layout but no training input is available to profile state
+    frequencies, so execution falls back to the hash layout.  Callers who
+    want the fallback silently can pass ``use_transformation=False``
+    explicitly or filter this category.
+    """

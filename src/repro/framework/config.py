@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.engine import resolve_backend_name
 from repro.gpu.device import RTX3090, DeviceSpec
 from repro.selector.decision_tree import SelectorThresholds
 from repro.errors import SchemeError
@@ -33,6 +35,10 @@ class GSpecPalConfig:
         Simulated GPU.
     thresholds:
         Decision-tree cut points.
+    backend:
+        Execution backend name: ``"sim"`` (cycle-accurate, the default) or
+        ``"fast"`` (answer-only serving path, no cycle ledger).  ``None``
+        defers to the ``REPRO_BACKEND`` environment variable.
     """
 
     n_threads: int = 256
@@ -44,6 +50,7 @@ class GSpecPalConfig:
     min_training_symbols: int = 2048
     device: DeviceSpec = RTX3090
     thresholds: SelectorThresholds = field(default_factory=SelectorThresholds)
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_threads < 2:
@@ -52,3 +59,7 @@ class GSpecPalConfig:
             raise SchemeError("spec_k must be >= 1")
         if not (0.0 < self.training_fraction <= 1.0):
             raise SchemeError("training_fraction must be in (0, 1]")
+        # Fail on typos now, not at first kernel launch ("sim"/"fast"; an
+        # explicit name also bypasses $REPRO_BACKEND at simulator build).
+        if self.backend is not None:
+            resolve_backend_name(self.backend)

@@ -113,6 +113,7 @@ class GSpecPal:
                 use_transformation=self.config.use_transformation,
                 training_input=bytes(np.asarray(self._training, dtype=np.uint8)),
                 metrics=self.metrics,
+                backend=self.config.backend,
             )
         return self._sim
 

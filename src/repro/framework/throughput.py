@@ -61,6 +61,7 @@ class ThroughputEngine:
         *,
         training_input=None,
         use_transformation: bool = True,
+        backend: "str | None" = None,
     ):
         if training_input is None:
             use_transformation = False
@@ -73,6 +74,7 @@ class ThroughputEngine:
                 if training_input is not None
                 else None
             ),
+            backend=backend,
         )
 
     def run_batch(self, streams: Sequence) -> BatchResult:
@@ -89,7 +91,7 @@ class ThroughputEngine:
 
         stats = self.sim.new_stats(n_threads=n)
         starts = np.full(n, self.sim.exec_start_state, dtype=np.int64)
-        ends = self.sim.executor.run(
+        ends = self.sim.engine.run_batch(
             chunks,
             starts,
             stats=stats,

@@ -27,6 +27,27 @@ from repro.gpu.stats import KernelStats
 from repro.errors import SimulationError
 
 
+def distinct_chunks_per_warp(
+    lane_chunk: np.ndarray, n_warps: int, warp_size: int
+) -> np.ndarray:
+    """Count distinct non-negative chunk ids within each warp's lanes.
+
+    One row-wise sort of the ``(n_warps, warp_size)`` lane matrix followed
+    by a segmented adjacent-difference count, instead of a python loop
+    running ``np.unique`` per warp — the input-fetch coalescing setup this
+    feeds runs once per batch and the loop dominated it on wide launches.
+    """
+    lanes = np.asarray(lane_chunk, dtype=np.int64).reshape(n_warps, warp_size)
+    ordered = np.sort(lanes, axis=1)  # invalid (-1) lanes sort to the front
+    valid = ordered >= 0
+    # A lane starts a new run when it is valid and differs from its left
+    # neighbour; -1 neighbours differ from any valid id by construction.
+    new_run = np.empty_like(valid)
+    new_run[:, 0] = valid[:, 0]
+    new_run[:, 1:] = valid[:, 1:] & (ordered[:, 1:] != ordered[:, :-1])
+    return new_run.sum(axis=1, dtype=np.int64)
+
+
 class LockstepExecutor:
     """Executes chunk batches on the simulated device with cycle accounting.
 
@@ -135,7 +156,6 @@ class LockstepExecutor:
         device = self.device
         ws = device.warp_size
         n_warps = -(-n_threads // ws)
-        pad = n_warps * ws - n_threads
 
         per_warp_cycles = np.zeros(n_warps, dtype=np.float64)
 
@@ -148,15 +168,13 @@ class LockstepExecutor:
             if cid.shape != (n_threads,):
                 raise SimulationError("chunk_ids must match the number of threads")
             lane_chunk[:n_threads][active_mask] = cid[active_mask]
-        per_warp_fetch = np.zeros(n_warps, dtype=np.float64)
-        for w in range(n_warps):
-            lanes = lane_chunk[w * ws : (w + 1) * ws]
-            distinct = np.unique(lanes[lanes >= 0]).size
-            if distinct:
-                per_warp_fetch[w] = (
-                    device.input_fetch_cycles
-                    + (distinct - 1) * device.input_issue_cycles
-                )
+        distinct = distinct_chunks_per_warp(lane_chunk, n_warps, ws)
+        per_warp_fetch = np.where(
+            distinct > 0,
+            device.input_fetch_cycles
+            + np.maximum(distinct - 1, 0) * device.input_issue_cycles,
+            0.0,
+        )
         shared_hits = 0
         global_hits = 0
         total_transitions = 0

@@ -17,6 +17,7 @@ import numpy as np
 from repro.automata.dfa import DFA
 from repro.automata.properties import StateFrequencyProfile, profile_state_frequencies
 from repro.automata.transform import TransformedDFA, frequency_transform
+from repro.engine import ExecutionBackend, create_backend
 from repro.gpu.device import RTX3090, DeviceSpec
 from repro.gpu.executor import LockstepExecutor
 from repro.gpu.memory import MemoryModel, TableLayout
@@ -56,6 +57,9 @@ class GpuSimulator:
     training_input: Optional[bytes] = None
     #: optional MetricsRegistry the executor/memory model record into.
     metrics: Optional[object] = None
+    #: execution backend name (``"sim"``/``"fast"``); ``None`` defers to
+    #: ``$REPRO_BACKEND`` and ultimately the cycle-accurate default.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.profile is None:
@@ -103,6 +107,13 @@ class GpuSimulator:
         self.executor = LockstepExecutor(
             exec_dfa.table, memory, self.device, metrics=self.metrics
         )
+        #: the handle every transition step routes through.  ``sim`` wraps
+        #: the executor above (ledger + metrics unchanged); ``fast`` skips
+        #: cycle accounting entirely.
+        self.engine: ExecutionBackend = create_backend(
+            self.backend, executor=self.executor, table=exec_dfa.table
+        )
+        self.backend_name: str = self.engine.name
 
     # ------------------------------------------------------------------
     # state-id translation between caller space and execution space

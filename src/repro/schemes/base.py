@@ -12,12 +12,14 @@ reference) and the :class:`~repro.gpu.stats.KernelStats` cost ledger.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.automata.dfa import DFA
+from repro.engine import ExecutionBackend
 from repro.gpu.device import RTX3090, DeviceSpec
 from repro.gpu.kernel import GpuSimulator, KernelPhase
 from repro.gpu.stats import KernelStats
@@ -25,7 +27,7 @@ from repro.observability import NULL_TRACER
 from repro.speculation.chunks import Partition, partition_input
 from repro.speculation.predictor import Prediction, predict_start_states
 from repro.speculation.records import VRStore
-from repro.errors import SchemeError
+from repro.errors import MissingTrainingInputWarning, SchemeError
 
 
 @dataclass
@@ -92,6 +94,12 @@ class Scheme(abc.ABC):
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
+    @property
+    def engine(self) -> ExecutionBackend:
+        """The execution backend every transition step routes through."""
+        return self.sim.engine
+
+    # ------------------------------------------------------------------
     @classmethod
     def for_dfa(
         cls,
@@ -102,21 +110,35 @@ class Scheme(abc.ABC):
         training_input=None,
         use_transformation: bool = True,
         metrics=None,
+        backend: Optional[str] = None,
         **kwargs,
     ) -> "Scheme":
         """Convenience constructor: load ``dfa`` on a device and build the
         scheme.  ``training_input`` feeds the frequency profile; when absent
-        the transformation is skipped (hash layout with a trivial profile).
-        ``metrics`` attaches a registry to the executor; a ``tracer`` kwarg
-        is forwarded to the scheme."""
+        the transformation is skipped (hash layout with a trivial profile)
+        and a :class:`~repro.errors.MissingTrainingInputWarning` is emitted.
+        ``metrics`` attaches a registry to the executor; ``backend`` selects
+        the execution engine (``"sim"``/``"fast"``, default per
+        ``$REPRO_BACKEND``); a ``tracer`` kwarg is forwarded to the scheme."""
         if training_input is None and use_transformation:
             use_transformation = False
+            warnings.warn(
+                f"{cls.__name__}.for_dfa: no training_input to profile state "
+                "frequencies, so the frequency transformation is disabled "
+                "(falling back to the hash hot layout); pass a training "
+                "input, or use_transformation=False to silence this",
+                MissingTrainingInputWarning,
+                stacklevel=2,
+            )
+            if metrics is not None:
+                metrics.counter("scheme.transformation_auto_disabled").inc()
         sim = GpuSimulator(
             dfa=dfa,
             device=device,
             use_transformation=use_transformation,
             training_input=bytes(training_input) if training_input is not None else None,
             metrics=metrics,
+            backend=backend,
         )
         return cls(sim, n_threads=n_threads, **kwargs)
 
@@ -202,7 +224,7 @@ class Scheme(abc.ABC):
             [prediction.queues[i].dequeue() for i in range(partition.n_chunks)],
             dtype=np.int64,
         )
-        ends = self.sim.executor.run(
+        ends = self.engine.run_batch(
             partition.chunks,
             starts,
             stats=stats,

@@ -40,7 +40,7 @@ class EnumerativeScheme(Scheme):
             with self._phase_span(KernelPhase.SPECULATIVE_EXECUTION, stats):
                 chunk_ids = np.repeat(np.arange(n, dtype=np.int64), n_states)
                 starts = np.tile(np.arange(n_states, dtype=np.int64), n)
-                ends = self.sim.executor.run_gathered(
+                ends = self.engine.run_gathered(
                     partition.chunks,
                     chunk_ids,
                     starts,

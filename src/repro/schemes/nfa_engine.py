@@ -22,7 +22,6 @@ Cost model per symbol:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -108,7 +108,7 @@ class PMScheme(Scheme):
                         ],
                         dtype=np.int64,
                     )
-                    ends = self.sim.executor.run(
+                    ends = self.engine.run_batch(
                         partition.chunks,
                         starts,
                         stats=stats,
@@ -188,7 +188,7 @@ class PMScheme(Scheme):
                     before = stats.phase_cycles.get(
                         KernelPhase.VERIFY_RECOVER, 0.0
                     )
-                    ends = self.sim.executor.run(
+                    ends = self.engine.run_batch(
                         partition.chunks[i : i + 1],
                         np.asarray([recovery_start], dtype=np.int64),
                         stats=stats,

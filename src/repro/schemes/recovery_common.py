@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -245,7 +245,7 @@ class FrontierLoopScheme(Scheme):
         stats.recoveries_executed += len(assignments)
 
         before = stats.phase_cycles.get(phase, 0.0)
-        ends = self.sim.executor.run_gathered(
+        ends = self.engine.run_gathered(
             partition.chunks,
             cids,
             starts,

@@ -28,7 +28,7 @@ class SequentialScheme(Scheme):
                 pass
             start = np.asarray([self._exec_start(start_state)], dtype=np.int64)
             with self._phase_span(KernelPhase.SPECULATIVE_EXECUTION, stats):
-                ends = self.sim.executor.run(
+                ends = self.engine.run_batch(
                     symbols.reshape(1, -1),
                     start,
                     stats=stats,

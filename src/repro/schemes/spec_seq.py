@@ -56,7 +56,7 @@ class SpecSequentialScheme(Scheme):
                         # One thread re-executes chunk i from the verified
                         # state; everyone else idles — this is the
                         # sequential bottleneck.
-                        ends = self.sim.executor.run(
+                        ends = self.engine.run_batch(
                             partition.chunks[i : i + 1],
                             np.asarray([end_p], dtype=np.int64),
                             stats=stats,

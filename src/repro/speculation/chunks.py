@@ -9,7 +9,6 @@ any thread→chunk assignment with one gather.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.experiments import (
-    MemberRun,
     run_member,
     summarize_speedups,
     verify_against_sequential,

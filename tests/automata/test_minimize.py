@@ -1,7 +1,6 @@
 """Hopcroft minimization tests: language preservation and minimality."""
 
 import numpy as np
-import pytest
 
 from repro.automata.dfa import DFA
 from repro.automata.minimize import minimize_dfa

@@ -1,14 +1,12 @@
 """Moore-minimization tests + Hopcroft cross-checks."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.automata.dfa import DFA
 from repro.automata.minimize import minimize_dfa
 from repro.automata.moore import minimize_dfa_moore
 from repro.automata.regex import compile_regex
-from repro.workloads import classic
 
 
 def test_div7_already_minimal(div7):

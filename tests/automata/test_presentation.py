@@ -24,7 +24,7 @@ class TestFormatTable:
 
     def test_transition_values(self, div7):
         out = div7.format_table(symbols=[ord("0"), ord("1")])
-        row_s1 = [l for l in out.splitlines() if "s1" in l.split("|")[0]][0]
+        row_s1 = [ln for ln in out.splitlines() if "s1" in ln.split("|")[0]][0]
         # s1 --0--> s2, s1 --1--> s3 (value-mod-7 doubling).
         assert "s2" in row_s1 and "s3" in row_s1
 
@@ -46,7 +46,7 @@ class TestToDot:
         d = classic.parity(n_symbols=4, tracked_symbol=1)
         dot = d.to_dot()
         # s0 self-loops on symbols 0,2,3: one merged edge, not three.
-        self_loops = [l for l in dot.splitlines() if "s0 -> s0" in l]
+        self_loops = [ln for ln in dot.splitlines() if "s0 -> s0" in ln]
         assert len(self_loops) == 1
 
     def test_all_states_present(self, div7):

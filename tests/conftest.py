@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.automata import compile_disjunction, compile_regex
+from repro.automata import compile_disjunction
 from repro.gpu.device import DeviceSpec
 from repro.workloads import classic
 

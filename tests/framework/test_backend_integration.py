@@ -1,0 +1,74 @@
+"""Backend selection threaded through the framework layer.
+
+Covers config validation, the environment-variable default,
+``StreamSession`` carrying state identically across backends, and the
+throughput engine's functional parity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.automata import compile_regex
+from repro.engine import BACKEND_ENV_VAR
+from repro.errors import SimulationError
+from repro.framework import GSpecPal, GSpecPalConfig
+from repro.framework.throughput import ThroughputEngine
+
+
+@pytest.fixture(scope="module")
+def dfa():
+    return compile_regex("(ab|ba)+c", n_symbols=128, name="fw-backend")
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(99)
+    return rng.integers(97, 123, size=4096).astype(np.uint8)
+
+
+def test_config_rejects_unknown_backend():
+    with pytest.raises(SimulationError):
+        GSpecPalConfig(backend="tpu")
+
+
+def test_config_backend_reaches_the_simulator(dfa, data):
+    pal = GSpecPal(dfa, GSpecPalConfig(n_threads=8, backend="fast"))
+    pal.run(data, scheme="rr")
+    assert pal._simulator().backend_name == "fast"
+
+
+def test_env_var_sets_the_default(dfa, data, monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "fast")
+    pal = GSpecPal(dfa, GSpecPalConfig(n_threads=8))
+    pal.run(data, scheme="nf")
+    assert pal._simulator().backend_name == "fast"
+
+
+def test_stream_session_parity(dfa, data):
+    """Segment-by-segment carried state is identical across backends."""
+    sessions = {
+        backend: GSpecPal(
+            dfa, GSpecPalConfig(n_threads=8, backend=backend)
+        ).stream(scheme="sre")
+        for backend in ("sim", "fast")
+    }
+    for lo in range(0, data.size, 512):
+        segment = data[lo : lo + 512]
+        r_sim = sessions["sim"].feed(segment)
+        r_fast = sessions["fast"].feed(segment)
+        assert r_fast.end_state == r_sim.end_state
+        assert sessions["fast"].state == sessions["sim"].state
+        assert sessions["fast"].accepts == sessions["sim"].accepts
+
+
+def test_throughput_engine_parity(dfa):
+    rng = np.random.default_rng(3)
+    streams = [
+        rng.integers(97, 123, size=int(rng.integers(10, 400))).astype(np.uint8)
+        for _ in range(12)
+    ]
+    sim = ThroughputEngine(dfa, backend="sim").run_batch(streams)
+    fast = ThroughputEngine(dfa, backend="fast").run_batch(streams)
+    np.testing.assert_array_equal(fast.per_stream_ends, sim.per_stream_ends)
+    np.testing.assert_array_equal(fast.accepts, sim.accepts)
+    assert sim.stats.transitions > 0 and fast.stats.transitions == 0

@@ -41,6 +41,23 @@ def test_compare(capsys):
     assert "*" in out  # selector's pick marked
 
 
+def test_run_fast_backend(capsys):
+    rc = main(
+        ["run", "snort", "1", "--scheme", "sre", "--backend", "fast",
+         "--input-length", "8192", "--threads", "64",
+         "--training-length", "2048"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "backend  : fast" in out
+    assert "answer-only" in out
+
+
+def test_backend_choices_enforced():
+    with pytest.raises(SystemExit):
+        main(["run", "snort", "1", "--backend", "cuda"])
+
+
 def test_unknown_suite_rejected():
     with pytest.raises(SystemExit):
         main(["suite", "nids"])

@@ -1,6 +1,5 @@
 """CLI timeline/report command tests."""
 
-import pytest
 
 from repro.cli import _render_timeline, main
 

@@ -89,12 +89,16 @@ class TestRun:
         assert all(r.end_state == truth for r in results.values())
 
     def test_transformation_ablation(self, easy_dfa, stream, training):
+        # Pinned to the sim backend: the ablation compares cycle figures,
+        # which only the cycle-accounting backend produces.
         on = GSpecPal(
-            easy_dfa, GSpecPalConfig(n_threads=16), training_input=training
+            easy_dfa,
+            GSpecPalConfig(n_threads=16, backend="sim"),
+            training_input=training,
         ).run(stream, scheme="rr")
         off = GSpecPal(
             easy_dfa,
-            GSpecPalConfig(n_threads=16, use_transformation=False),
+            GSpecPalConfig(n_threads=16, use_transformation=False, backend="sim"),
             training_input=training,
         ).run(stream, scheme="rr")
         assert on.end_state == off.end_state

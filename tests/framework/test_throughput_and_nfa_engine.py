@@ -38,8 +38,6 @@ class TestThroughputEngine:
             ThroughputEngine(dfa).run_batch([])
 
     def test_ragged_lengths(self, dfa):
-        streams = [b"xxalertzz", b"no", b""]
-        # Numpy path: skip empty stream (0-length) by padding batch shape.
         result = ThroughputEngine(dfa).run_batch([b"xxalertzz", b"no"])
         assert result.accepts[0] and not result.accepts[1]
 
@@ -47,11 +45,14 @@ class TestThroughputEngine:
         """The classic trade-off: batch scanning moves more total symbols
         per cycle, while GSpecPal's chunk parallelism answers one stream
         sooner."""
-        batch = ThroughputEngine(dfa).run_batch(streams)
+        # Cycle comparison: needs the cycle-accounting backend on both sides.
+        batch = ThroughputEngine(dfa, backend="sim").run_batch(streams)
 
         one = streams[0]
         training = bytes(rng.integers(97, 123, size=64).astype(np.uint8))
-        latency_scheme = SREScheme.for_dfa(dfa, n_threads=16, training_input=training)
+        latency_scheme = SREScheme.for_dfa(
+            dfa, n_threads=16, training_input=training, backend="sim"
+        )
         single = latency_scheme.run(one)
 
         # Aggregate: the batch engine processes all streams in roughly the

@@ -1,7 +1,6 @@
 """Property-based tests for the lockstep executor's cost accounting."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.automata.dfa import DFA

@@ -1,8 +1,7 @@
 """Device-preset tests."""
 
-import pytest
 
-from repro.gpu.presets import A100, DEVICE_PRESETS, EMBEDDED, RTX2080TI, RTX3090, V100
+from repro.gpu.presets import A100, DEVICE_PRESETS, EMBEDDED
 
 
 def test_registry_complete():

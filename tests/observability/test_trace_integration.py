@@ -35,7 +35,9 @@ def make_pal(dfa, tracer=None, metrics=None, n_threads=8, lo=0, hi=64):
     training = bytes(rng.integers(lo, hi, size=160).astype(np.uint8))
     return GSpecPal(
         dfa,
-        GSpecPalConfig(n_threads=n_threads),
+        # Pinned to the sim backend: these tests assert on executor/memory
+        # counters and cycle tiling, which only SimBackend produces.
+        GSpecPalConfig(n_threads=n_threads, backend="sim"),
         training_input=training,
         tracer=tracer,
         metrics=metrics,

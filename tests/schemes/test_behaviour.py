@@ -48,6 +48,9 @@ def easy_case():
 
 def run(cls, case, n_threads=16, **kw):
     dfa, data, training = case
+    # Cost-model behaviour is what these tests pin down, so they always use
+    # the cycle-accounting backend regardless of REPRO_BACKEND.
+    kw.setdefault("backend", "sim")
     return cls.for_dfa(dfa, n_threads=n_threads, training_input=training, **kw).run(data)
 
 

@@ -19,7 +19,6 @@ from repro.schemes import (
     SREHOScheme,
     SREScheme,
 )
-from repro.workloads import classic
 
 ALL_SCHEMES = [
     SequentialScheme,

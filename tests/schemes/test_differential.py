@@ -7,6 +7,11 @@ For every combination, every selectable scheme plus the sequential baselines
 must reproduce the oracle's ``end_state``, ``accepts`` decision, and — when
 the scheme materializes them — the per-chunk verified end states.
 
+The whole grid is additionally swept across execution backends: the
+answer-only ``fast`` backend must be bit-identical to the cycle-accurate
+``sim`` backend on every functional output, while leaving the execution
+side of the cycle ledger untouched.
+
 Everything is seeded; a failure here is a real speculation/recovery bug, not
 flakiness.
 """
@@ -29,6 +34,9 @@ TRAINING_LENGTH = 128
 
 #: Schemes under differential test: the selector's four plus both baselines.
 SCHEMES = GSpecPal.SELECTABLE + ("seq", "spec-seq")
+
+#: Execution backends the whole grid is swept across.
+BACKENDS = ("sim", "fast")
 
 
 # ----------------------------------------------------------------------
@@ -130,25 +138,34 @@ def dfa_cache():
     return {name: build() for name, build, _ in DFAS}
 
 
-@pytest.mark.parametrize("dfa_name,input_name", GRID)
-def test_all_schemes_match_oracle(dfa_name, input_name, dfa_cache):
+def _grid_case(dfa_name, input_name, dfa_cache):
+    """Build the (dfa, symbols, training) triple for one grid cell."""
     dfa = dfa_cache[dfa_name]
     lo, hi = next(rng for name, _, rng in DFAS if name == dfa_name)
     generate = next(fn for name, fn in INPUTS if name == input_name)
     rng = np.random.default_rng(SEED ^ hash((dfa_name, input_name)) % (2**32))
     symbols = np.asarray(generate(rng, lo, hi, INPUT_LENGTH), dtype=np.uint8)
     training = np.asarray(generate(rng, lo, hi, TRAINING_LENGTH), dtype=np.uint8)
+    return dfa, symbols, training
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("dfa_name,input_name", GRID)
+def test_all_schemes_match_oracle(dfa_name, input_name, backend, dfa_cache):
+    dfa, symbols, training = _grid_case(dfa_name, input_name, dfa_cache)
 
     truth_end = dfa.run(symbols)
     truth_accepts = truth_end in dfa.accepting
     oracle_cache = {}  # n_chunks -> chunk ends (seq runs with 1 chunk)
 
     pal = GSpecPal(
-        dfa, GSpecPalConfig(n_threads=N_THREADS), training_input=training
+        dfa,
+        GSpecPalConfig(n_threads=N_THREADS, backend=backend),
+        training_input=training,
     )
     for scheme in SCHEMES:
         result = pal.run(symbols, scheme=scheme)
-        label = f"{scheme} on {dfa_name}/{input_name}"
+        label = f"{scheme} on {dfa_name}/{input_name} [{backend}]"
         assert result.end_state == truth_end, f"{label}: end state"
         assert result.accepts == truth_accepts, f"{label}: accepts"
         if result.chunk_ends is not None:
@@ -160,6 +177,43 @@ def test_all_schemes_match_oracle(dfa_name, input_name, dfa_cache):
                 oracle_cache[n],
                 err_msg=f"{label}: chunk_ends",
             )
+
+
+@pytest.mark.parametrize("dfa_name,input_name", GRID)
+def test_backends_are_bit_identical(dfa_name, input_name, dfa_cache):
+    """The correctness contract of the engine layer, cell by cell:
+    ``end_state``/``accepts``/``chunk_ends`` agree across backends, only
+    the sim backend accounts execution work, and sim ledgers are
+    unperturbed by the fast backend having run first."""
+    dfa, symbols, training = _grid_case(dfa_name, input_name, dfa_cache)
+    pals = {
+        backend: GSpecPal(
+            dfa,
+            GSpecPalConfig(n_threads=N_THREADS, backend=backend),
+            training_input=training,
+        )
+        for backend in BACKENDS
+    }
+    for scheme in SCHEMES:
+        fast = pals["fast"].run(symbols, scheme=scheme)
+        sim = pals["sim"].run(symbols, scheme=scheme)
+        label = f"{scheme} on {dfa_name}/{input_name}"
+        assert fast.end_state == sim.end_state, f"{label}: end state"
+        assert fast.accepts == sim.accepts, f"{label}: accepts"
+        assert (fast.chunk_ends is None) == (sim.chunk_ends is None), label
+        if sim.chunk_ends is not None:
+            np.testing.assert_array_equal(
+                np.asarray(fast.chunk_ends),
+                np.asarray(sim.chunk_ends),
+                err_msg=f"{label}: chunk_ends",
+            )
+        # Only the sim backend populates the execution side of the ledger
+        # (transitions and table lookups; VR-record staging is charged by
+        # the schemes themselves and may still appear as shared traffic).
+        assert sim.stats.transitions > 0, label
+        assert fast.stats.transitions == 0, label
+        assert fast.stats.global_accesses == 0, label
+        assert fast.cycles < sim.cycles, label
 
 
 def test_parallel_schemes_expose_chunk_ends(dfa_cache):

@@ -2,7 +2,6 @@
 scheduling decisions), exercised on hand-crafted round contexts."""
 
 import numpy as np
-import pytest
 
 from repro.schemes.nf import NFPolicy
 from repro.schemes.rr import RRPolicy

@@ -13,7 +13,6 @@ from repro.speculation.predictors import (
     OraclePredictor,
     UniformPredictor,
 )
-from repro.workloads import classic
 from repro.workloads.components import counter_component
 from repro.automata.dfa import DFA
 from repro.errors import SchemeError
