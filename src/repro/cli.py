@@ -10,6 +10,10 @@ Commands
 ``trace``    — run a member with tracing on and print the per-phase span
                timeline plus executor/memory metrics; ``--jsonl`` exports
                the spans for external tooling.
+``fuzz``     — differential fuzzing: random DFAs × schemes × backends ×
+               streaming cross-checked against the sequential oracle with
+               runtime invariant audits on; failures are shrunk and saved
+               as JSON repros (``--replay`` re-runs one).
 
 Examples
 --------
@@ -20,6 +24,7 @@ Examples
     python -m repro.cli run snort 8 --scheme nf --input-length 65536
     python -m repro.cli compare poweren 4 --threads 256
     python -m repro.cli trace snort 1 --input-length 4096 --threads 32
+    python -m repro.cli fuzz --iterations 200 --seed 42 --out fuzz-repros
 """
 
 from __future__ import annotations
@@ -173,6 +178,37 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.errors import SelfCheckError
+    from repro.selfcheck.fuzz import replay, run_fuzz
+
+    if args.replay:
+        message = replay(args.replay)
+        if message is None:
+            print(f"repro {args.replay}: no longer fails")
+            return 0
+        print(f"repro {args.replay}: still fails\n  {message}")
+        return 1
+    try:
+        path = run_fuzz(
+            iterations=args.iterations,
+            seed=args.seed,
+            out_dir=args.out,
+            schemes=tuple(args.schemes.split(",")),
+            backends=tuple(args.backends.split(",")),
+            log=print,
+            probes=not args.no_probes,
+        )
+    except SelfCheckError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    if path is not None:
+        print(f"FAIL: shrunk repro at {path}")
+        return 1
+    print("PASS")
+    return 0
+
+
 def cmd_compare(args) -> int:
     member, pal, data = _build(args)
     results = pal.compare_schemes(data)
@@ -253,6 +289,38 @@ def main(argv=None) -> int:
     p = sub.add_parser("compare", help="race all schemes on a member")
     _add_member_args(p)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing against the sequential oracle",
+    )
+    p.add_argument("--iterations", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out",
+        default="fuzz-repros",
+        help="directory shrunk failure repros are written to",
+    )
+    p.add_argument(
+        "--schemes",
+        default="pm,sre,rr,nf,spec-seq",
+        help="comma-separated scheme pool",
+    )
+    p.add_argument(
+        "--backends", default="sim,fast", help="comma-separated backend pool"
+    )
+    p.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="re-run one saved repro instead of fuzzing",
+    )
+    p.add_argument(
+        "--no-probes",
+        action="store_true",
+        help="skip the deterministic contract probes",
+    )
+    p.set_defaults(func=cmd_fuzz)
 
     args = parser.parse_args(argv)
     return args.func(args)

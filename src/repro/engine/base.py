@@ -103,6 +103,68 @@ class ExecutionBackend(Protocol):
         ...
 
 
+def _lane_list(mask: np.ndarray, cap: int = 8) -> str:
+    """Render offending lane indices for an error message, capped."""
+    lanes = np.flatnonzero(mask)
+    shown = ", ".join(str(int(x)) for x in lanes[:cap])
+    if lanes.size > cap:
+        shown += f", … ({lanes.size} lanes total)"
+    return shown
+
+
+def validate_batch_inputs(
+    chunks: np.ndarray,
+    starts: np.ndarray,
+    *,
+    n_states: int,
+    n_symbols: int,
+    lengths: Optional[np.ndarray] = None,
+    active: Optional[np.ndarray] = None,
+    backend: str = "backend",
+) -> None:
+    """Validate start states and symbols against the table's domain.
+
+    Shared by both backends so they agree on the error contract: an
+    out-of-range start state or symbol raises
+    :class:`~repro.errors.SimulationError` naming the offending lanes,
+    instead of surfacing as a raw numpy ``IndexError`` (or, worse, a
+    silently wrong answer via negative indexing in the flat gather).
+
+    ``starts`` is checked for *every* lane — schemes hand inactive lanes a
+    valid placeholder start, so a bad start is always a real bug.  Symbols
+    are only checked at positions a lane actually executes (padding beyond
+    ``lengths`` and inactive lanes may hold arbitrary values).
+    """
+    starts = np.asarray(starts)
+    bad_starts = (starts < 0) | (starts >= n_states)
+    if bad_starts.any():
+        raise SimulationError(
+            f"[{backend}] start states out of range [0, {n_states}) "
+            f"on lanes {_lane_list(bad_starts)}"
+        )
+    chunks = np.asarray(chunks)
+    if chunks.size == 0:
+        return
+    bad_syms = (chunks < 0) | (chunks >= n_symbols)
+    if not bad_syms.any():
+        return
+    # Restrict to executed positions before deciding it is an error.
+    n_threads, chunk_len = chunks.shape
+    executed = np.ones((n_threads, chunk_len), dtype=bool)
+    if active is not None:
+        executed &= np.asarray(active, dtype=bool)[:, None]
+    if lengths is not None:
+        executed &= np.arange(chunk_len)[None, :] < np.asarray(
+            lengths, dtype=np.int64
+        )[:, None]
+    bad_syms &= executed
+    if bad_syms.any():
+        raise SimulationError(
+            f"[{backend}] input symbols out of range [0, {n_symbols}) "
+            f"on lanes {_lane_list(bad_syms.any(axis=1))}"
+        )
+
+
 def resolve_backend_name(name: Optional[str] = None) -> str:
     """Normalize a backend name, falling back to ``$REPRO_BACKEND``/sim.
 

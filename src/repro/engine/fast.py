@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from repro.automata.dfa import STATE_DTYPE
+from repro.engine.base import validate_batch_inputs
 from repro.errors import SimulationError
 
 
@@ -79,6 +80,16 @@ class FastBackend:
                 raise SimulationError("lengths out of range")
             if (lens == chunk_len).all():
                 lens = None  # rectangular after all
+
+        validate_batch_inputs(
+            chunks,
+            states,
+            n_states=self.n_states,
+            n_symbols=self.n_symbols,
+            lengths=lens,
+            active=active_mask,
+            backend=self.name,
+        )
 
         if chunk_len == 0 or (active_mask is not None and not active_mask.any()):
             return states.astype(STATE_DTYPE)

@@ -45,6 +45,61 @@ class SchemeError(ReproError):
     """A parallelization scheme was invoked with invalid parameters."""
 
 
+class SelfCheckError(ReproError):
+    """A runtime invariant audit failed (``repro.selfcheck``).
+
+    Raised at scheme-run boundaries (and, inside the frontier loop, per
+    verification round) when an execution violates one of the paper-level
+    invariants — end-state/oracle agreement, chunk-end chaining, VR-store
+    capacity, speculation-queue accounting, or ledger phase tiling.  The
+    structured attributes identify exactly where the violation happened so
+    a fuzzer (or an operator reading logs) can reproduce it.
+
+    Attributes
+    ----------
+    invariant:
+        Short machine-readable name of the violated invariant
+        (``"end_state_oracle"``, ``"chunk_end_chain"``, ...).
+    scheme / backend:
+        Scheme name and execution-backend name of the offending run.
+    frontier:
+        Frontier round (chunk index) at which the violation was detected,
+        or ``None`` when the audit ran at the run boundary.
+    lanes:
+        Offending lane/chunk indices, or ``None`` when not lane-specific.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: "str | None" = None,
+        scheme: "str | None" = None,
+        backend: "str | None" = None,
+        frontier: "int | None" = None,
+        lanes: "list | None" = None,
+    ):
+        self.invariant = invariant
+        self.scheme = scheme
+        self.backend = backend
+        self.frontier = frontier
+        self.lanes = list(lanes) if lanes is not None else None
+        context = []
+        if invariant is not None:
+            context.append(f"invariant={invariant}")
+        if scheme is not None:
+            context.append(f"scheme={scheme}")
+        if backend is not None:
+            context.append(f"backend={backend}")
+        if frontier is not None:
+            context.append(f"frontier={frontier}")
+        if self.lanes is not None:
+            context.append(f"lanes={self.lanes}")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
+
+
 class MissingTrainingInputWarning(UserWarning):
     """The frequency transformation was silently disabled.
 

@@ -39,6 +39,10 @@ class GSpecPalConfig:
         Execution backend name: ``"sim"`` (cycle-accurate, the default) or
         ``"fast"`` (answer-only serving path, no cycle ledger).  ``None``
         defers to the ``REPRO_BACKEND`` environment variable.
+    selfcheck:
+        Runtime invariant audits (:mod:`repro.selfcheck`): ``True`` forces
+        them on, ``False`` forces them off, ``None`` (default) defers to
+        the ``REPRO_SELFCHECK`` environment variable.
     """
 
     n_threads: int = 256
@@ -51,6 +55,7 @@ class GSpecPalConfig:
     device: DeviceSpec = RTX3090
     thresholds: SelectorThresholds = field(default_factory=SelectorThresholds)
     backend: Optional[str] = None
+    selfcheck: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.n_threads < 2:

@@ -133,6 +133,14 @@ class GSpecPal:
     def build_scheme(self, name: str) -> Scheme:
         """Instantiate a scheme sharing this framework's simulator/config
         (and its tracer, so scheme phase spans nest under framework spans)."""
+        scheme = self._build_scheme(name)
+        if self.config.selfcheck is not None:
+            # Explicit config beats the REPRO_SELFCHECK environment default
+            # the scheme constructor picked up.
+            scheme.selfcheck = bool(self.config.selfcheck)
+        return scheme
+
+    def _build_scheme(self, name: str) -> Scheme:
         sim = self._simulator()
         cfg = self.config
         tracer = self.tracer
@@ -167,6 +175,36 @@ class GSpecPal:
         if name == "spec-seq":
             return SpecSequentialScheme(sim, n_threads=cfg.n_threads, tracer=tracer)
         raise SchemeError(f"unknown scheme {name!r}")
+
+    def estimate_costs(
+        self, data=None, input_length: Optional[int] = None
+    ) -> Dict[str, float]:
+        """Evaluate the analytical cost model (Eqs. 1–4) under this config.
+
+        Threads the configuration's actual workload parameters —
+        ``n_threads``, ``spec_k`` and the ``others_registers`` budget that
+        the Δ-specs term depends on — into :class:`CostModelInputs`, so the
+        estimates move when the register budget does (Fig. 7).
+        """
+        from repro.selector.cost_model import CostModel, CostModelInputs
+
+        features = self.profile(data)
+        if input_length is None:
+            if data is not None:
+                input_length = int(_as_symbol_array(data).size)
+            elif self._training is not None:
+                input_length = int(self._training.size)
+            else:
+                raise SchemeError(
+                    "estimate_costs needs data or an explicit input_length"
+                )
+        inputs = CostModelInputs(
+            input_length=int(input_length),
+            n_threads=self.config.n_threads,
+            k=self.config.spec_k,
+            others_capacity=self.config.others_registers,
+        )
+        return CostModel(self.config.device).estimate_all(features, inputs)
 
     def run(self, data, scheme: Optional[str] = None) -> SchemeResult:
         """Process ``data``: profile (if needed), select, execute.
@@ -246,7 +284,13 @@ class GSpecPal:
 
 
 class StreamSession:
-    """Incremental scanning with carried DFA state (see GSpecPal.stream)."""
+    """Incremental scanning with carried DFA state (see GSpecPal.stream).
+
+    ``total_cycles`` accumulates per-segment simulated cycles while the
+    execution backend accounts them; the first segment processed on an
+    answer-only backend (``fast``) sets it to ``float('nan')`` — sticky —
+    because the ledger then holds no execution cycles to sum.
+    """
 
     def __init__(self, pal: GSpecPal, scheme: Optional[str] = None):
         self._pal = pal
@@ -277,14 +321,19 @@ class StreamSession:
                 if self._scheme is not None
                 else self._pal.select_scheme(symbols)
             )
-            result = self._pal.build_scheme(name).run(
-                symbols, start_state=self.state
-            )
+            runner = self._pal.build_scheme(name)
+            result = runner.run(symbols, start_state=self.state)
             if span:
                 span.set_attr("scheme", name)
                 span.set_attr("end_state", result.end_state)
         self.state = result.end_state
         self.segments += 1
         self.total_symbols += int(symbols.size)
-        self.total_cycles += result.cycles
+        if runner.engine.accounts_cycles:
+            self.total_cycles += result.cycles
+        else:
+            # Answer-only backend: the ledger never holds execution
+            # cycles, so an accumulated total would silently understate
+            # cost.  NaN is sticky and poisons any downstream comparison.
+            self.total_cycles = float("nan")
         return result

@@ -31,19 +31,30 @@ class BatchResult:
     the batch's simulated cost.  ``latency_cycles`` is the response time of
     any single stream (== the whole batch: every stream finishes with the
     kernel); ``throughput_symbols_per_cycle`` is the aggregate rate.
+
+    When the execution backend does not account cycles (``fast``), the
+    ledger holds only scheme-side charges, never execution cycles — so both
+    cycle-derived properties return ``float('nan')`` instead of a
+    misleading near-zero number.  Callers comparing cycles must check
+    ``accounts_cycles`` (or ``math.isnan``) first.
     """
 
     per_stream_ends: np.ndarray
     accepts: np.ndarray
     stats: KernelStats
     total_symbols: int
+    accounts_cycles: bool = True
 
     @property
     def latency_cycles(self) -> float:
+        if not self.accounts_cycles:
+            return float("nan")
         return self.stats.cycles
 
     @property
     def throughput_symbols_per_cycle(self) -> float:
+        if not self.accounts_cycles:
+            return float("nan")
         return self.total_symbols / self.stats.cycles if self.stats.cycles else 0.0
 
 
@@ -105,4 +116,5 @@ class ThroughputEngine:
             accepts=accept_mask[user_ends],
             stats=stats,
             total_symbols=int(lengths.sum()),
+            accounts_cycles=self.sim.engine.accounts_cycles,
         )

@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.automata.dfa import STATE_DTYPE
+from repro.engine.base import validate_batch_inputs
 from repro.gpu.device import DeviceSpec
 from repro.gpu.memory import MemoryModel
 from repro.gpu.stats import KernelStats
@@ -147,6 +148,17 @@ class LockstepExecutor:
             if (lens < 0).any() or (lens > chunk_len).any():
                 raise SimulationError("lengths out of range")
 
+        n_states, n_symbols = self.table.shape
+        validate_batch_inputs(
+            chunks,
+            states,
+            n_states=n_states,
+            n_symbols=n_symbols,
+            lengths=None if lengths is None else lens,
+            active=active_mask,
+            backend="sim",
+        )
+
         if chunk_len == 0 or not active_mask.any():
             if self.metrics is not None:
                 self.metrics.counter("executor.batches").inc()
@@ -239,8 +251,11 @@ class LockstepExecutor:
                 )
                 warp_steps += int(np.count_nonzero(warp_active))
 
-            # Advance states of working lanes only.
-            nxt = table[states, chunks[:, j]]
+            # Advance states of working lanes only.  Padded tails and
+            # inactive lanes may hold arbitrary symbol values, so the
+            # gather must not touch them.
+            col = np.where(working, chunks[:, j], 0)
+            nxt = table[states, col]
             states = np.where(working, nxt, states).astype(STATE_DTYPE, copy=False)
 
         if stats is not None:

@@ -12,6 +12,7 @@ reference) and the :class:`~repro.gpu.stats.KernelStats` cost ledger.
 from __future__ import annotations
 
 import abc
+import functools
 import warnings
 from dataclasses import dataclass
 from typing import Optional
@@ -27,6 +28,7 @@ from repro.observability import NULL_TRACER
 from repro.speculation.chunks import Partition, partition_input
 from repro.speculation.predictor import Prediction, predict_start_states
 from repro.speculation.records import VRStore
+from repro.selfcheck.audit import selfcheck_enabled
 from repro.errors import MissingTrainingInputWarning, SchemeError
 
 
@@ -68,6 +70,31 @@ class SchemeResult:
         return self.stats.time_ms
 
 
+def _wrap_run_with_audit(run):
+    """Wrap a scheme's ``run`` so the selfcheck audit fires after it.
+
+    Applied once per class by ``Scheme.__init_subclass__``; when
+    :attr:`Scheme.selfcheck` is off the wrapper is a plain passthrough.
+    """
+
+    @functools.wraps(run)
+    def audited_run(self, data, start_state=None):
+        if not self.selfcheck:
+            return run(self, data, start_state)
+        from repro.selfcheck.audit import audit_scheme_run
+
+        self._audit_stash = {}
+        try:
+            result = run(self, data, start_state)
+            audit_scheme_run(self, data, start_state, result)
+        finally:
+            self._audit_stash = None
+        return result
+
+    audited_run._selfcheck_wrapped = True
+    return audited_run
+
+
 class Scheme(abc.ABC):
     """Base class: owns the simulator, the thread count, and phase 1–2.
 
@@ -92,6 +119,28 @@ class Scheme(abc.ABC):
         self.predictor = predictor  # None -> the paper's lookback-2
         #: span sink; the no-op default keeps tracing opt-in and free.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: runtime invariant audits (repro.selfcheck); defaults to the
+        #: ``REPRO_SELFCHECK`` environment variable, overridable per
+        #: instance (GSpecPal threads its config's flag through here).
+        self.selfcheck = selfcheck_enabled()
+        #: per-run scratch the audit reads; a dict only while an audited
+        #: run is in flight (see ``_stash_audit``), ``None`` otherwise.
+        self._audit_stash = None
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        run = cls.__dict__.get("run")
+        if run is not None and not getattr(run, "_selfcheck_wrapped", False):
+            cls.run = _wrap_run_with_audit(run)
+
+    def _stash_audit(self, **kw) -> None:
+        """Expose run internals (partition/prediction/vr/…) to the audit.
+
+        No-op unless an audited run is in flight, so un-audited runs pay
+        nothing.
+        """
+        if self._audit_stash is not None:
+            self._audit_stash.update(kw)
 
     # ------------------------------------------------------------------
     @property

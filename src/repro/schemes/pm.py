@@ -90,6 +90,12 @@ class PMScheme(Scheme):
             with self._phase_span(KernelPhase.PREDICT, stats):
                 prediction = self._predict(partition, stats, exec_start=exec_start)
             vr = VRStore(n_chunks=n, own_capacity=max(self.k, 16))
+            self._stash_audit(
+                partition=partition,
+                prediction=prediction,
+                vr=vr,
+                exec_start=exec_start,
+            )
 
             # --- spec-k parallel execution (α_k ≈ k serialized paths) ---
             with self._phase_span(KernelPhase.SPECULATIVE_EXECUTION, stats):

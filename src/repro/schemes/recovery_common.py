@@ -127,6 +127,19 @@ class FrontierLoopScheme(Scheme):
                 own_capacity=self.own_capacity,
                 others_capacity=self.others_capacity,
             )
+            self._stash_audit(
+                partition=partition,
+                prediction=prediction,
+                vr=vr,
+                exec_start=exec_start,
+            )
+            oracle_ends = None
+            if self._audit_stash is not None:
+                # Exec-space ground truth per chunk, computed once: the
+                # frontier invariant says round f leaves chunk f verified.
+                from repro.selfcheck.audit import oracle_chunk_ends
+
+                oracle_ends = oracle_chunk_ends(self, partition, exec_start)
             with self._phase_span(KernelPhase.SPECULATIVE_EXECUTION, stats):
                 end_c = self._speculative_execution(partition, prediction, stats, vr)
             end_c = end_c.astype(np.int64)
@@ -202,6 +215,21 @@ class FrontierLoopScheme(Scheme):
                             stats.record_recovery_round(active_threads=0)
                     vr.charge_shared_traffic(stats, phase)
                     prev_snapshot = end_c.copy()
+                    if oracle_ends is not None and int(end_c[f]) != int(
+                        oracle_ends[f]
+                    ):
+                        from repro.errors import SelfCheckError
+
+                        raise SelfCheckError(
+                            f"frontier chunk end {int(end_c[f])} != oracle "
+                            f"{int(oracle_ends[f])} after its verification "
+                            "round",
+                            invariant="frontier_oracle",
+                            scheme=self.name,
+                            backend=self.engine.name,
+                            frontier=f,
+                            lanes=[f],
+                        )
                     if round_span:
                         round_span.set_attr("matched", mark)
                         round_span.set_attr("active_threads", n_active)

@@ -32,6 +32,12 @@ class SpecSequentialScheme(Scheme):
             with self._phase_span(KernelPhase.PREDICT, stats):
                 prediction = self._predict(partition, stats, exec_start=exec_start)
             vr = VRStore(n_chunks=n)
+            self._stash_audit(
+                partition=partition,
+                prediction=prediction,
+                vr=vr,
+                exec_start=exec_start,
+            )
             with self._phase_span(KernelPhase.SPECULATIVE_EXECUTION, stats):
                 self._speculative_execution(partition, prediction, stats, vr)
 

@@ -36,6 +36,7 @@ class CostModelInputs:
     n_threads: int = 256
     k: int = 4
     hot_fraction: float = 1.0  # fraction of lookups served by shared memory
+    others_capacity: int = 16  # VR registers for other chunks' speculations
 
 
 class CostModel:
@@ -62,8 +63,18 @@ class CostModel:
         return chunk_len * self.transition_cycles(inputs.hot_fraction)
 
     def t_comm(self, k: int) -> float:
-        """Forwarding ``k`` end states to the successor."""
-        return float(self.device.comm_cycles) * max(1, k) / max(1, k)  # pipelined
+        """Forwarding ``k`` end states to the successor.
+
+        The forward is pipelined: the first state pays the full
+        inter-thread communication latency, every additional state rides
+        the pipe for one shuffle slot — so cost grows with ``k`` instead
+        of paying ``k`` full round trips (and instead of ignoring ``k``
+        entirely, the bug this replaces).
+        """
+        k = max(1, k)
+        return float(self.device.comm_cycles) + (k - 1) * float(
+            self.device.shuffle_cycles
+        )
 
     def t_ver(self, k: int) -> float:
         """Runtime checks for ``k`` received end states."""
@@ -116,15 +127,37 @@ class CostModel:
 
     def delta_specs(self, features: FSMFeatures, others_capacity: int = 16) -> float:
         """Accuracy gained from idle threads enumerating more queue states —
-        bounded by how often the truth hides in the top-``capacity``."""
-        gain = max(0.0, features.spec16_accuracy - features.spec1_accuracy)
-        return gain
+        bounded by how often the truth hides in the top-``capacity``.
+
+        Interpolates the profiled spec-1/spec-4/spec-16 accuracy curve at
+        the actual register budget: accuracy is roughly linear in the
+        *depth* of the tried-states queue, i.e. in ``log2(capacity)``, so
+        we interpolate piecewise-linearly between the three profiled
+        anchors (capacities 1, 4 and 16).  Budgets beyond 16 clamp to the
+        deepest profile; a zero budget means no extra speculations and no
+        gain — this is what makes the Fig. 7 register sweep move.
+        """
+        cap = int(others_capacity)
+        if cap <= 0:
+            return 0.0
+        anchors = [
+            (0.0, features.spec1_accuracy),  # log2(1)
+            (2.0, features.spec4_accuracy),  # log2(4)
+            (4.0, features.spec16_accuracy),  # log2(16)
+        ]
+        x = min(math.log2(cap), anchors[-1][0])
+        acc = anchors[-1][1]
+        for (x0, y0), (x1, y1) in zip(anchors, anchors[1:]):
+            if x <= x1:
+                acc = y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+                break
+        return max(0.0, acc - features.spec1_accuracy)
 
     # ------------------------------------------------------------------
     def estimate_all(self, features: FSMFeatures, inputs: CostModelInputs) -> Dict[str, float]:
         """Estimated cycles for each selectable scheme."""
         d_end = self.delta_end(features)
-        d_specs = self.delta_specs(features)
+        d_specs = self.delta_specs(features, inputs.others_capacity)
         return {
             "pm": self.estimate_pm(features, inputs),
             "sre": self.estimate_sr(features, inputs, delta_end=d_end, delta_specs=0.0),

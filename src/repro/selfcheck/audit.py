@@ -1,0 +1,188 @@
+"""Runtime invariant audits for scheme executions.
+
+The paper's contract is absolute: speculation changes *when* work happens,
+never *what* the answer is.  This module re-checks that contract — plus the
+structural invariants of the speculation machinery — at the end of every
+``Scheme.run`` when self-checking is enabled (``REPRO_SELFCHECK=1`` or
+``GSpecPalConfig(selfcheck=True)``).
+
+Invariants audited at the run boundary:
+
+``end_state_oracle``
+    The scheme's end state (and accept flag) equals the sequential
+    ``DFA.run`` oracle from the same start state.
+``chunk_end_chain``
+    When ``chunk_ends`` is exposed, re-running each chunk from its verified
+    predecessor's end reproduces every entry — the chain is self-consistent,
+    not just the last link.
+``vr_capacity``
+    No chunk's VR store holds more own/others records than its configured
+    register budget (capacity enforcement was not bypassed).
+``queue_accounting``
+    No speculation queue's dequeue cursor ran past its states (nothing was
+    dequeued after exhaustion).
+``ledger_tiling``
+    When the backend accounts cycles: the per-phase cycle buckets tile the
+    total exactly, and redundant transitions never exceed total transitions.
+
+A violation raises :class:`~repro.errors.SelfCheckError` naming the
+invariant, scheme, backend, frontier round and offending lanes.  The checks
+are pure python over data the run already produced — O(input length) like
+the run itself — so they are cheap enough for CI but still opt-in for
+production serving.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.automata.dfa import _as_symbol_array
+from repro.errors import SelfCheckError
+from repro.speculation.chunks import partition_input
+
+#: Environment variable turning the audits on process-wide.
+SELFCHECK_ENV_VAR = "REPRO_SELFCHECK"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def selfcheck_enabled(flag: Optional[bool] = None) -> bool:
+    """Resolve the self-check switch: explicit flag beats the environment."""
+    if flag is not None:
+        return bool(flag)
+    return os.environ.get(SELFCHECK_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def _fail(scheme, invariant: str, message: str, **kw) -> None:
+    raise SelfCheckError(
+        message,
+        invariant=invariant,
+        scheme=scheme.name,
+        backend=scheme.engine.name,
+        **kw,
+    )
+
+
+def audit_scheme_run(scheme, data, start_state, result) -> None:
+    """Audit one completed ``Scheme.run`` against the paper's invariants.
+
+    ``scheme`` is the scheme instance (its ``_audit_stash`` may hold the
+    run's partition/prediction/vr, stashed by the scheme body); ``data`` and
+    ``start_state`` are the run's inputs; ``result`` its
+    :class:`~repro.schemes.base.SchemeResult`.
+    """
+    symbols = _as_symbol_array(data)
+    dfa = scheme.sim.dfa
+    user_start = dfa.start if start_state is None else int(start_state)
+
+    # --- end state == sequential oracle -------------------------------
+    oracle_end = dfa.run(symbols, start=user_start)
+    if int(result.end_state) != int(oracle_end):
+        _fail(
+            scheme,
+            "end_state_oracle",
+            f"end state {result.end_state} != sequential oracle {oracle_end} "
+            f"({symbols.size} symbols from state {user_start})",
+        )
+    oracle_accepts = oracle_end in dfa.accepting
+    if bool(result.accepts) != oracle_accepts:
+        _fail(
+            scheme,
+            "end_state_oracle",
+            f"accepts={result.accepts} disagrees with oracle "
+            f"accepts={oracle_accepts} in end state {oracle_end}",
+        )
+
+    # --- chunk_ends chain to the oracle, link by link -----------------
+    if result.chunk_ends is not None and symbols.size > 0:
+        ends = np.asarray(result.chunk_ends, dtype=np.int64)
+        partition = partition_input(symbols, int(ends.size))
+        bad = []
+        state = user_start
+        for i in range(partition.n_chunks):
+            state = dfa.run(partition.chunk(i), start=state)
+            if int(ends[i]) != int(state):
+                bad.append(i)
+        if bad:
+            _fail(
+                scheme,
+                "chunk_end_chain",
+                "chunk_ends disagree with re-running chunks from their "
+                "verified predecessor ends",
+                lanes=bad,
+            )
+
+    stash = getattr(scheme, "_audit_stash", None) or {}
+
+    # --- VR-store capacity was never exceeded -------------------------
+    vr = stash.get("vr")
+    if vr is not None:
+        bad = []
+        for c in range(vr.n_chunks):
+            records = vr.records(c)
+            own = sum(1 for r in records if r.own)
+            others = len(records) - own
+            if own > vr.own_capacity or others > vr.others_capacity:
+                bad.append(c)
+        if bad:
+            _fail(
+                scheme,
+                "vr_capacity",
+                f"VR store holds more records than its register budget "
+                f"(own<= {vr.own_capacity}, others<= {vr.others_capacity})",
+                lanes=bad,
+            )
+
+    # --- speculation queues never dequeued past exhaustion ------------
+    prediction = stash.get("prediction")
+    if prediction is not None:
+        bad = [
+            i
+            for i, q in enumerate(prediction.queues)
+            if not (0 <= q._cursor <= q.states.size)
+        ]
+        if bad:
+            _fail(
+                scheme,
+                "queue_accounting",
+                "speculation queue cursor ran past the queue's states",
+                lanes=bad,
+            )
+
+    # --- ledger tiling (cycle-accounting backends only) ---------------
+    if scheme.engine.accounts_cycles and result.stats is not None:
+        stats = result.stats
+        total = float(stats.cycles)
+        tiled = float(sum(stats.phase_cycles.values()))
+        if abs(tiled - total) > 1e-6 * max(1.0, abs(total)):
+            _fail(
+                scheme,
+                "ledger_tiling",
+                f"phase cycle buckets sum to {tiled}, ledger total is {total}",
+            )
+        if stats.redundant_transitions > stats.transitions:
+            _fail(
+                scheme,
+                "ledger_tiling",
+                f"redundant transitions ({stats.redundant_transitions}) "
+                f"exceed total transitions ({stats.transitions})",
+            )
+
+
+def oracle_chunk_ends(scheme, partition, exec_start: int) -> np.ndarray:
+    """Executor-space ground-truth end state of every chunk, chained.
+
+    Used by the frontier loop's per-round audit: after round ``f`` the
+    frontier chunk's verified end must equal ``oracle_chunk_ends(...)[f]``.
+    Computed once per run — O(input length), same order as the run itself.
+    """
+    exec_dfa = scheme.sim.exec_dfa
+    ends = np.empty(partition.n_chunks, dtype=np.int64)
+    state = int(exec_start)
+    for i in range(partition.n_chunks):
+        state = exec_dfa.run(partition.chunk(i), start=state)
+        ends[i] = state
+    return ends

@@ -1,0 +1,488 @@
+"""Differential DFA fuzzer: random automata × schemes × backends vs the oracle.
+
+Every iteration draws a seeded random case — a DFA (random transition
+table, a compiled pattern disjunction, or a classic workload), an input
+stream, a thread count, a scheme, a backend, and optionally a streaming
+segmentation — runs it with the selfcheck audits enabled, and cross-checks
+the result against the sequential ``DFA.run`` oracle.  Any violation (a
+wrong answer, a :class:`~repro.errors.SelfCheckError`, or an unexpected
+exception such as a raw ``IndexError`` escaping a backend) is **shrunk** to
+a minimal failing case and written to disk as a JSON repro that
+:func:`replay` can re-execute.
+
+Before the random loop, a set of deterministic **probes** checks contracts
+the random cases cannot see directly: the cost model's ``t_comm`` must grow
+with ``k``, ``delta_specs`` must move with the register budget, both
+backends must reject out-of-range starts/symbols with a
+:class:`~repro.errors.SimulationError` (never a numpy ``IndexError`` or a
+silent wrong answer), and cycle-derived figures must be NaN on the
+answer-only backend.  Reverting any of those fixes makes ``repro fuzz``
+fail immediately with an actionable message.
+
+This module imports the full framework stack — import it explicitly
+(``from repro.selfcheck.fuzz import run_fuzz``); ``repro.selfcheck``'s
+package init deliberately does not, so the audit layer stays import-light.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.errors import ReproError, SelfCheckError
+from repro.framework.config import GSpecPalConfig
+from repro.framework.gspecpal import GSpecPal
+
+#: Schemes the random loop exercises (all speculative paths).
+FUZZ_SCHEMES: Tuple[str, ...] = ("pm", "sre", "rr", "nf", "spec-seq")
+FUZZ_BACKENDS: Tuple[str, ...] = ("sim", "fast")
+
+
+# ----------------------------------------------------------------------
+# cases
+# ----------------------------------------------------------------------
+@dataclass
+class FuzzCase:
+    """One fully-serializable differential test case."""
+
+    table: list  # (n_states, n_symbols) nested lists
+    start: int
+    accepting: list
+    dfa_name: str
+    input: list  # symbol ints
+    training: list
+    n_threads: int
+    scheme: str
+    backend: str
+    segments: list = field(default_factory=list)  # lengths; [] = one-shot
+    seed: int = 0
+
+    @property
+    def streaming(self) -> bool:
+        return bool(self.segments)
+
+    def dfa(self) -> DFA:
+        return DFA(
+            table=np.asarray(self.table, dtype=np.int64),
+            start=int(self.start),
+            accepting=frozenset(int(s) for s in self.accepting),
+            name=self.dfa_name,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FuzzCase":
+        return cls(**{k: d[k] for k in cls.__dataclass_fields__ if k in d})
+
+
+@dataclass
+class FuzzFailure:
+    """A failing case plus the message explaining what went wrong."""
+
+    case: FuzzCase
+    message: str
+
+
+def check_case(case: FuzzCase) -> Optional[str]:
+    """Run one case with audits on; return a failure message or ``None``."""
+    dfa = case.dfa()
+    symbols = np.asarray(case.input, dtype=np.int64)
+    training = np.asarray(case.training, dtype=np.int64)
+    try:
+        pal = GSpecPal(
+            dfa,
+            GSpecPalConfig(
+                n_threads=case.n_threads,
+                backend=case.backend,
+                selfcheck=True,
+            ),
+            training_input=training,
+        )
+        if case.streaming:
+            session = pal.stream(scheme=case.scheme)
+            pos = 0
+            for seg_len in case.segments:
+                session.feed(symbols[pos : pos + seg_len])
+                pos += seg_len
+            end, accepts = session.state, session.accepts
+        else:
+            result = pal.run(symbols, scheme=case.scheme)
+            end, accepts = result.end_state, result.accepts
+    except SelfCheckError as exc:
+        return f"selfcheck violation: {exc}"
+    except ReproError as exc:
+        return f"unexpected {type(exc).__name__}: {exc}"
+    except Exception as exc:  # raw numpy errors etc. must never escape
+        return f"raw {type(exc).__name__} escaped the framework: {exc}"
+    oracle_end = dfa.run(symbols)
+    if int(end) != int(oracle_end):
+        return (
+            f"end state {end} != sequential oracle {oracle_end} "
+            f"(scheme={case.scheme}, backend={case.backend}, "
+            f"streaming={case.streaming})"
+        )
+    if bool(accepts) != (oracle_end in dfa.accepting):
+        return f"accepts={accepts} disagrees with oracle (scheme={case.scheme})"
+    return None
+
+
+# ----------------------------------------------------------------------
+# generation
+# ----------------------------------------------------------------------
+def _random_dfa(rng: np.random.Generator) -> DFA:
+    kind = rng.choice(["table", "regex", "classic"])
+    if kind == "table":
+        n_states = int(rng.integers(2, 41))
+        n_symbols = int(rng.integers(2, 13))
+        table = rng.integers(0, n_states, size=(n_states, n_symbols))
+        n_accepting = int(rng.integers(0, max(1, n_states // 3) + 1))
+        accepting = rng.choice(n_states, size=n_accepting, replace=False)
+        return DFA(
+            table=table,
+            start=int(rng.integers(0, n_states)),
+            accepting=frozenset(int(s) for s in accepting),
+            name=f"rand{n_states}x{n_symbols}",
+        )
+    if kind == "regex":
+        from repro.automata.regex import compile_disjunction
+        from repro.workloads.patterns import snort_patterns
+
+        count = int(rng.integers(1, 4))
+        patterns = snort_patterns(count, seed=int(rng.integers(0, 1 << 16)))
+        return compile_disjunction(patterns, n_symbols=128, name="fuzz-regex")
+    from repro.workloads import classic
+
+    pick = rng.choice(["rotator", "div", "keyword"])
+    if pick == "rotator":
+        return classic.cyclic_rotator(int(rng.integers(3, 13)), n_symbols=64)
+    if pick == "div":
+        return classic.divisibility(int(rng.integers(2, 12)), base=2)
+    keyword = bytes(rng.integers(97, 123, size=int(rng.integers(2, 6))).astype(np.uint8))
+    return classic.keyword_scanner(keyword, n_symbols=128)
+
+
+def _random_input(rng: np.random.Generator, n_symbols: int, length: int) -> np.ndarray:
+    # Symbols must stay in uint8 range: the framework's training-input path
+    # round-trips through bytes.
+    hi = min(n_symbols, 256)
+    style = rng.choice(["uniform", "skewed", "constant", "bursty"])
+    if style == "uniform":
+        return rng.integers(0, hi, size=length)
+    if style == "constant":
+        return np.full(length, int(rng.integers(0, hi)), dtype=np.int64)
+    if style == "skewed":
+        pool = rng.integers(0, hi, size=max(2, hi // 4))
+        return pool[rng.integers(0, pool.size, size=length)]
+    # bursty: long runs of one symbol interleaved with uniform noise
+    out = rng.integers(0, hi, size=length)
+    pos = 0
+    while pos < length:
+        run = int(rng.integers(4, 32))
+        out[pos : pos + run] = int(rng.integers(0, hi))
+        pos += run + int(rng.integers(4, 64))
+    return out
+
+
+def random_case(seed: int, schemes=FUZZ_SCHEMES, backends=FUZZ_BACKENDS) -> FuzzCase:
+    """Draw one seeded case (deterministic for a given seed)."""
+    rng = np.random.default_rng(seed)
+    dfa = _random_dfa(rng)
+    n_threads = int(rng.choice([2, 3, 4, 8, 16]))
+    # Length just above n_threads occasionally, to hit the balanced-fallback
+    # partition; otherwise a few hundred symbols.
+    if rng.random() < 0.15:
+        length = n_threads + int(rng.integers(1, 4))
+    else:
+        length = int(rng.integers(64, 513))
+    length = max(length, n_threads)
+    symbols = _random_input(rng, dfa.n_symbols, length)
+    training = _random_input(rng, dfa.n_symbols, int(rng.integers(32, 129)))
+    segments: List[int] = []
+    if rng.random() < 0.4:
+        # Streaming: split into 2–4 segments, each at least n_threads long.
+        n_seg = int(rng.integers(2, 5))
+        if length >= n_seg * n_threads:
+            sizes = np.full(n_seg, n_threads, dtype=np.int64)
+            extra = length - n_seg * n_threads
+            for _ in range(int(extra)):
+                sizes[int(rng.integers(0, n_seg))] += 1
+            segments = [int(s) for s in sizes]
+    return FuzzCase(
+        table=dfa.table.tolist(),
+        start=int(dfa.start),
+        accepting=sorted(int(s) for s in dfa.accepting),
+        dfa_name=dfa.name,
+        input=[int(s) for s in symbols],
+        training=[int(s) for s in training],
+        n_threads=n_threads,
+        scheme=str(rng.choice(list(schemes))),
+        backend=str(rng.choice(list(backends))),
+        segments=segments,
+        seed=int(seed),
+    )
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+def shrink_case(
+    case: FuzzCase,
+    check: Callable[[FuzzCase], Optional[str]] = check_case,
+    max_checks: int = 150,
+) -> FuzzFailure:
+    """Greedily minimize a failing case while it keeps failing.
+
+    Order: drop streaming, shrink the thread count, then ddmin-style input
+    reduction (drop halves, then quarters, then eighths) and training
+    truncation.  Bounded by ``max_checks`` re-executions.
+    """
+    budget = [max_checks]
+    message = check(case) or "original failure no longer reproduces"
+
+    def attempt(candidate: FuzzCase) -> Optional[str]:
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        return check(candidate)
+
+    def replace(**kw) -> FuzzCase:
+        d = asdict(case)
+        d.update(kw)
+        return FuzzCase.from_dict(d)
+
+    # 1. streaming → one-shot
+    if case.segments:
+        msg = attempt(replace(segments=[]))
+        if msg:
+            case, message = replace(segments=[]), msg
+
+    # 2. fewer threads
+    for n in (2, 3, 4):
+        if n < case.n_threads and len(case.input) >= n:
+            cand = replace(n_threads=n, segments=[])
+            msg = attempt(cand)
+            if msg:
+                case, message = cand, msg
+                break
+
+    # 3. input reduction: drop contiguous blocks while still failing
+    for denom in (2, 4, 8):
+        shrunk = True
+        while shrunk and budget[0] > 0:
+            shrunk = False
+            data = case.input
+            block = max(1, len(data) // denom)
+            if len(data) - block < case.n_threads:
+                break
+            for lo in range(0, len(data), block):
+                cand_input = data[:lo] + data[lo + block :]
+                if len(cand_input) < case.n_threads:
+                    continue
+                cand = replace(input=cand_input, segments=case.segments)
+                msg = attempt(cand)
+                if msg:
+                    case, message = cand, msg
+                    shrunk = True
+                    break
+
+    # 4. shorter training slice
+    if len(case.training) > 16:
+        cand = replace(training=case.training[:16])
+        msg = attempt(cand)
+        if msg:
+            case, message = cand, msg
+
+    return FuzzFailure(case=case, message=message)
+
+
+# ----------------------------------------------------------------------
+# deterministic probes (the satellite-fix tripwires)
+# ----------------------------------------------------------------------
+def run_probes() -> List[str]:
+    """Deterministic contract checks run before the random loop.
+
+    Returns a list of human-readable failure messages (empty = all pass).
+    """
+    import math
+
+    from repro.engine.fast import FastBackend
+    from repro.errors import SimulationError
+    from repro.framework.throughput import ThroughputEngine
+    from repro.gpu.kernel import GpuSimulator
+    from repro.selector.cost_model import CostModel, CostModelInputs
+    from repro.selector.features import FSMFeatures
+    from repro.workloads import classic
+
+    failures: List[str] = []
+
+    # --- cost model: t_comm must grow with k --------------------------
+    model = CostModel()
+    if not model.t_comm(4) > model.t_comm(1):
+        failures.append(
+            f"cost model: t_comm(4)={model.t_comm(4)} is not > "
+            f"t_comm(1)={model.t_comm(1)} — Eq. 2's communication term "
+            "ignores k"
+        )
+
+    # --- cost model: delta_specs must move with the register budget ---
+    feats = FSMFeatures(
+        name="probe",
+        n_states=16,
+        spec1_accuracy=0.1,
+        spec4_accuracy=0.5,
+        spec16_accuracy=0.9,
+        sensitivity=0.5,
+        convergence_states=4.0,
+        profiling_seconds=0.0,
+    )
+    d1 = model.delta_specs(feats, 1)
+    d4 = model.delta_specs(feats, 4)
+    d16 = model.delta_specs(feats, 16)
+    if not (d1 < d4 < d16):
+        failures.append(
+            f"cost model: delta_specs ignores others_capacity "
+            f"(cap=1→{d1}, cap=4→{d4}, cap=16→{d16})"
+        )
+    small = CostModelInputs(input_length=4096, others_capacity=1)
+    big = CostModelInputs(input_length=4096, others_capacity=16)
+    if model.estimate_all(feats, small)["rr"] == model.estimate_all(feats, big)["rr"]:
+        failures.append(
+            "cost model: RR estimate identical for others_capacity 1 and 16"
+        )
+
+    # --- backend error contract: SimulationError, never IndexError ----
+    dfa = classic.divisibility(5, base=2)
+    for backend_name in FUZZ_BACKENDS:
+        sim = GpuSimulator(dfa=dfa, use_transformation=False, backend=backend_name)
+        engine = sim.engine
+        chunks = np.zeros((2, 4), dtype=np.int64)
+        for label, starts, data in (
+            ("start state", np.asarray([0, dfa.n_states + 3]), chunks),
+            (
+                "symbol",
+                np.asarray([0, 0]),
+                np.full((2, 4), dfa.n_symbols + 7, dtype=np.int64),
+            ),
+        ):
+            try:
+                engine.run_batch(data, starts)
+            except SimulationError:
+                continue
+            except Exception as exc:
+                failures.append(
+                    f"backend {backend_name!r}: out-of-range {label} raised "
+                    f"{type(exc).__name__} instead of SimulationError"
+                )
+                continue
+            failures.append(
+                f"backend {backend_name!r}: out-of-range {label} was "
+                "silently accepted"
+            )
+    # Negative start on the bare fast backend: this is the silent-wrong-
+    # answer path (negative flat-gather index wraps around).
+    fb = FastBackend(dfa.table)
+    try:
+        fb.run_batch(np.zeros((1, 2), dtype=np.int64), np.asarray([-1]))
+    except SimulationError:
+        pass
+    except Exception as exc:
+        failures.append(
+            f"FastBackend: negative start raised {type(exc).__name__} "
+            "instead of SimulationError"
+        )
+    else:
+        failures.append(
+            "FastBackend: negative start produced an answer via wraparound "
+            "indexing"
+        )
+
+    # --- NaN-cycles contract on the answer-only backend ---------------
+    batch_fast = ThroughputEngine(dfa, backend="fast").run_batch([b"\x00\x01" * 8])
+    if not math.isnan(batch_fast.latency_cycles) or not math.isnan(
+        batch_fast.throughput_symbols_per_cycle
+    ):
+        failures.append(
+            "throughput: fast-backend BatchResult reports finite cycles "
+            f"(latency={batch_fast.latency_cycles}) instead of NaN"
+        )
+    batch_sim = ThroughputEngine(dfa, backend="sim").run_batch([b"\x00\x01" * 8])
+    if math.isnan(batch_sim.latency_cycles) or batch_sim.latency_cycles <= 0:
+        failures.append(
+            "throughput: sim-backend BatchResult lost its cycle accounting"
+        )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# the loop, repros, replay
+# ----------------------------------------------------------------------
+def save_repro(failure: FuzzFailure, out_dir) -> Path:
+    """Write the shrunk failing case to ``out_dir`` as a JSON repro."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"repro-seed{failure.case.seed}.json"
+    payload = asdict(failure.case)
+    payload["message"] = failure.message
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_repro(path) -> FuzzCase:
+    return FuzzCase.from_dict(json.loads(Path(path).read_text()))
+
+
+def replay(path) -> Optional[str]:
+    """Re-run a saved repro; returns the failure message or ``None``."""
+    return check_case(load_repro(path))
+
+
+def run_fuzz(
+    iterations: int = 200,
+    seed: int = 0,
+    out_dir="fuzz-repros",
+    schemes: Sequence[str] = FUZZ_SCHEMES,
+    backends: Sequence[str] = FUZZ_BACKENDS,
+    log: Callable[[str], None] = lambda s: None,
+    probes: bool = True,
+) -> Optional[Path]:
+    """Run the fuzz campaign; returns the repro path on failure, else None.
+
+    A probe failure (deterministic contract violation) raises
+    :class:`~repro.errors.SelfCheckError` immediately — there is no random
+    case to shrink, the message itself is the repro.
+    """
+    if probes:
+        probe_failures = run_probes()
+        if probe_failures:
+            raise SelfCheckError(
+                "deterministic probes failed:\n  - "
+                + "\n  - ".join(probe_failures),
+                invariant="probes",
+            )
+        log(f"probes passed; fuzzing {iterations} cases from seed {seed}")
+    for i in range(iterations):
+        case_seed = seed + i
+        case = random_case(case_seed, schemes=schemes, backends=backends)
+        message = check_case(case)
+        if message is None:
+            if (i + 1) % 50 == 0:
+                log(f"{i + 1}/{iterations} cases clean")
+            continue
+        log(f"seed {case_seed} FAILED: {message}; shrinking…")
+        failure = shrink_case(case)
+        path = save_repro(failure, out_dir)
+        log(
+            f"shrunk to {len(failure.case.input)} symbols "
+            f"(scheme={failure.case.scheme}, backend={failure.case.backend}); "
+            f"repro written to {path}"
+        )
+        return path
+    log(f"{iterations} cases clean")
+    return None

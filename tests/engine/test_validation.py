@@ -1,0 +1,133 @@
+"""Input-domain validation: both backends agree on the error contract.
+
+Out-of-range start states or symbols must surface as a
+:class:`SimulationError` naming the offending lanes — never a raw numpy
+``IndexError``, and never a silently wrong answer via negative flat-gather
+indexing (the fast backend's failure mode before validation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.base import validate_batch_inputs
+from repro.engine.fast import FastBackend
+from repro.errors import SimulationError
+from repro.gpu.kernel import GpuSimulator
+from repro.workloads import classic
+
+
+@pytest.fixture(scope="module")
+def dfa():
+    return classic.divisibility(5, base=2)
+
+
+def _engines(dfa):
+    return [
+        GpuSimulator(dfa=dfa, use_transformation=False, backend=name).engine
+        for name in ("sim", "fast")
+    ]
+
+
+@pytest.mark.parametrize("backend", ["sim", "fast"])
+class TestErrorContract:
+    def _engine(self, dfa, backend):
+        return GpuSimulator(dfa=dfa, use_transformation=False, backend=backend).engine
+
+    def test_start_too_large_raises(self, dfa, backend):
+        engine = self._engine(dfa, backend)
+        chunks = np.zeros((3, 4), dtype=np.int64) + ord("0")
+        starts = np.asarray([0, dfa.n_states + 2, 1])
+        with pytest.raises(SimulationError) as exc:
+            engine.run_batch(chunks, starts)
+        assert "start" in str(exc.value) and "1" in str(exc.value)
+
+    def test_negative_start_raises(self, dfa, backend):
+        engine = self._engine(dfa, backend)
+        chunks = np.zeros((2, 4), dtype=np.int64) + ord("0")
+        with pytest.raises(SimulationError, match="start"):
+            engine.run_batch(chunks, np.asarray([-1, 0]))
+
+    def test_symbol_out_of_range_raises(self, dfa, backend):
+        engine = self._engine(dfa, backend)
+        chunks = np.full((2, 4), dfa.n_symbols + 9, dtype=np.int64)
+        with pytest.raises(SimulationError, match="symbol"):
+            engine.run_batch(chunks, np.zeros(2, dtype=np.int64))
+
+    def test_error_names_offending_lanes(self, dfa, backend):
+        engine = self._engine(dfa, backend)
+        chunks = np.zeros((4, 4), dtype=np.int64) + ord("0")
+        starts = np.asarray([0, 99, 0, 99])
+        with pytest.raises(SimulationError) as exc:
+            engine.run_batch(chunks, starts)
+        message = str(exc.value)
+        assert "1" in message and "3" in message
+
+    def test_padding_symbols_beyond_lengths_are_ignored(self, dfa, backend):
+        """Ragged batches pad with arbitrary values; only executed
+        positions are validated."""
+        engine = self._engine(dfa, backend)
+        chunks = np.zeros((2, 6), dtype=np.int64) + ord("0")
+        chunks[0, 3:] = 999  # garbage in the padded tail
+        lengths = np.asarray([3, 6])
+        ends = engine.run_batch(chunks, np.zeros(2, dtype=np.int64), lengths=lengths)
+        assert ends.shape == (2,)
+
+    def test_inactive_lane_symbols_are_ignored(self, dfa, backend):
+        engine = self._engine(dfa, backend)
+        chunks = np.zeros((2, 4), dtype=np.int64) + ord("0")
+        chunks[1, :] = 999
+        active = np.asarray([True, False])
+        ends = engine.run_batch(chunks, np.zeros(2, dtype=np.int64), active=active)
+        assert ends.shape == (2,)
+
+    def test_empty_chunk_with_bad_start_still_raises(self, dfa, backend):
+        """Starts are validated even when no symbol executes — schemes
+        always hand inactive lanes a valid placeholder."""
+        engine = self._engine(dfa, backend)
+        chunks = np.zeros((2, 0), dtype=np.int64)
+        with pytest.raises(SimulationError, match="start"):
+            engine.run_batch(chunks, np.asarray([0, 77]))
+
+
+class TestBackendsAgree:
+    def test_same_exception_type_and_lanes(self, dfa):
+        chunks = np.zeros((3, 5), dtype=np.int64) + ord("1")
+        starts = np.asarray([0, -3, 2])
+        messages = []
+        for engine in _engines(dfa):
+            with pytest.raises(SimulationError) as exc:
+                engine.run_batch(chunks, starts)
+            messages.append(str(exc.value))
+        # Both name lane 1; only the backend label differs.
+        assert all("lanes 1" in m for m in messages)
+
+    def test_no_wrong_answer_from_negative_wraparound(self, dfa):
+        """The pre-fix fast-backend hazard: a negative start silently
+        gathers from the end of the flat table and returns garbage."""
+        fb = FastBackend(dfa.table)
+        with pytest.raises(SimulationError):
+            fb.run_batch(
+                np.zeros((1, 3), dtype=np.int64) + ord("0"),
+                np.asarray([-1]),
+            )
+
+
+class TestValidateHelper:
+    def test_clean_inputs_pass(self):
+        validate_batch_inputs(
+            np.zeros((2, 3), dtype=np.int64),
+            np.zeros(2, dtype=np.int64),
+            n_states=4,
+            n_symbols=2,
+        )
+
+    def test_lane_list_capped(self):
+        starts = np.full(64, 99, dtype=np.int64)
+        with pytest.raises(SimulationError) as exc:
+            validate_batch_inputs(
+                np.zeros((64, 1), dtype=np.int64),
+                starts,
+                n_states=4,
+                n_symbols=2,
+            )
+        assert "64 lanes total" in str(exc.value)

@@ -72,3 +72,29 @@ def test_throughput_engine_parity(dfa):
     np.testing.assert_array_equal(fast.per_stream_ends, sim.per_stream_ends)
     np.testing.assert_array_equal(fast.accepts, sim.accepts)
     assert sim.stats.transitions > 0 and fast.stats.transitions == 0
+
+
+def test_fast_backend_reports_nan_cycles_not_zero(dfa):
+    """Regression: the answer-only backend used to report 0 cycles,
+    making it look infinitely fast in any cross-backend comparison.
+    Cycle-derived figures are NaN when the engine doesn't account them."""
+    rng = np.random.default_rng(7)
+    streams = [rng.integers(97, 123, size=200).astype(np.uint8) for _ in range(4)]
+    fast = ThroughputEngine(dfa, backend="fast").run_batch(streams)
+    assert not fast.accounts_cycles
+    assert np.isnan(fast.latency_cycles)
+    assert np.isnan(fast.throughput_symbols_per_cycle)
+    sim = ThroughputEngine(dfa, backend="sim").run_batch(streams)
+    assert sim.accounts_cycles
+    assert np.isfinite(sim.latency_cycles) and sim.latency_cycles > 0
+    assert sim.throughput_symbols_per_cycle > 0
+
+
+def test_fast_backend_session_cycles_are_nan_and_sticky(dfa, data):
+    session = GSpecPal(
+        dfa, GSpecPalConfig(n_threads=8, backend="fast")
+    ).stream(scheme="rr")
+    session.feed(data[:512])
+    assert np.isnan(session.total_cycles)
+    session.feed(data[512:1024])
+    assert np.isnan(session.total_cycles)  # NaN is sticky, never resets

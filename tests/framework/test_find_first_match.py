@@ -1,0 +1,110 @@
+"""Property tests for ``find_first_match`` offset semantics.
+
+The reported offset is cross-checked against a symbol-at-a-time oracle
+(``run_path`` + first accepting index) at the places where the parallel
+rescan logic can slip: a match landing exactly on a chunk boundary, a
+match at symbol 0, the balanced-fallback partition (input barely longer
+than the chunk count), and streams that never match — across every
+scheme and both execution backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.speculation.chunks import partition_input
+from repro.framework import GSpecPal, GSpecPalConfig
+from repro.workloads import classic
+
+ALL_SCHEMES = ("pm", "sre", "rr", "nf", "seq", "spec-seq")
+N_THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def scanner():
+    return classic.keyword_scanner(b"abc")
+
+
+def naive_first_match(dfa, data):
+    accept = dfa.accepting_mask
+    path = dfa.run_path(data)
+    idx = int(np.argmax(accept[path]))
+    return idx if accept[path[idx]] else None
+
+
+def make_pal(dfa, backend, n_threads=N_THREADS):
+    return GSpecPal(dfa, GSpecPalConfig(n_threads=n_threads, backend=backend))
+
+
+def plant(rng, size, pos, needle=b"abc"):
+    """Random non-matching filler with ``needle`` planted at ``pos``."""
+    data = bytearray(rng.integers(100, 120, size=size).astype(np.uint8))
+    data[pos : pos + len(needle)] = needle
+    return bytes(data)
+
+
+@pytest.mark.parametrize("backend", ["sim", "fast"])
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+class TestOffsetSemantics:
+    def test_match_at_symbol_zero(self, scanner, rng, scheme, backend):
+        data = plant(rng, 256, 0)
+        pal = make_pal(scanner, backend)
+        offset = pal.find_first_match(data, scheme=scheme)
+        assert offset == naive_first_match(scanner, data) == 3
+
+    def test_match_on_chunk_boundaries(self, scanner, rng, scheme, backend):
+        """Plant the needle so the accepting step is the LAST symbol of a
+        chunk, then the FIRST symbol of the next — both rescans must agree
+        with the oracle."""
+        size = 333  # uneven partition exercises non-uniform offsets
+        partition = partition_input(
+            np.zeros(size, dtype=np.int64), N_THREADS
+        )
+        boundary = int(partition.offsets[2] + partition.lengths[2])  # end of chunk 2
+        for pos in (boundary - 3, boundary - 2):
+            data = plant(rng, size, pos)
+            pal = make_pal(scanner, backend)
+            offset = pal.find_first_match(data, scheme=scheme)
+            assert offset == naive_first_match(scanner, data), pos
+
+    def test_balanced_fallback_partition(self, scanner, rng, scheme, backend):
+        """Input barely longer than the thread count forces the balanced
+        fallback; offsets must stay exact with 1–2 symbol chunks."""
+        for extra in (1, 2, 3):
+            size = N_THREADS + extra
+            data = plant(rng, size, size - 3)
+            pal = make_pal(scanner, backend)
+            offset = pal.find_first_match(data, scheme=scheme)
+            assert offset == naive_first_match(scanner, data) == size, extra
+
+    def test_never_matching_stream(self, scanner, rng, scheme, backend):
+        data = bytes(rng.integers(100, 120, size=300).astype(np.uint8))
+        pal = make_pal(scanner, backend)
+        assert pal.find_first_match(data, scheme=scheme) is None
+
+    def test_random_positions_agree_with_oracle(self, scanner, rng, scheme, backend):
+        pal = make_pal(scanner, backend)
+        for _ in range(5):
+            size = int(rng.integers(64, 400))
+            pos = int(rng.integers(0, size - 3))
+            data = plant(rng, size, pos)
+            assert pal.find_first_match(data, scheme=scheme) == naive_first_match(
+                scanner, data
+            )
+
+
+class TestFirstOfSeveral:
+    @pytest.mark.parametrize("backend", ["sim", "fast"])
+    def test_earliest_match_wins_across_chunks(self, scanner, rng, backend):
+        """With sticky accepts every later chunk also ends accepting; the
+        rescan must still pick the earliest chunk's in-chunk offset."""
+        data = bytearray(rng.integers(100, 120, size=480).astype(np.uint8))
+        for pos in (401, 97, 260):
+            data[pos : pos + 3] = b"abc"
+        data = bytes(data)
+        for scheme in ALL_SCHEMES:
+            pal = make_pal(scanner, backend)
+            assert (
+                pal.find_first_match(data, scheme=scheme)
+                == naive_first_match(scanner, data)
+                == 100
+            )

@@ -58,11 +58,18 @@ def test_accepts_property_tracks_carried_state(scanner_dfa, rng):
 
 
 def test_cycles_accumulate_per_segment(pal, rng):
+    from repro.engine import resolve_backend_name
+
     data = bytes(rng.integers(97, 123, size=480).astype(np.uint8))
     session = pal.stream(scheme="nf")
     per_segment = [session.feed(piece).cycles for piece in segment(data, 3)]
-    assert all(c > 0 for c in per_segment)
-    assert session.total_cycles == pytest.approx(sum(per_segment))
+    if resolve_backend_name(None) == "sim":
+        assert all(c > 0 for c in per_segment)
+        assert session.total_cycles == pytest.approx(sum(per_segment))
+    else:
+        # Answer-only backend: the accumulated figure would be a lie, so
+        # the session reports NaN instead.
+        assert np.isnan(session.total_cycles)
 
 
 def test_each_scheme_preserves_segmented_equivalence(scanner_dfa, rng):

@@ -71,7 +71,12 @@ class TestStreaming:
             session.feed(data[i : i + 800])
         assert session.state == scanner.run(data)
         assert session.total_symbols == 2400
-        assert session.total_cycles > 0
+        from repro.engine import resolve_backend_name
+
+        if resolve_backend_name(None) == "sim":
+            assert session.total_cycles > 0
+        else:
+            assert np.isnan(session.total_cycles)
 
     def test_match_across_segment_boundary(self, scanner, rng):
         head = bytes(rng.integers(97, 109, size=797).astype(np.uint8)) + b"nee"
@@ -101,4 +106,9 @@ class TestStreaming:
         r1 = session.feed(data[:800])
         r2 = session.feed(data[800:])
         assert r1.scheme.startswith("pm") and r2.scheme.startswith("pm")
-        assert session.total_cycles == pytest.approx(r1.cycles + r2.cycles)
+        from repro.engine import resolve_backend_name
+
+        if resolve_backend_name(None) == "sim":
+            assert session.total_cycles == pytest.approx(r1.cycles + r2.cycles)
+        else:
+            assert np.isnan(session.total_cycles)

@@ -77,3 +77,78 @@ def test_p_recover_clamped_non_negative(model, inputs):
     f = features(spec1_accuracy=0.9)
     t = model.estimate_sr(f, inputs, delta_end=0.5, delta_specs=0.5)
     assert t > 0
+
+# ----------------------------------------------------------------------
+# regression tests for the PR-3 bugfix batch
+# ----------------------------------------------------------------------
+def test_t_comm_grows_with_speculation_degree(model):
+    """Regression: t_comm used to collapse to max(1,k)/max(1,k) == 1 cycle
+    for every k. Shuffling k speculative states costs strictly more than
+    shuffling one."""
+    assert model.t_comm(4) > model.t_comm(1)
+    assert model.t_comm(16) > model.t_comm(4)
+
+
+def test_t_comm_floor_and_increment(model):
+    base = model.t_comm(1)
+    assert base == pytest.approx(float(model.device.comm_cycles))
+    step = model.t_comm(2) - model.t_comm(1)
+    assert step == pytest.approx(float(model.device.shuffle_cycles))
+    # Degenerate degrees clamp to the single-state startup cost.
+    assert model.t_comm(0) == model.t_comm(-3) == base
+
+
+def test_delta_specs_scales_with_others_capacity(model):
+    """Regression: delta_specs ignored others_capacity entirely. A deeper
+    queue interpolates toward the spec-16 accuracy."""
+    f = features(spec1_accuracy=0.1, spec4_accuracy=0.5, spec16_accuracy=0.9)
+    d1 = model.delta_specs(f, others_capacity=1)
+    d4 = model.delta_specs(f, others_capacity=4)
+    d16 = model.delta_specs(f, others_capacity=16)
+    assert d1 < d4 < d16
+    assert d1 == pytest.approx(0.0)  # one record == spec-1, no gain
+    assert d4 == pytest.approx(0.4)  # spec4 - spec1
+    assert d16 == pytest.approx(0.8)  # spec16 - spec1
+    # Beyond the deepest measured anchor the gain saturates.
+    assert model.delta_specs(f, others_capacity=64) == pytest.approx(d16)
+    assert model.delta_specs(f, others_capacity=0) == 0.0
+
+
+def test_estimate_all_sensitive_to_capacity(model):
+    """The SRE-family estimates must reflect the configured VR depth."""
+    f = features(spec1_accuracy=0.2, spec4_accuracy=0.5, spec16_accuracy=0.9,
+                 convergence_states=30.0)
+    shallow = CostModelInputs(input_length=65536, n_threads=256, k=4,
+                              others_capacity=1)
+    deep = CostModelInputs(input_length=65536, n_threads=256, k=4,
+                           others_capacity=16)
+    est_shallow = model.estimate_all(f, shallow)
+    est_deep = model.estimate_all(f, deep)
+    for name in ("rr", "nf"):
+        assert est_deep[name] < est_shallow[name], name
+    # PM runs fixed-degree speculation; capacity must not perturb it.
+    assert est_deep["pm"] == pytest.approx(est_shallow["pm"])
+
+
+def test_gspecpal_threads_capacity_into_estimates(rng):
+    """GSpecPal.estimate_costs feeds the configured others_registers into
+    the cost model instead of a hard-coded default."""
+    import numpy as np
+
+    from repro.framework import GSpecPal, GSpecPalConfig
+    from repro.workloads import classic
+
+    dfa = classic.keyword_scanner(b"abc")
+    training = bytes(rng.integers(97, 123, size=512).astype(np.uint8))
+    shallow = GSpecPal(
+        dfa,
+        GSpecPalConfig(n_threads=32, others_registers=1),
+        training_input=training,
+    ).estimate_costs(input_length=65536)
+    deep = GSpecPal(
+        dfa,
+        GSpecPalConfig(n_threads=32, others_registers=16),
+        training_input=training,
+    ).estimate_costs(input_length=65536)
+    assert set(shallow) == {"pm", "sre", "rr", "nf"}
+    assert deep["rr"] <= shallow["rr"]
