@@ -39,6 +39,7 @@ from repro.automata import (
 )
 from repro.framework import GSpecPal, GSpecPalConfig
 from repro.gpu import RTX3090, DeviceSpec, GpuSimulator, KernelStats
+from repro.plan import CompiledPlan, compile_plan, load_plan, save_plan
 from repro.schemes import (
     NFScheme,
     PMScheme,
@@ -50,10 +51,12 @@ from repro.schemes import (
     get_scheme,
 )
 from repro.selector import DecisionTreeSelector, FSMFeatures, profile_features
+from repro.serving import MatcherPool, PlanCache
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CompiledPlan",
     "DFA",
     "NFA",
     "DecisionTreeSelector",
@@ -63,6 +66,8 @@ __all__ = [
     "GSpecPalConfig",
     "GpuSimulator",
     "KernelStats",
+    "MatcherPool",
+    "PlanCache",
     "NFScheme",
     "PMScheme",
     "RRScheme",
@@ -72,9 +77,12 @@ __all__ = [
     "SequentialScheme",
     "SpecSequentialScheme",
     "compile_disjunction",
+    "compile_plan",
     "compile_regex",
     "frequency_transform",
     "get_scheme",
+    "load_plan",
     "minimize_dfa",
     "profile_features",
+    "save_plan",
 ]

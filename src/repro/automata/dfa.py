@@ -189,6 +189,23 @@ class DFA:
             name=name if name is not None else self.name,
         )
 
+    def fingerprint(self) -> str:
+        """Content hash identifying this automaton's *behaviour*.
+
+        Covers the transition table (shape and bytes), the start state and
+        the accepting set — everything execution depends on — but not the
+        cosmetic ``name``.  Used as the cache/validation key for compiled
+        plans: two DFAs with equal fingerprints are interchangeable at
+        execution time.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(f"dfa/v1:{self.n_states}x{self.n_symbols}:{self.start}:".encode())
+        h.update(",".join(str(s) for s in sorted(self.accepting)).encode())
+        h.update(self.table.tobytes())
+        return h.hexdigest()
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DFA):
             return NotImplemented

@@ -115,6 +115,40 @@ def frequency_transform(
     )
 
 
+def transformation_from_permutation(
+    dfa: DFA,
+    to_new: np.ndarray,
+    hot_state_count: int,
+) -> TransformedDFA:
+    """Rebuild a :class:`TransformedDFA` from a stored permutation.
+
+    The compile-once/serve-many split serializes only the transformation's
+    *decisions* — the hotness permutation and the hot-prefix size — not the
+    renumbered table.  This reconstructs the executable artifact from those
+    decisions with one vectorized renumbering; no training input or
+    frequency profile is needed.
+    """
+    to_new = np.asarray(to_new, dtype=np.int64)
+    if to_new.shape != (dfa.n_states,):
+        raise AutomatonError(
+            f"permutation has {to_new.shape} entries for {dfa.n_states} states"
+        )
+    hot = int(hot_state_count)
+    if not (0 <= hot <= dfa.n_states):
+        raise AutomatonError(
+            f"hot_state_count {hot} out of range [0, {dfa.n_states}]"
+        )
+    to_old = np.empty_like(to_new)
+    to_old[to_new] = np.arange(dfa.n_states)
+    transformed = dfa.renumbered(to_new, name=f"{dfa.name}/freq-transformed")
+    return TransformedDFA(
+        dfa=transformed,
+        to_new=to_new,
+        to_old=to_old,
+        hot_state_count=hot,
+    )
+
+
 def hot_access_fraction(transformed: TransformedDFA, data, start: Optional[int] = None) -> float:
     """Fraction of transitions on ``data`` served by the hot (shared) rows.
 

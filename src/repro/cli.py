@@ -3,8 +3,12 @@
 Commands
 --------
 ``run``      — execute one scheme (or the auto-selected one) on a suite
-               member and print the cost breakdown.
-``compare``  — race all four schemes on one member.
+               member and print the cost breakdown; ``--plan`` serves from
+               a precompiled artifact (zero profiling), ``--plan-cache``
+               keeps compiled plans in a directory across invocations.
+``compare``  — race all four schemes on one member (same plan flags).
+``compile``  — run the offline phase once and write the immutable plan
+               artifact (``repro compile snort 8 -o plan.npz``).
 ``profile``  — print a member's feature vector and the selector's reasoning.
 ``suite``    — list a suite's members and their regimes.
 ``trace``    — run a member with tracing on and print the per-phase span
@@ -21,6 +25,8 @@ Examples
 
     python -m repro.cli suite snort
     python -m repro.cli profile snort 8
+    python -m repro.cli compile snort 8 -o snort8.npz
+    python -m repro.cli run snort 8 --plan snort8.npz
     python -m repro.cli run snort 8 --scheme nf --input-length 65536
     python -m repro.cli compare poweren 4 --threads 256
     python -m repro.cli trace snort 1 --input-length 4096 --threads 32
@@ -56,17 +62,68 @@ def _add_member_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_plan_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--plan",
+        default=None,
+        metavar="PATH",
+        help="serve from a precompiled plan artifact (see 'compile'); "
+        "skips all profiling and uses the plan's compiled selection",
+    )
+    p.add_argument(
+        "--plan-cache",
+        default=None,
+        metavar="DIR",
+        dest="plan_cache",
+        help="directory of cached plans keyed by FSM fingerprint; hit = "
+        "zero profiling, miss = compile once and persist for next time",
+    )
+
+
+def _resolve_plan(args, member):
+    """The plan to serve from per ``--plan``/``--plan-cache``, else None."""
+    plan_path = getattr(args, "plan", None)
+    cache_dir = getattr(args, "plan_cache", None)
+    if plan_path is not None:
+        from repro.plan import load_plan
+
+        plan = load_plan(plan_path)
+        # A plan only serves the automaton it was compiled for.
+        plan.verify(member.dfa)
+        return plan
+    if cache_dir is not None:
+        from repro.serving import PlanCache
+
+        cache = PlanCache(directory=cache_dir)
+        return cache.get_or_compile(
+            member.dfa,
+            member.training_input(args.training_length),
+            GSpecPalConfig(n_threads=args.threads),
+        )
+    return None
+
+
 def _build(args, tracer=None, metrics=None):
     member = build_member(args.suite, args.index)
-    training = member.training_input(args.training_length)
     data = member.generate_input(args.input_length, seed=args.seed)
-    pal = GSpecPal(
-        member.dfa,
-        GSpecPalConfig(n_threads=args.threads, backend=getattr(args, "backend", None)),
-        training_input=training,
-        tracer=tracer,
-        metrics=metrics,
-    )
+    plan = _resolve_plan(args, member)
+    if plan is not None:
+        pal = GSpecPal.from_plan(
+            plan,
+            backend=getattr(args, "backend", None),
+            tracer=tracer,
+            metrics=metrics,
+        )
+    else:
+        pal = GSpecPal(
+            member.dfa,
+            GSpecPalConfig(
+                n_threads=args.threads, backend=getattr(args, "backend", None)
+            ),
+            training_input=member.training_input(args.training_length),
+            tracer=tracer,
+            metrics=metrics,
+        )
     return member, pal, data
 
 
@@ -178,6 +235,20 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_compile(args) -> int:
+    from repro.plan import compile_plan, save_plan
+
+    member = build_member(args.suite, args.index)
+    training = member.training_input(args.training_length)
+    plan = compile_plan(
+        member.dfa, training, GSpecPalConfig(n_threads=args.threads)
+    )
+    path = save_plan(plan, args.output)
+    print(plan.summary())
+    print(f"\nwrote {path}")
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     from repro.errors import SelfCheckError
     from repro.selfcheck.fuzz import replay, run_fuzz
@@ -262,7 +333,25 @@ def main(argv=None) -> int:
         action="store_true",
         help="show per-recovery-round thread activity",
     )
+    _add_plan_args(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "compile",
+        help="compile a member's offline phase into a reusable plan artifact",
+    )
+    p.add_argument("suite", choices=SUITES)
+    p.add_argument("index", type=int, help="member index 1..12")
+    p.add_argument("--training-length", type=int, default=8_192)
+    p.add_argument("--threads", type=int, default=256)
+    p.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        metavar="PATH",
+        help="where to write the plan (.npz)",
+    )
+    p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser(
         "trace", help="run a member with tracing and print the span timeline"
@@ -288,6 +377,7 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("compare", help="race all schemes on a member")
     _add_member_args(p)
+    _add_plan_args(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(

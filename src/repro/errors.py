@@ -45,6 +45,23 @@ class SchemeError(ReproError):
     """A parallelization scheme was invoked with invalid parameters."""
 
 
+class PlanError(ReproError):
+    """A compiled plan artifact is invalid, stale, or mismatched.
+
+    Raised when a plan file fails format/fingerprint verification on load,
+    or when a plan is bound to a DFA or configuration other than the one it
+    was compiled for.
+    """
+
+
+class ServingError(ReproError):
+    """The serving layer (:mod:`repro.serving`) was driven inconsistently.
+
+    Covers pool misuse: unknown or already-closed stream ids, feeding past
+    the pool's capacity, and similar multi-tenant bookkeeping violations.
+    """
+
+
 class SelfCheckError(ReproError):
     """A runtime invariant audit failed (``repro.selfcheck``).
 

@@ -12,6 +12,18 @@ scheme selector.  Typical use::
 Profiling is performed once per (FSM, training input) and cached; when no
 training input is supplied a leading slice of the data (0.5% by default,
 mirroring the paper's 1 MB-of-20×10 MB methodology) is used.
+
+For serving, the expensive offline phase can be hoisted out entirely with
+the compile-once/serve-many split (:mod:`repro.plan`)::
+
+    plan = compile_plan(dfa, training, config)      # offline, once
+    pal = GSpecPal.from_plan(plan)                  # online, zero profiling
+    result = pal.run(stream)                        # plan's selection
+
+A plan-backed framework never re-profiles: features, the scheme selection,
+the frequency transformation and the hotness profile all come from the
+artifact, and the simulator is built from those precomputed pieces instead
+of raw training bytes.
 """
 
 from __future__ import annotations
@@ -44,6 +56,9 @@ class GSpecPal:
 
     #: Schemes the selector may pick (the paper's four).
     SELECTABLE = ("pm", "sre", "rr", "nf")
+    #: Every scheme name ``run``/``stream``/``build_scheme`` accept (the
+    #: spec-k alias ``pm-spec<k>`` is additionally accepted per config).
+    KNOWN_SCHEMES = ("pm", "sre", "rr", "nf", "seq", "spec-seq")
 
     def __init__(
         self,
@@ -66,6 +81,100 @@ class GSpecPal:
         )
         self._features: Optional[FSMFeatures] = None
         self._sim: Optional[GpuSimulator] = None
+        #: compile-once artifact backing this instance (set by
+        #: :meth:`from_plan`); when present, profiling/selection replay the
+        #: plan and the simulator consumes its precomputed pieces.
+        self._plan = None
+
+    # ------------------------------------------------------------------
+    # compile-once / serve-many
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_plan(
+        cls,
+        plan,
+        *,
+        config: Optional[GSpecPalConfig] = None,
+        backend: Optional[str] = None,
+        selfcheck: Optional[bool] = None,
+        tracer=None,
+        metrics=None,
+    ) -> "GSpecPal":
+        """Serve a :class:`~repro.plan.CompiledPlan` with zero profiling.
+
+        The plan supplies the DFA, the profiled features, the scheme
+        selection and the transformation/hotness artifacts; no training
+        bytes are touched and no ``profile`` span is ever emitted.
+
+        Parameters
+        ----------
+        config:
+            Optional explicit configuration; must hash to the plan's
+            ``config_hash`` (:class:`~repro.errors.PlanError` otherwise).
+            When omitted, the plan's compile-time config is rebuilt.
+        backend / selfcheck:
+            Runtime knobs (not part of the compiled artifact), applied on
+            top of the plan's config.
+        """
+        plan.verify()
+        if config is not None:
+            plan.verify_config(config)
+            if backend is not None or selfcheck is not None:
+                from dataclasses import replace
+
+                overrides = {}
+                if backend is not None:
+                    overrides["backend"] = backend
+                if selfcheck is not None:
+                    overrides["selfcheck"] = selfcheck
+                config = replace(config, **overrides)
+        else:
+            config = plan.build_config(backend=backend, selfcheck=selfcheck)
+        pal = cls(plan.dfa, config, tracer=tracer, metrics=metrics)
+        pal._plan = plan
+        pal._features = plan.features
+        return pal
+
+    @property
+    def plan(self):
+        """The backing :class:`~repro.plan.CompiledPlan`, if any."""
+        return self._plan
+
+    def compile_plan(self, data=None):
+        """Compile this framework's (FSM, training, config) into a plan.
+
+        ``data`` is only needed when no training input was supplied at
+        construction time (a profiling slice is taken, as in :meth:`run`).
+        """
+        from repro.plan import compile_plan
+
+        if self._training is None:
+            if data is None:
+                raise SchemeError(
+                    "no training input available: pass one to GSpecPal() or "
+                    "give compile_plan() the data stream"
+                )
+            self._training = self._training_slice(data)
+        return compile_plan(
+            self.dfa, self._training, self.config, tracer=self.tracer
+        )
+
+    # ------------------------------------------------------------------
+    # scheme-name validation (fail fast, before any expensive phase)
+    # ------------------------------------------------------------------
+    def _known_scheme_names(self) -> tuple:
+        return self.KNOWN_SCHEMES + (f"pm-spec{self.config.spec_k}",)
+
+    def _validate_scheme(self, name: Optional[str]) -> None:
+        """Reject a forced scheme typo *before* profiling or simulator
+        construction, so the failure is immediate and actionable."""
+        if name is None:
+            return
+        known = self._known_scheme_names()
+        if name not in known:
+            raise SchemeError(
+                f"unknown scheme {name!r}; known schemes: {', '.join(known)}"
+            )
 
     # ------------------------------------------------------------------
     # profiling
@@ -84,7 +193,9 @@ class GSpecPal:
         """Collect (and cache) the FSM feature vector.
 
         ``data`` is only needed when no training input was supplied at
-        construction time.
+        construction time.  Plan-backed frameworks return the compiled
+        features immediately; otherwise the computation runs once under a
+        ``profile`` span.
         """
         if self._features is not None:
             return self._features
@@ -95,26 +206,48 @@ class GSpecPal:
                     "give profile()/run() the data stream"
                 )
             self._training = self._training_slice(data)
-        self._features = profile_features(
-            self.dfa,
-            self._training,
-            n_chunks=min(64, self.config.n_threads),
-        )
+        with self.tracer.span(
+            "profile",
+            fsm=self.dfa.name,
+            training_symbols=int(self._training.size),
+        ):
+            self._features = profile_features(
+                self.dfa,
+                self._training,
+                n_chunks=min(64, self.config.n_threads),
+            )
         return self._features
 
     def _simulator(self) -> GpuSimulator:
-        """The (cached) device-loaded automaton."""
+        """The (cached) device-loaded automaton.
+
+        Plan-backed frameworks hand the simulator the *precomputed*
+        transformation and hotness profile from the artifact — no raw
+        training bytes are re-profiled; otherwise the simulator derives
+        both from the training slice as before.
+        """
         if self._sim is None:
-            if self._training is None:
-                raise SchemeError("profile() must run before kernels launch")
-            self._sim = GpuSimulator(
-                dfa=self.dfa,
-                device=self.config.device,
-                use_transformation=self.config.use_transformation,
-                training_input=bytes(np.asarray(self._training, dtype=np.uint8)),
-                metrics=self.metrics,
-                backend=self.config.backend,
-            )
+            if self._plan is not None:
+                self._sim = GpuSimulator(
+                    dfa=self.dfa,
+                    device=self.config.device,
+                    use_transformation=self.config.use_transformation,
+                    profile=self._plan.frequency_profile(),
+                    transformation=self._plan.transformation(),
+                    metrics=self.metrics,
+                    backend=self.config.backend,
+                )
+            else:
+                if self._training is None:
+                    raise SchemeError("profile() must run before kernels launch")
+                self._sim = GpuSimulator(
+                    dfa=self.dfa,
+                    device=self.config.device,
+                    use_transformation=self.config.use_transformation,
+                    training_input=bytes(np.asarray(self._training, dtype=np.uint8)),
+                    metrics=self.metrics,
+                    backend=self.config.backend,
+                )
         return self._sim
 
     # ------------------------------------------------------------------
@@ -124,8 +257,18 @@ class GSpecPal:
         """Run the Fig. 6 decision tree on the profiled features.
 
         With tracing enabled, a ``select`` span records the feature vector
-        and the tree's decision path.
+        and the tree's decision path.  Plan-backed frameworks replay the
+        compiled decision (same span attributes, ``from_plan=True``)
+        without consulting the tree.
         """
+        if self._plan is not None:
+            with self.tracer.span("select") as span:
+                if span:
+                    span.set_attr("features", dict(self._plan.features.as_dict()))
+                    span.set_attr("path", list(self._plan.decision_path))
+                    span.set_attr("decision", self._plan.scheme)
+                    span.set_attr("from_plan", True)
+                return self._plan.scheme
         features = self.profile(data)
         with self.tracer.span("select") as span:
             return self.selector.select(features, span=span)
@@ -194,6 +337,8 @@ class GSpecPal:
                 input_length = int(_as_symbol_array(data).size)
             elif self._training is not None:
                 input_length = int(self._training.size)
+            elif self._plan is not None:
+                input_length = int(self._plan.training_symbols)
             else:
                 raise SchemeError(
                     "estimate_costs needs data or an explicit input_length"
@@ -214,8 +359,9 @@ class GSpecPal:
         scheme:
             Force a specific scheme instead of consulting the selector.
         """
+        self._validate_scheme(scheme)
         symbols = _as_symbol_array(data)
-        if self._training is None:
+        if self._training is None and self._plan is None:
             self._training = self._training_slice(symbols)
         with self.tracer.span(
             "gspecpal.run", input_symbols=int(symbols.size)
@@ -231,12 +377,18 @@ class GSpecPal:
     def compare_schemes(
         self, data, schemes: Optional[Iterable[str]] = None
     ) -> Dict[str, SchemeResult]:
-        """Run several schemes on the same stream (benchmark helper)."""
-        symbols = _as_symbol_array(data)
-        if self._training is None:
-            self._training = self._training_slice(symbols)
+        """Run several schemes on the same stream (benchmark helper).
+
+        Each compared scheme runs through :meth:`run` (forced), so every
+        one gets its own traced ``gspecpal.run`` span — compared runs show
+        up in ``repro trace`` like any other — all nested under one
+        ``gspecpal.compare`` parent.
+        """
         names = tuple(schemes) if schemes is not None else self.SELECTABLE
-        return {name: self.build_scheme(name).run(symbols) for name in names}
+        for name in names:
+            self._validate_scheme(name)
+        with self.tracer.span("gspecpal.compare", schemes=list(names)):
+            return {name: self.run(data, scheme=name) for name in names}
 
     # ------------------------------------------------------------------
     # match reporting and streaming
@@ -278,8 +430,10 @@ class GSpecPal:
 
         Each segment is processed with the full parallel machinery from the
         carried DFA state — the framework's answer to long-running feeds
-        (network taps) that cannot be buffered whole.
+        (network taps) that cannot be buffered whole.  A forced ``scheme``
+        is validated here, before any profiling or simulator work.
         """
+        self._validate_scheme(scheme)
         return StreamSession(self, scheme=scheme)
 
 
@@ -299,16 +453,28 @@ class StreamSession:
         self.segments: int = 0
         self.total_symbols: int = 0
         self.total_cycles: float = 0.0
+        #: scheme instance reused across segments (rebuilt only when the
+        #: selected scheme *name* changes — schemes hold no cross-run
+        #: state, so per-segment re-instantiation was pure waste).
+        self._runner = None
+        self._runner_name: Optional[str] = None
 
     @property
     def accepts(self) -> bool:
         """Whether the stream so far ends in an accepting state."""
         return self.state in self._pal.dfa.accepting
 
+    def _scheme_runner(self, name: str):
+        """The cached scheme instance for ``name`` (rebuild on change)."""
+        if self._runner is None or self._runner_name != name:
+            self._runner = self._pal.build_scheme(name)
+            self._runner_name = name
+        return self._runner
+
     def feed(self, segment) -> SchemeResult:
         """Process one segment from the carried state; returns its result."""
         symbols = _as_symbol_array(segment)
-        if self._pal._training is None:
+        if self._pal._training is None and self._pal._plan is None:
             self._pal._training = self._pal._training_slice(symbols)
         with self._pal.tracer.span(
             "stream.feed",
@@ -321,7 +487,7 @@ class StreamSession:
                 if self._scheme is not None
                 else self._pal.select_scheme(symbols)
             )
-            runner = self._pal.build_scheme(name)
+            runner = self._scheme_runner(name)
             result = runner.run(symbols, start_state=self.state)
             if span:
                 span.set_attr("scheme", name)

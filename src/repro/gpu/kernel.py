@@ -55,6 +55,10 @@ class GpuSimulator:
     use_transformation: bool = True
     profile: Optional[StateFrequencyProfile] = None
     training_input: Optional[bytes] = None
+    #: precomputed frequency transformation (from a compiled plan); when
+    #: given with ``use_transformation`` on, it is used as-is and neither a
+    #: profile nor a training input is needed to transform.
+    transformation: Optional[TransformedDFA] = None
     #: optional MetricsRegistry the executor/memory model record into.
     metrics: Optional[object] = None
     #: execution backend name (``"sim"``/``"fast"``); ``None`` defers to
@@ -67,15 +71,25 @@ class GpuSimulator:
                 self.profile = profile_state_frequencies(self.dfa, self.training_input)
         self.transformed: Optional[TransformedDFA] = None
         if self.use_transformation:
-            if self.profile is None:
+            if self.transformation is not None:
+                if self.transformation.to_new.shape != (self.dfa.n_states,):
+                    raise SimulationError(
+                        "precomputed transformation was built for a DFA with "
+                        f"{self.transformation.to_new.shape[0]} states, not "
+                        f"{self.dfa.n_states}"
+                    )
+                self.transformed = self.transformation
+            elif self.profile is None:
                 raise SimulationError(
-                    "the frequency transformation needs a profile or training input"
+                    "the frequency transformation needs a transformation, "
+                    "a profile or a training input"
                 )
-            self.transformed = frequency_transform(
-                self.dfa,
-                self.profile,
-                shared_memory_entries=self.device.shared_table_entries,
-            )
+            else:
+                self.transformed = frequency_transform(
+                    self.dfa,
+                    self.profile,
+                    shared_memory_entries=self.device.shared_table_entries,
+                )
             exec_dfa = self.transformed.dfa
             memory = MemoryModel(
                 device=self.device,

@@ -1,0 +1,27 @@
+"""Compile-once / serve-many: the immutable plan artifact layer.
+
+``compile_plan`` runs the paper's whole offline phase (profiling, selector,
+transformation, cost model, predictor training) once and freezes the result
+into a :class:`CompiledPlan`; ``save_plan``/``load_plan`` round-trip it to
+disk with fingerprint verification; ``GSpecPal.from_plan`` and
+:mod:`repro.serving` execute from it with zero profiling work.
+"""
+
+from repro.plan.artifact import (
+    PLAN_FORMAT_VERSION,
+    CompiledPlan,
+    config_fingerprint,
+    config_snapshot,
+)
+from repro.plan.compile import compile_plan
+from repro.plan.serialize import load_plan, save_plan
+
+__all__ = [
+    "PLAN_FORMAT_VERSION",
+    "CompiledPlan",
+    "compile_plan",
+    "config_fingerprint",
+    "config_snapshot",
+    "load_plan",
+    "save_plan",
+]

@@ -1,0 +1,246 @@
+"""The immutable compile-once artifact: :class:`CompiledPlan`.
+
+GSpecPal's pipeline is explicitly two-phase: *offline* profiling
+(speculation accuracy, input sensitivity, convergence — Table II; the
+frequency transformation — Fig. 4; the selector walk — Fig. 6) versus
+*online* latency-sensitive execution.  A :class:`CompiledPlan` freezes
+everything the offline phase decides into one serializable artifact so the
+online phase — :meth:`repro.framework.GSpecPal.from_plan` and the
+:mod:`repro.serving` layer — can execute with **zero profiling work**:
+
+* the profiled :class:`~repro.selector.features.FSMFeatures` vector;
+* the frequency-transformation permutation and hot-prefix size (or the
+  raw hotness ordering for the hash-layout ablation);
+* the trained lookback-2 predictor statistics measured on the training
+  slice;
+* the selector's decision plus the tree path that produced it, and the
+  Eq. 1–4 cost estimates;
+* a content :meth:`~repro.automata.dfa.DFA.fingerprint` and a
+  configuration hash, so a plan can never silently be served against the
+  wrong automaton or the wrong tunables.
+
+Plans are value objects: compiling the same DFA on the same training input
+under the same config yields an identical plan, and
+``save_plan``/``load_plan`` round-trip them bit-exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.automata.properties import StateFrequencyProfile
+from repro.automata.transform import TransformedDFA, transformation_from_permutation
+from repro.errors import PlanError
+from repro.selector.features import FSMFeatures
+
+#: Bump when the artifact layout changes incompatibly.
+PLAN_FORMAT_VERSION = 1
+
+#: GSpecPalConfig fields frozen into a plan.  Runtime-only knobs —
+#: ``backend`` (execution engine) and ``selfcheck`` (audits) — are
+#: deliberately excluded: they change how a plan is *served*, never what
+#: was *compiled*.
+_CONFIG_FIELDS = (
+    "n_threads",
+    "spec_k",
+    "own_registers",
+    "others_registers",
+    "use_transformation",
+    "training_fraction",
+    "min_training_symbols",
+)
+
+
+def config_snapshot(config) -> Dict[str, Any]:
+    """JSON-able snapshot of the compile-relevant configuration fields."""
+    snap: Dict[str, Any] = {name: getattr(config, name) for name in _CONFIG_FIELDS}
+    snap["device"] = asdict(config.device)
+    snap["thresholds"] = asdict(config.thresholds)
+    return snap
+
+
+def config_fingerprint(config) -> str:
+    """Deterministic hash of :func:`config_snapshot` (the plan's config key)."""
+    payload = json.dumps(config_snapshot(config), sort_keys=True)
+    return hashlib.sha256(f"cfg/v1:{payload}".encode()).hexdigest()
+
+
+def _config_from_snapshot(snapshot: Dict[str, Any], **overrides):
+    """Rebuild a ``GSpecPalConfig`` from a stored snapshot."""
+    from repro.framework.config import GSpecPalConfig
+    from repro.gpu.device import DeviceSpec
+    from repro.selector.decision_tree import SelectorThresholds
+
+    kwargs = {name: snapshot[name] for name in _CONFIG_FIELDS}
+    kwargs["device"] = DeviceSpec(**snapshot["device"])
+    kwargs["thresholds"] = SelectorThresholds(**snapshot["thresholds"])
+    kwargs.update(overrides)
+    return GSpecPalConfig(**kwargs)
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """Everything the offline phase decided, frozen for serving.
+
+    Attributes
+    ----------
+    dfa:
+        The automaton the plan was compiled for (embedded so the artifact
+        is self-contained — ship the plan, serve anywhere).
+    fingerprint:
+        ``dfa.fingerprint()`` at compile time; re-verified on load and on
+        every cache lookup.
+    config_hash:
+        :func:`config_fingerprint` of the compile-time configuration.
+    config:
+        The :func:`config_snapshot` the hash covers (kept readable so
+        operators can inspect what a plan was compiled under).
+    features:
+        The profiled Table-II feature vector.
+    scheme / decision_path:
+        The Fig. 6 selector's pick and the tree nodes it visited.
+    cost_estimates:
+        ``CostModel.estimate_all`` output at compile time (cycles per
+        selectable scheme on the training-sized input).
+    frequency_counts / frequency_order / training_symbols:
+        The state-frequency profile (hotness ordering) and the number of
+        training symbols it was collected over.
+    permutation:
+        The frequency-transformation mapping ``to_new`` (``None`` when the
+        plan was compiled with ``use_transformation=False``).
+    hot_state_count:
+        Hot-prefix size: leading states resident in shared memory under
+        the RANK layout, or the hash-layout hot-set size otherwise.
+    predictor_stats:
+        Trained lookback-2 statistics: window, per-k accuracies and the
+        candidate-queue geometry measured on the training boundaries.
+    """
+
+    dfa: DFA
+    fingerprint: str
+    config_hash: str
+    config: Dict[str, Any]
+    features: FSMFeatures
+    scheme: str
+    decision_path: Tuple[str, ...]
+    cost_estimates: Dict[str, float]
+    frequency_counts: np.ndarray
+    frequency_order: np.ndarray
+    training_symbols: int
+    permutation: Optional[np.ndarray]
+    hot_state_count: int
+    predictor_stats: Dict[str, float] = field(default_factory=dict)
+    version: int = PLAN_FORMAT_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "frequency_counts",
+            np.ascontiguousarray(self.frequency_counts, dtype=np.int64),
+        )
+        object.__setattr__(
+            self,
+            "frequency_order",
+            np.ascontiguousarray(self.frequency_order, dtype=np.int64),
+        )
+        if self.permutation is not None:
+            object.__setattr__(
+                self,
+                "permutation",
+                np.ascontiguousarray(self.permutation, dtype=np.int64),
+            )
+        object.__setattr__(self, "decision_path", tuple(self.decision_path))
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify(self, dfa: Optional[DFA] = None) -> None:
+        """Check the plan still matches its automaton (and optionally
+        another DFA a caller wants to serve with it).
+
+        Raises :class:`~repro.errors.PlanError` on any mismatch — the
+        invalidation rule of the plan lifecycle: a plan is valid exactly
+        as long as the DFA's behaviourally relevant content is unchanged.
+        """
+        actual = self.dfa.fingerprint()
+        if actual != self.fingerprint:
+            raise PlanError(
+                f"plan fingerprint mismatch: artifact says {self.fingerprint[:12]}…, "
+                f"embedded DFA hashes to {actual[:12]}… (corrupt or tampered plan)"
+            )
+        if dfa is not None and dfa.fingerprint() != self.fingerprint:
+            raise PlanError(
+                f"plan was compiled for fingerprint {self.fingerprint[:12]}… "
+                f"but DFA {dfa.name!r} hashes to {dfa.fingerprint()[:12]}…; "
+                "recompile the plan for this automaton"
+            )
+
+    def verify_config(self, config) -> None:
+        """Ensure ``config`` matches the plan's compile-time configuration."""
+        actual = config_fingerprint(config)
+        if actual != self.config_hash:
+            raise PlanError(
+                "configuration does not match the plan's compile-time config "
+                f"(plan {self.config_hash[:12]}…, given {actual[:12]}…); "
+                "recompile, or serve with the plan's own config"
+            )
+
+    # ------------------------------------------------------------------
+    # executable artifacts
+    # ------------------------------------------------------------------
+    def frequency_profile(self) -> StateFrequencyProfile:
+        """The stored hotness profile (no training bytes needed)."""
+        return StateFrequencyProfile(
+            counts=self.frequency_counts,
+            order=self.frequency_order,
+            sample_length=int(self.training_symbols),
+        )
+
+    def transformation(self) -> Optional[TransformedDFA]:
+        """Rebuild the frequency transformation from the stored permutation
+        (one vectorized renumbering; ``None`` for hash-layout plans)."""
+        if self.permutation is None:
+            return None
+        return transformation_from_permutation(
+            self.dfa, self.permutation, self.hot_state_count
+        )
+
+    def build_config(self, *, backend: Optional[str] = None, selfcheck=None):
+        """The compile-time ``GSpecPalConfig``, with runtime knobs applied."""
+        return _config_from_snapshot(self.config, backend=backend, selfcheck=selfcheck)
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Operator-facing one-screen description (used by ``repro compile``)."""
+        lines = [
+            f"plan for  : {self.dfa.name} ({self.dfa.n_states} states, "
+            f"{self.dfa.n_symbols} symbols)",
+            f"fingerprint: {self.fingerprint}",
+            f"config     : {self.config_hash[:16]}… "
+            f"(n_threads={self.config['n_threads']}, "
+            f"spec_k={self.config['spec_k']}, "
+            f"device={self.config['device']['name']})",
+            f"scheme     : {self.scheme}  (path: {' -> '.join(self.decision_path)})",
+            f"hot states : {self.hot_state_count}"
+            + (
+                " (RANK layout)"
+                if self.permutation is not None
+                else " (HASH layout)"
+            ),
+            f"trained on : {self.training_symbols} symbols",
+        ]
+        lines.append("features   :")
+        for key, value in self.features.as_dict().items():
+            lines.append(f"  {key:22s} {value}")
+        lines.append("cost model :")
+        for name, cycles in sorted(self.cost_estimates.items(), key=lambda kv: kv[1]):
+            lines.append(f"  {name:6s} {cycles:14.0f} cycles")
+        return "\n".join(lines)

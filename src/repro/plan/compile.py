@@ -1,0 +1,156 @@
+"""The offline compile phase: ``compile_plan``.
+
+Runs every expensive per-FSM step exactly once — feature profiling, the
+selector walk, the frequency transformation, the Eq. 1–4 cost model and the
+lookback-2 predictor training — and freezes the results into a
+:class:`~repro.plan.artifact.CompiledPlan`.
+
+With tracing enabled the whole phase sits under one ``compile`` span with
+``profile`` / ``select`` / ``transform`` / ``cost_model`` / ``predictor``
+children, so the offline cost is as observable as the online one.  Compile
+spans carry no cycle source (this is host-side work, not simulated kernel
+time), so the scheme-run cycle tiling is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.automata.dfa import DFA, _as_symbol_array
+from repro.automata.properties import profile_state_frequencies
+from repro.automata.transform import frequency_transform
+from repro.errors import PlanError
+from repro.observability import NULL_TRACER
+from repro.plan.artifact import CompiledPlan, config_fingerprint, config_snapshot
+from repro.selector.cost_model import CostModel, CostModelInputs
+from repro.selector.decision_tree import DecisionTreeSelector
+from repro.selector.features import profile_features
+from repro.speculation.chunks import partition_input
+from repro.speculation.predictor import LOOKBACK, predict_start_states
+
+
+def _predictor_stats(dfa: DFA, symbols: np.ndarray, n_chunks: int, features) -> dict:
+    """Trained lookback-2 statistics: accuracies plus queue geometry.
+
+    The queue sizes measure how many candidate states the all-state replay
+    leaves alive per boundary — the quantity that decides how much work
+    enumerative recovery (RR/NF) has to burn per mis-speculation.
+    """
+    partition = partition_input(symbols, n_chunks)
+    prediction = predict_start_states(dfa, partition)
+    sizes = np.asarray(
+        [q.states.size for q in prediction.queues[1:]], dtype=np.int64
+    )
+    return {
+        "predictor": f"lookback-{LOOKBACK}",
+        "lookback": int(LOOKBACK),
+        "boundaries": int(sizes.size),
+        "spec1_accuracy": float(features.spec1_accuracy),
+        "spec4_accuracy": float(features.spec4_accuracy),
+        "spec16_accuracy": float(features.spec16_accuracy),
+        "mean_queue_size": float(sizes.mean()) if sizes.size else 1.0,
+        "max_queue_size": int(sizes.max()) if sizes.size else 1,
+    }
+
+
+def compile_plan(
+    dfa: DFA,
+    training_input,
+    config=None,
+    *,
+    tracer=None,
+) -> CompiledPlan:
+    """Compile ``dfa`` against ``training_input`` into an immutable plan.
+
+    Parameters
+    ----------
+    dfa:
+        The automaton to compile for.
+    training_input:
+        Representative sample stream (the paper's ~0.5% profiling slice).
+        Must be long enough for feature profiling.
+    config:
+        Compile-time tunables (defaults to ``GSpecPalConfig()``).  The
+        plan records a config hash; serving verifies it.
+    tracer:
+        Optional span sink; the phase emits one ``compile`` span tree.
+    """
+    from repro.framework.config import GSpecPalConfig
+
+    if config is None:
+        config = GSpecPalConfig()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    symbols = _as_symbol_array(training_input)
+    if symbols.size == 0:
+        raise PlanError("compile_plan needs a non-empty training input")
+    n_chunks = min(64, config.n_threads)
+
+    with tracer.span(
+        "compile", fsm=dfa.name, training_symbols=int(symbols.size)
+    ) as cspan:
+        with tracer.span("profile"):
+            features = profile_features(dfa, symbols, n_chunks=n_chunks)
+
+        selector = DecisionTreeSelector(config.thresholds)
+        with tracer.span("select") as sspan:
+            scheme, path = selector.decide(features)
+            if sspan:
+                sspan.set_attr("decision", scheme)
+                sspan.set_attr("path", path)
+
+        with tracer.span("transform") as tspan:
+            freq = profile_state_frequencies(dfa, symbols)
+            if config.use_transformation:
+                transformed = frequency_transform(
+                    dfa,
+                    freq,
+                    shared_memory_entries=config.device.shared_table_entries,
+                )
+                permutation = transformed.to_new
+                hot = transformed.hot_state_count
+            else:
+                permutation = None
+                hot = min(
+                    dfa.n_states,
+                    config.device.shared_table_entries // max(1, dfa.n_symbols),
+                )
+            if tspan:
+                tspan.set_attr("layout", "rank" if permutation is not None else "hash")
+                tspan.set_attr("hot_states", int(hot))
+
+        with tracer.span("cost_model"):
+            estimates = CostModel(config.device).estimate_all(
+                features,
+                CostModelInputs(
+                    input_length=int(symbols.size),
+                    n_threads=config.n_threads,
+                    k=config.spec_k,
+                    others_capacity=config.others_registers,
+                ),
+            )
+
+        with tracer.span("predictor"):
+            predictor_stats = _predictor_stats(dfa, symbols, n_chunks, features)
+
+        plan = CompiledPlan(
+            dfa=dfa,
+            fingerprint=dfa.fingerprint(),
+            config_hash=config_fingerprint(config),
+            config=config_snapshot(config),
+            features=features,
+            scheme=scheme,
+            decision_path=tuple(path),
+            cost_estimates={k: float(v) for k, v in estimates.items()},
+            frequency_counts=freq.counts,
+            frequency_order=freq.order,
+            training_symbols=int(symbols.size),
+            permutation=permutation,
+            hot_state_count=int(hot),
+            predictor_stats=predictor_stats,
+        )
+        if cspan:
+            cspan.set_attr("fingerprint", plan.fingerprint)
+            cspan.set_attr("scheme", plan.scheme)
+    return plan

@@ -1,0 +1,115 @@
+"""Plan (de)serialization: JSON metadata + NPZ arrays, one file.
+
+Follows the DFA serializer's container choice (NumPy ``.npz``) so plans
+need no new dependencies: dense arrays (transition table, accepting set,
+frequency profile, permutation) are stored as compressed arrays, and every
+scalar decision — features, selection, cost estimates, predictor stats,
+config snapshot and both hashes — rides in one embedded JSON document.
+
+``load_plan`` re-verifies the content fingerprint of the embedded DFA
+against the stored one, so a corrupted or hand-edited artifact is rejected
+before it can serve a single byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.automata.dfa import DFA, STATE_DTYPE
+from repro.errors import PlanError
+from repro.plan.artifact import PLAN_FORMAT_VERSION, CompiledPlan
+from repro.selector.features import FSMFeatures
+
+
+def save_plan(plan: CompiledPlan, path: Union[str, Path]) -> Path:
+    """Write ``plan`` to ``path`` (``.npz``); returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = json.dumps(
+        {
+            "version": PLAN_FORMAT_VERSION,
+            "fingerprint": plan.fingerprint,
+            "config_hash": plan.config_hash,
+            "config": plan.config,
+            "features": plan.features.as_dict(),
+            "scheme": plan.scheme,
+            "decision_path": list(plan.decision_path),
+            "cost_estimates": plan.cost_estimates,
+            "predictor_stats": plan.predictor_stats,
+            "training_symbols": plan.training_symbols,
+            "hot_state_count": plan.hot_state_count,
+            "has_permutation": plan.permutation is not None,
+            "dfa": {"name": plan.dfa.name, "start": plan.dfa.start},
+        },
+        sort_keys=True,
+    )
+    arrays = {
+        "table": plan.dfa.table,
+        "accepting": np.asarray(sorted(plan.dfa.accepting), dtype=np.int64),
+        "frequency_counts": plan.frequency_counts,
+        "frequency_order": plan.frequency_order,
+        "meta": np.asarray(meta),
+    }
+    if plan.permutation is not None:
+        arrays["permutation"] = plan.permutation
+    np.savez_compressed(path, **arrays)
+    # np.savez appends .npz when the suffix is missing; report reality.
+    return path if path.exists() else path.with_suffix(path.suffix + ".npz")
+
+
+def load_plan(path: Union[str, Path]) -> CompiledPlan:
+    """Load and verify a plan previously written by :func:`save_plan`.
+
+    Raises
+    ------
+    PlanError
+        When the file is missing, the format version is unsupported, or
+        the embedded DFA no longer hashes to the stored fingerprint.
+    """
+    path = Path(path)
+    if not path.exists():
+        alt = path.with_suffix(path.suffix + ".npz")
+        if alt.exists():
+            path = alt
+        else:
+            raise PlanError(f"no plan file at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            meta = json.loads(str(data["meta"]))
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise PlanError(f"malformed plan metadata in {path}: {exc}") from exc
+        if meta.get("version") != PLAN_FORMAT_VERSION:
+            raise PlanError(
+                f"unsupported plan version {meta.get('version')!r} in {path} "
+                f"(this build reads version {PLAN_FORMAT_VERSION})"
+            )
+        dfa = DFA(
+            table=data["table"].astype(STATE_DTYPE),
+            start=int(meta["dfa"]["start"]),
+            accepting=frozenset(int(s) for s in data["accepting"]),
+            name=str(meta["dfa"]["name"]),
+        )
+        plan = CompiledPlan(
+            dfa=dfa,
+            fingerprint=str(meta["fingerprint"]),
+            config_hash=str(meta["config_hash"]),
+            config=meta["config"],
+            features=FSMFeatures(**meta["features"]),
+            scheme=str(meta["scheme"]),
+            decision_path=tuple(meta["decision_path"]),
+            cost_estimates={k: float(v) for k, v in meta["cost_estimates"].items()},
+            frequency_counts=data["frequency_counts"],
+            frequency_order=data["frequency_order"],
+            training_symbols=int(meta["training_symbols"]),
+            permutation=data["permutation"] if meta["has_permutation"] else None,
+            hot_state_count=int(meta["hot_state_count"]),
+            predictor_stats=meta["predictor_stats"],
+        )
+    # Fingerprint verification on load: a plan whose embedded automaton no
+    # longer hashes to what the compiler recorded must never serve.
+    plan.verify()
+    return plan

@@ -56,12 +56,21 @@ class DecisionTreeSelector:
         ``span``, when truthy, receives the feature vector, the sequence of
         tree nodes visited (``path``) and the final ``decision``.
         """
-        name, path = self._walk(features)
+        name, path = self.decide(features)
         if span:
             span.set_attr("features", dict(features.as_dict()))
             span.set_attr("path", path)
             span.set_attr("decision", name)
         return name
+
+    def decide(self, features: FSMFeatures):
+        """Like :meth:`select`, but also return the visited node labels.
+
+        Plan compilation records the ``(scheme, decision_path)`` pair in the
+        immutable artifact so the serve path can replay the selection
+        without re-walking (or re-profiling) anything.
+        """
+        return self._walk(features)
 
     def _walk(self, features: FSMFeatures):
         """The tree itself: returns ``(scheme, visited-node labels)``."""

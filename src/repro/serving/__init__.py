@@ -1,0 +1,13 @@
+"""Serve-many: plan caching and multi-tenant stream pooling.
+
+The online half of the compile-once / serve-many split (see
+:mod:`repro.plan` for the offline half): :class:`PlanCache` is a
+fingerprint-keyed LRU guaranteeing at most one compile per automaton, and
+:class:`MatcherPool` multiplexes many concurrent stream sessions over the
+cached plans with zero profiling on the serving path.
+"""
+
+from repro.serving.cache import PlanCache
+from repro.serving.pool import MatcherPool, StreamStats
+
+__all__ = ["MatcherPool", "PlanCache", "StreamStats"]

@@ -1,0 +1,177 @@
+"""Fingerprint-keyed LRU cache of compiled plans.
+
+The serving tier's first rule: **at most one compile per fingerprint**.
+Compiling a plan is the expensive per-FSM work (feature profiling, selector
+walk, transformation, cost model, predictor training); the cache amortizes
+it across every stream that matches against the same automaton.
+
+Keys are :meth:`~repro.automata.dfa.DFA.fingerprint` content hashes, so two
+structurally identical DFAs (however they were constructed) share one plan.
+A bounded LRU keeps memory predictable under many-tenant churn; eviction
+only drops the *plan* — matchers already serving from it keep their
+reference and finish unaffected.
+
+The cache is thread-safe: the compile itself runs under the lock so two
+racing ``get_or_compile`` calls for the same fingerprint can never both
+compile.
+"""
+
+from __future__ import annotations
+
+import threading
+import zipfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.errors import PlanError, ServingError
+from repro.plan import CompiledPlan, compile_plan, load_plan, save_plan
+
+
+class PlanCache:
+    """Bounded LRU of :class:`~repro.plan.CompiledPlan`, keyed by fingerprint.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident plans; least-recently-used is evicted beyond it.
+    config:
+        Default compile-time configuration for :meth:`get_or_compile`.
+    directory:
+        Optional spill directory: plans are persisted as
+        ``<fingerprint>.npz`` on compile and reloaded on a memory miss, so
+        a restarted server re-serves without recompiling (the CLI's
+        ``--plan-cache`` flag builds on this).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 16,
+        *,
+        config=None,
+        directory: Optional[str] = None,
+    ):
+        if capacity < 1:
+            raise ServingError(f"PlanCache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.config = config
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._plans: "OrderedDict[str, CompiledPlan]" = OrderedDict()
+        self._lock = threading.RLock()
+        #: observability counters (monotonic over the cache's lifetime).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.compiles = 0
+        self.disk_loads = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._plans
+
+    @property
+    def fingerprints(self) -> tuple:
+        """Resident fingerprints, least-recently-used first."""
+        with self._lock:
+            return tuple(self._plans)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "compiles": self.compiles,
+                "disk_loads": self.disk_loads,
+            }
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[CompiledPlan]:
+        """The cached plan for ``fingerprint`` (refreshes recency), or None."""
+        with self._lock:
+            plan = self._plans.get(fingerprint)
+            if plan is not None:
+                self._plans.move_to_end(fingerprint)
+                self.hits += 1
+                return plan
+            self.misses += 1
+            return None
+
+    def put(self, plan: CompiledPlan) -> None:
+        """Insert (or refresh) ``plan``; evicts LRU entries beyond capacity."""
+        with self._lock:
+            self._plans[plan.fingerprint] = plan
+            self._plans.move_to_end(plan.fingerprint)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_compile(
+        self, dfa, training_input=None, config=None
+    ) -> CompiledPlan:
+        """The plan for ``dfa`` — cached, spilled-to-disk, or compiled now.
+
+        Resolution order: memory hit → spill-directory load → compile
+        (requires ``training_input``).  Whatever the source, the plan ends
+        up resident and most-recently-used.
+        """
+        fingerprint = dfa.fingerprint()
+        with self._lock:
+            plan = self._plans.get(fingerprint)
+            if plan is not None:
+                self._plans.move_to_end(fingerprint)
+                self.hits += 1
+                return plan
+            self.misses += 1
+            plan = self._load_spilled(fingerprint, dfa)
+            if plan is None:
+                if training_input is None:
+                    raise ServingError(
+                        f"no plan cached for fingerprint {fingerprint[:12]}… and "
+                        "no training input to compile one"
+                    )
+                plan = compile_plan(
+                    dfa,
+                    training_input,
+                    config if config is not None else self.config,
+                )
+                self.compiles += 1
+                self._spill(plan)
+            self.put(plan)
+            return plan
+
+    # ------------------------------------------------------------------
+    # optional disk spill
+    # ------------------------------------------------------------------
+    def _spill_path(self, fingerprint: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{fingerprint}.npz"
+
+    def _spill(self, plan: CompiledPlan) -> None:
+        path = self._spill_path(plan.fingerprint)
+        if path is not None:
+            save_plan(plan, path)
+
+    def _load_spilled(self, fingerprint: str, dfa) -> Optional[CompiledPlan]:
+        path = self._spill_path(fingerprint)
+        if path is None or not path.exists():
+            return None
+        try:
+            plan = load_plan(path)
+            plan.verify(dfa)
+        except (PlanError, OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # Stale, truncated or corrupt spill: drop it and recompile.
+            path.unlink(missing_ok=True)
+            return None
+        self.disk_loads += 1
+        return plan

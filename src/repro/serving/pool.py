@@ -1,0 +1,200 @@
+"""Multi-tenant serving: many concurrent streams over cached plans.
+
+:class:`MatcherPool` is the serve-many half of the compile-once split.  It
+keeps one plan-backed :class:`~repro.framework.GSpecPal` matcher per FSM
+fingerprint (built via ``GSpecPal.from_plan`` — zero profiling on the
+serving path) and multiplexes any number of concurrent
+:class:`~repro.framework.gspecpal.StreamSession`\\ s over those matchers.
+Plans come from a shared :class:`~repro.serving.PlanCache`, so N tenants
+matching the same automaton cost one compile, one simulator, and one scheme
+instance per stream — nothing else.
+
+Typical serving loop::
+
+    pool = MatcherPool(PlanCache(capacity=8))
+    sid = pool.open(dfa, training_input=train)   # compile-or-hit
+    ...
+    pool.feed(sid, segment)                      # any interleaving of sids
+    ...
+    stats = pool.close(sid)                      # final stream summary
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServingError
+from repro.framework.gspecpal import GSpecPal, StreamSession
+from repro.schemes import SchemeResult
+from repro.serving.cache import PlanCache
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Summary returned by :meth:`MatcherPool.close`."""
+
+    stream_id: int
+    fingerprint: str
+    scheme: str
+    segments: int
+    total_symbols: int
+    total_cycles: float
+    end_state: int
+    accepts: bool
+
+
+class MatcherPool:
+    """Serve many concurrent streams over plan-cached matchers.
+
+    Parameters
+    ----------
+    cache:
+        Shared :class:`PlanCache`; a private default-capacity one is
+        created when omitted.
+    config:
+        Default compile-time configuration for plans the pool must compile.
+    backend / selfcheck:
+        Runtime knobs applied to every matcher built from a plan.
+    max_streams:
+        Upper bound on concurrently open streams (capacity guard).
+    """
+
+    def __init__(
+        self,
+        cache: Optional[PlanCache] = None,
+        *,
+        config=None,
+        backend: Optional[str] = None,
+        selfcheck: Optional[bool] = None,
+        max_streams: int = 64,
+        tracer=None,
+        metrics=None,
+    ):
+        if max_streams < 1:
+            raise ServingError(f"max_streams must be >= 1, got {max_streams}")
+        self.cache = cache if cache is not None else PlanCache(config=config)
+        self.config = config
+        self.backend = backend
+        self.selfcheck = selfcheck
+        self.max_streams = int(max_streams)
+        self.tracer = tracer
+        self.metrics = metrics
+        self._matchers: Dict[str, GSpecPal] = {}
+        self._sessions: Dict[int, Tuple[StreamSession, str]] = {}
+        self._next_id = 0
+        self._opened = 0
+        self._closed = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Number of currently open streams."""
+        with self._lock:
+            return len(self._sessions)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "active_streams": len(self._sessions),
+                "opened": self._opened,
+                "closed": self._closed,
+                "matchers": len(self._matchers),
+                "cache": self.cache.stats(),
+            }
+
+    # ------------------------------------------------------------------
+    def _matcher_for(self, plan) -> GSpecPal:
+        matcher = self._matchers.get(plan.fingerprint)
+        if matcher is None or matcher.plan is not plan:
+            matcher = GSpecPal.from_plan(
+                plan,
+                backend=self.backend,
+                selfcheck=self.selfcheck,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+            self._matchers[plan.fingerprint] = matcher
+        return matcher
+
+    def open(
+        self,
+        dfa=None,
+        *,
+        training_input=None,
+        plan=None,
+        scheme: Optional[str] = None,
+    ) -> int:
+        """Open a stream; returns its id for :meth:`feed`/:meth:`close`.
+
+        Pass either a precompiled ``plan`` or a ``dfa`` (with
+        ``training_input`` if its plan may not be cached yet).  ``scheme``
+        forces a scheme for this stream; by default every segment uses the
+        plan's compiled selection.
+        """
+        if plan is None:
+            if dfa is None:
+                raise ServingError("open() needs a dfa or a precompiled plan")
+            plan = self.cache.get_or_compile(dfa, training_input, self.config)
+        else:
+            self.cache.put(plan)
+        with self._lock:
+            if len(self._sessions) >= self.max_streams:
+                raise ServingError(
+                    f"stream capacity exhausted ({self.max_streams} open); "
+                    "close a stream before opening another"
+                )
+            matcher = self._matcher_for(plan)
+            session = matcher.stream(scheme=scheme)
+            stream_id = self._next_id
+            self._next_id += 1
+            self._opened += 1
+            self._sessions[stream_id] = (session, plan.fingerprint)
+            return stream_id
+
+    def _session(self, stream_id: int) -> Tuple[StreamSession, str]:
+        entry = self._sessions.get(stream_id)
+        if entry is None:
+            raise ServingError(f"unknown or closed stream id {stream_id}")
+        return entry
+
+    def feed(self, stream_id: int, segment) -> SchemeResult:
+        """Process one segment on the identified stream."""
+        with self._lock:
+            session, _ = self._session(stream_id)
+        return session.feed(segment)
+
+    def close(self, stream_id: int) -> StreamStats:
+        """Close a stream and return its final summary.
+
+        Matchers (and their cached plans/simulators) stay resident for
+        future streams; only the per-stream session state is released.
+        """
+        with self._lock:
+            session, fingerprint = self._session(stream_id)
+            del self._sessions[stream_id]
+            self._closed += 1
+        matcher = self._matchers[fingerprint]
+        scheme = session._runner_name
+        if scheme is None:
+            # Never fed: report what a segment would have run.
+            plan = matcher.plan
+            scheme = session._scheme if session._scheme is not None else plan.scheme
+        return StreamStats(
+            stream_id=stream_id,
+            fingerprint=fingerprint,
+            scheme=scheme,
+            segments=session.segments,
+            total_symbols=session.total_symbols,
+            total_cycles=session.total_cycles,
+            end_state=session.state,
+            accepts=session.accepts,
+        )
+
+    def close_all(self) -> Tuple[StreamStats, ...]:
+        """Close every open stream; returns their summaries."""
+        with self._lock:
+            ids = tuple(self._sessions)
+        return tuple(self.close(sid) for sid in ids)

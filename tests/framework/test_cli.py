@@ -53,6 +53,73 @@ def test_run_fast_backend(capsys):
     assert "answer-only" in out
 
 
+def test_compile_then_run_from_plan(capsys, tmp_path):
+    plan_path = str(tmp_path / "m.npz")
+    rc = main(
+        ["compile", "snort", "1", "-o", plan_path,
+         "--training-length", "2048", "--threads", "64"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fingerprint" in out and "scheme" in out and "wrote" in out
+
+    rc = main(
+        ["run", "snort", "1", "--plan", plan_path,
+         "--input-length", "8192", "--threads", "64"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "kernel" in out
+
+
+def test_run_rejects_plan_for_wrong_member(capsys, tmp_path):
+    from repro.errors import PlanError
+
+    plan_path = str(tmp_path / "m.npz")
+    assert main(
+        ["compile", "snort", "1", "-o", plan_path,
+         "--training-length", "2048", "--threads", "64"]
+    ) == 0
+    capsys.readouterr()
+    with pytest.raises(PlanError, match="recompile"):
+        main(
+            ["run", "snort", "2", "--plan", plan_path,
+             "--input-length", "8192", "--threads", "64"]
+        )
+
+
+def test_plan_cache_compiles_once_across_invocations(capsys, tmp_path):
+    cache_dir = str(tmp_path / "plans")
+    argv = ["run", "snort", "1", "--plan-cache", cache_dir,
+            "--input-length", "8192", "--threads", "64",
+            "--training-length", "2048"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    spills = list((tmp_path / "plans").glob("*.npz"))
+    assert len(spills) == 1  # compiled and persisted
+    mtime = spills[0].stat().st_mtime_ns
+    assert main(argv) == 0  # second invocation serves from the cache
+    second = capsys.readouterr().out
+    assert spills[0].stat().st_mtime_ns == mtime  # not recompiled
+    assert ("scheme   :" in first) and ("scheme   :" in second)
+
+
+def test_compare_with_plan(capsys, tmp_path):
+    plan_path = str(tmp_path / "m.npz")
+    assert main(
+        ["compile", "poweren", "3", "-o", plan_path,
+         "--training-length", "2048", "--threads", "64"]
+    ) == 0
+    capsys.readouterr()
+    rc = main(
+        ["compare", "poweren", "3", "--plan", plan_path,
+         "--input-length", "8192", "--threads", "64"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "speedup/pm" in out and "*" in out
+
+
 def test_backend_choices_enforced():
     with pytest.raises(SystemExit):
         main(["run", "snort", "1", "--backend", "cuda"])

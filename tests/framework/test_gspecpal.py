@@ -76,6 +76,25 @@ class TestRun:
         with pytest.raises(SchemeError):
             pal.run(stream, scheme="warp-drive")
 
+    def test_unknown_scheme_fails_before_profiling(self, easy_dfa, stream, monkeypatch):
+        # No training input: a typo'd scheme must be rejected up front, not
+        # after (or instead of) a profiling pass.
+        pal = GSpecPal(easy_dfa)
+        monkeypatch.setattr(
+            pal, "profile", lambda *a, **k: pytest.fail("profiled before validation")
+        )
+        with pytest.raises(SchemeError, match="unknown scheme 'nfa'"):
+            pal.run(stream, scheme="nfa")
+        with pytest.raises(SchemeError, match="known schemes"):
+            pal.stream(scheme="bogus")
+        with pytest.raises(SchemeError):
+            pal.compare_schemes(stream, schemes=("rr", "bogus"))
+
+    def test_spec_k_alias_accepted(self, easy_dfa, stream, training):
+        pal = GSpecPal(easy_dfa, GSpecPalConfig(n_threads=16), training_input=training)
+        result = pal.run(stream, scheme=f"pm-spec{pal.config.spec_k}")
+        assert result.end_state == easy_dfa.run(stream)
+
     def test_select_scheme_on_easy_fsm(self, easy_dfa, stream, training):
         pal = GSpecPal(easy_dfa, GSpecPalConfig(n_threads=16), training_input=training)
         # Keyword scanner converges fast: the tree must not pick PM.

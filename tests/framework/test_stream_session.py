@@ -86,6 +86,43 @@ def test_each_scheme_preserves_segmented_equivalence(scanner_dfa, rng):
         assert session.state == truth, scheme
 
 
+def test_session_reuses_one_scheme_instance(pal, rng, monkeypatch):
+    """Regression: feeding N same-scheme segments must build the scheme
+    exactly once — per-segment re-instantiation was pure constructor waste
+    (schemes hold no cross-run state)."""
+    calls = []
+    original = pal.build_scheme
+
+    def counting(name):
+        calls.append(name)
+        return original(name)
+
+    monkeypatch.setattr(pal, "build_scheme", counting)
+    session = pal.stream(scheme="rr")
+    for _ in range(5):
+        session.feed(bytes(rng.integers(97, 123, size=128).astype(np.uint8)))
+    assert calls == ["rr"]
+    assert session.segments == 5
+
+
+def test_session_rebuilds_on_scheme_change(pal, rng, monkeypatch):
+    calls = []
+    original = pal.build_scheme
+
+    def counting(name):
+        calls.append(name)
+        return original(name)
+
+    monkeypatch.setattr(pal, "build_scheme", counting)
+    session = pal.stream(scheme="rr")
+    data = bytes(rng.integers(97, 123, size=128).astype(np.uint8))
+    session.feed(data)
+    session._scheme = "nf"  # simulate a per-segment selection flip
+    session.feed(data)
+    session.feed(data)
+    assert calls == ["rr", "nf"]
+
+
 def test_traced_session_emits_one_feed_span_per_segment(scanner_dfa, rng):
     training = bytes(rng.integers(97, 123, size=256).astype(np.uint8))
     tracer = Tracer()

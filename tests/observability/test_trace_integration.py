@@ -112,6 +112,22 @@ class TestSpanTreeShape:
         features = select.attrs["features"]
         assert "spec1_accuracy" in features and "convergence_states" in features
 
+    def test_compare_nests_one_traced_run_per_scheme(self, rotator_dfa):
+        tracer = Tracer()
+        pal = make_pal(rotator_dfa, tracer=tracer)
+        names = ("rr", "nf", "seq")
+        pal.compare_schemes(make_data(), schemes=names)
+        assert len(tracer.roots) == 1
+        compare = tracer.roots[0]
+        assert compare.name == "gspecpal.compare"
+        assert compare.attrs["schemes"] == list(names)
+        runs = [c for c in compare.children if c.name == "gspecpal.run"]
+        assert [r.attrs["scheme"] for r in runs] == list(names)
+        # Each compared scheme gets the full traced pipeline of a normal run.
+        for run in runs:
+            assert any(c.name.startswith("scheme:") for c in run.children)
+            assert run.attrs["forced"] is True
+
 
 class TestCycleTiling:
     @pytest.mark.parametrize("scheme", ALL_SCHEMES)

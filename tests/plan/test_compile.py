@@ -1,0 +1,104 @@
+"""compile_plan: the offline phase frozen into one artifact.
+
+Pins down what a plan *contains* — that its selection matches what the
+framework would have decided in-process, that the stored permutation
+rebuilds the exact frequency transformation, that predictor statistics are
+the trained lookback-2 numbers, and that compiling twice under identical
+inputs yields an identical value object.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.framework import GSpecPal, GSpecPalConfig
+from repro.observability import Tracer
+from repro.plan import compile_plan, config_fingerprint
+from repro.automata.transform import frequency_transform
+from repro.automata.properties import profile_state_frequencies
+
+
+@pytest.fixture()
+def training(rng):
+    return bytes(rng.integers(97, 123, size=512).astype(np.uint8))
+
+
+@pytest.fixture()
+def config():
+    return GSpecPalConfig(n_threads=16)
+
+
+def test_selection_matches_in_process(scanner_dfa, training, config):
+    plan = compile_plan(scanner_dfa, training, config)
+    pal = GSpecPal(scanner_dfa, config, training_input=training)
+    assert plan.scheme == pal.select_scheme()
+    assert plan.decision_path  # the Fig. 6 walk is recorded
+    compiled = plan.features.as_dict()
+    live = pal.profile().as_dict()
+    # profiling_seconds is wall-clock, everything else must agree exactly
+    compiled.pop("profiling_seconds"), live.pop("profiling_seconds")
+    assert compiled == live
+
+
+def test_compile_is_deterministic(scanner_dfa, training, config):
+    a = compile_plan(scanner_dfa, training, config)
+    b = compile_plan(scanner_dfa, training, config)
+    assert a.fingerprint == b.fingerprint == scanner_dfa.fingerprint()
+    assert a.config_hash == b.config_hash == config_fingerprint(config)
+    assert a.scheme == b.scheme and a.decision_path == b.decision_path
+    assert a.cost_estimates == b.cost_estimates
+    assert np.array_equal(a.frequency_counts, b.frequency_counts)
+    assert np.array_equal(a.permutation, b.permutation)
+    assert a.predictor_stats == b.predictor_stats
+
+
+def test_cost_estimates_cover_selectable_schemes(scanner_dfa, training, config):
+    plan = compile_plan(scanner_dfa, training, config)
+    assert set(plan.cost_estimates) >= {"pm", "sre", "rr", "nf"}
+    assert all(v > 0 for v in plan.cost_estimates.values())
+
+
+def test_permutation_rebuilds_exact_transformation(scanner_dfa, training, config):
+    plan = compile_plan(scanner_dfa, training, config)
+    rebuilt = plan.transformation()
+    profile = profile_state_frequencies(scanner_dfa, training)
+    direct = frequency_transform(
+        scanner_dfa,
+        profile,
+        shared_memory_entries=config.device.shared_table_entries,
+    )
+    assert np.array_equal(rebuilt.to_new, direct.to_new)
+    assert np.array_equal(rebuilt.dfa.table, direct.dfa.table)
+    assert rebuilt.hot_state_count == direct.hot_state_count == plan.hot_state_count
+
+
+def test_hash_layout_plan_has_no_permutation(scanner_dfa, training):
+    cfg = GSpecPalConfig(n_threads=16, use_transformation=False)
+    plan = compile_plan(scanner_dfa, training, cfg)
+    assert plan.permutation is None
+    assert plan.transformation() is None
+    assert plan.hot_state_count > 0  # hash layout still has a hot set
+
+
+def test_predictor_stats_are_trained_lookback2(scanner_dfa, training, config):
+    plan = compile_plan(scanner_dfa, training, config)
+    stats = plan.predictor_stats
+    assert stats["predictor"] == "lookback-2"
+    assert stats["lookback"] == 2
+    assert 0.0 <= stats["spec1_accuracy"] <= stats["spec16_accuracy"] <= 1.0
+    assert stats["max_queue_size"] >= stats["mean_queue_size"] > 0
+    assert stats["boundaries"] > 0
+
+
+def test_empty_training_rejected(scanner_dfa, config):
+    with pytest.raises(PlanError):
+        compile_plan(scanner_dfa, b"", config)
+
+
+def test_compile_emits_compile_span_tree(scanner_dfa, training, config):
+    tracer = Tracer()
+    compile_plan(scanner_dfa, training, config, tracer=tracer)
+    roots = tracer.roots
+    assert [s.name for s in roots] == ["compile"]
+    children = [s.name for s in roots[0].children]
+    assert children == ["profile", "select", "transform", "cost_model", "predictor"]

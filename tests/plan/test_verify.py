@@ -1,0 +1,98 @@
+"""Plan verification: a stale, corrupt or mismatched artifact never serves.
+
+The fingerprint is the plan's identity — ``load_plan`` re-hashes the
+embedded automaton against the stored digest, ``verify(dfa)`` guards cache
+hits, and ``verify_config`` guards explicit-config serving.  Every mismatch
+must surface as :class:`~repro.errors.PlanError` before a byte is matched.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.framework import GSpecPal, GSpecPalConfig
+from repro.plan import PLAN_FORMAT_VERSION, compile_plan, load_plan, save_plan
+from repro.workloads import classic
+
+
+@pytest.fixture()
+def plan(scanner_dfa, rng):
+    training = bytes(rng.integers(97, 123, size=512).astype(np.uint8))
+    return compile_plan(scanner_dfa, training, GSpecPalConfig(n_threads=16))
+
+
+def _rewrite(path, mutate):
+    """Rewrite the npz at ``path`` after letting ``mutate`` edit its arrays."""
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {k: np.array(data[k]) for k in data.files}
+    mutate(arrays)
+    np.savez_compressed(path, **arrays)
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(PlanError, match="no plan file"):
+        load_plan(tmp_path / "nope.npz")
+
+
+def test_tampered_table_rejected(plan, tmp_path):
+    path = save_plan(plan, tmp_path / "p.npz")
+
+    def corrupt(arrays):
+        table = arrays["table"]
+        table[0, 0] = (table[0, 0] + 1) % plan.dfa.n_states
+        arrays["table"] = table
+
+    _rewrite(path, corrupt)
+    with pytest.raises(PlanError, match="fingerprint mismatch"):
+        load_plan(path)
+
+
+def test_tampered_accepting_set_rejected(plan, tmp_path):
+    path = save_plan(plan, tmp_path / "p.npz")
+
+    def corrupt(arrays):
+        arrays["accepting"] = arrays["accepting"][:-1]
+
+    _rewrite(path, corrupt)
+    with pytest.raises(PlanError, match="fingerprint mismatch"):
+        load_plan(path)
+
+
+def test_unsupported_version_rejected(plan, tmp_path):
+    path = save_plan(plan, tmp_path / "p.npz")
+
+    def bump(arrays):
+        meta = json.loads(str(arrays["meta"]))
+        meta["version"] = PLAN_FORMAT_VERSION + 1
+        arrays["meta"] = np.asarray(json.dumps(meta))
+
+    _rewrite(path, bump)
+    with pytest.raises(PlanError, match="version"):
+        load_plan(path)
+
+
+def test_verify_against_wrong_dfa(plan):
+    other = classic.div7()
+    with pytest.raises(PlanError, match="recompile"):
+        plan.verify(other)
+    plan.verify(plan.dfa)  # the right automaton passes
+
+
+def test_from_plan_rejects_mismatched_config(plan):
+    with pytest.raises(PlanError, match="config"):
+        GSpecPal.from_plan(plan, config=GSpecPalConfig(n_threads=64))
+
+
+def test_fingerprint_ignores_name_but_not_behaviour(scanner_dfa):
+    renamed = scanner_dfa.renamed("alias") if hasattr(scanner_dfa, "renamed") else None
+    if renamed is not None:
+        assert renamed.fingerprint() == scanner_dfa.fingerprint()
+    flipped = scanner_dfa.__class__(
+        table=scanner_dfa.table,
+        start=(scanner_dfa.start + 1) % scanner_dfa.n_states,
+        accepting=scanner_dfa.accepting,
+        name=scanner_dfa.name,
+    )
+    assert flipped.fingerprint() != scanner_dfa.fingerprint()

@@ -1,0 +1,107 @@
+"""PlanCache: LRU semantics and the one-compile-per-fingerprint guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.framework import GSpecPalConfig
+from repro.serving import PlanCache
+from repro.workloads import classic
+
+
+@pytest.fixture()
+def training(rng):
+    return bytes(rng.integers(97, 123, size=512).astype(np.uint8))
+
+
+@pytest.fixture()
+def config():
+    return GSpecPalConfig(n_threads=16)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ServingError):
+        PlanCache(capacity=0)
+
+
+def test_get_or_compile_compiles_exactly_once(scanner_dfa, training, config):
+    cache = PlanCache(config=config)
+    first = cache.get_or_compile(scanner_dfa, training)
+    again = cache.get_or_compile(scanner_dfa, training)
+    assert again is first
+    assert cache.compiles == 1
+    assert cache.hits == 1 and cache.misses == 1
+    # Even with no training input a hit still serves.
+    assert cache.get_or_compile(scanner_dfa) is first
+
+
+def test_structurally_equal_dfas_share_one_plan(training, config):
+    cache = PlanCache(config=config)
+    a = classic.div7()
+    b = classic.div7().renumbered(np.arange(a.n_states))  # same behaviour
+    plan = cache.get_or_compile(a, training)
+    assert cache.get_or_compile(b, training) is plan
+    assert cache.compiles == 1
+
+
+def test_miss_without_training_is_an_error(scanner_dfa):
+    cache = PlanCache()
+    with pytest.raises(ServingError, match="no training input"):
+        cache.get_or_compile(scanner_dfa)
+
+
+def test_lru_eviction_order(training, config):
+    dfas = [classic.divisibility(n) for n in (3, 5, 7)]
+    cache = PlanCache(capacity=2, config=config)
+    p3, p5 = (cache.get_or_compile(d, training) for d in dfas[:2])
+    cache.get(p3.fingerprint)  # refresh div3 → div5 is now LRU
+    cache.get_or_compile(dfas[2], training)
+    assert cache.evictions == 1
+    assert p5.fingerprint not in cache
+    assert p3.fingerprint in cache
+    assert len(cache) == 2
+
+
+def test_evicted_plan_recompiles(training, config):
+    dfas = [classic.divisibility(n) for n in (3, 5)]
+    cache = PlanCache(capacity=1, config=config)
+    cache.get_or_compile(dfas[0], training)
+    cache.get_or_compile(dfas[1], training)  # evicts div3
+    cache.get_or_compile(dfas[0], training)  # must recompile
+    assert cache.compiles == 3
+
+
+def test_disk_spill_survives_restart(scanner_dfa, training, config, tmp_path):
+    first = PlanCache(config=config, directory=tmp_path)
+    plan = first.get_or_compile(scanner_dfa, training)
+    assert first.compiles == 1
+
+    # "Restart": a fresh cache over the same directory serves from disk.
+    second = PlanCache(config=config, directory=tmp_path)
+    reloaded = second.get_or_compile(scanner_dfa, training)
+    assert second.compiles == 0
+    assert second.disk_loads == 1
+    assert reloaded.fingerprint == plan.fingerprint
+    assert reloaded.scheme == plan.scheme
+
+
+def test_corrupt_spill_recompiles(scanner_dfa, training, config, tmp_path):
+    first = PlanCache(config=config, directory=tmp_path)
+    plan = first.get_or_compile(scanner_dfa, training)
+    spill = tmp_path / f"{plan.fingerprint}.npz"
+    spill.write_bytes(b"not an npz")
+
+    second = PlanCache(config=config, directory=tmp_path)
+    reloaded = second.get_or_compile(scanner_dfa, training)
+    # The destroyed container is discarded and the plan recompiled fresh.
+    assert second.compiles == 1 and second.disk_loads == 0
+    assert reloaded.fingerprint == plan.fingerprint
+
+
+def test_stats_snapshot(scanner_dfa, training, config):
+    cache = PlanCache(capacity=4, config=config)
+    cache.get_or_compile(scanner_dfa, training)
+    stats = cache.stats()
+    assert stats["size"] == 1
+    assert stats["capacity"] == 4
+    assert stats["compiles"] == 1

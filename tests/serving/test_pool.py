@@ -1,0 +1,131 @@
+"""MatcherPool: many concurrent streams, one compile per automaton.
+
+The acceptance scenario: ≥ 2 distinct FSMs × ≥ 8 concurrent interleaved
+streams served through one LRU PlanCache with exactly one compile per
+fingerprint, every stream state-equivalent to its sequential oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.automata import compile_disjunction
+from repro.errors import ServingError
+from repro.framework import GSpecPalConfig
+from repro.plan import compile_plan
+from repro.serving import MatcherPool, PlanCache
+from repro.workloads import classic
+
+
+@pytest.fixture()
+def config():
+    return GSpecPalConfig(n_threads=8)
+
+
+@pytest.fixture()
+def fsms():
+    return (
+        compile_disjunction(["abc", "xy+z"], n_symbols=128, name="pool-scan"),
+        classic.keyword_scanner(b"token"),
+    )
+
+
+@pytest.fixture()
+def training(rng):
+    return bytes(rng.integers(97, 123, size=512).astype(np.uint8))
+
+
+def test_two_fsms_eight_streams_one_compile_each(fsms, training, config, rng):
+    cache = PlanCache(capacity=4, config=config)
+    pool = MatcherPool(cache, config=config)
+
+    # 8 concurrent streams (4 per FSM), opened before any is closed.
+    streams = []
+    for i in range(8):
+        dfa = fsms[i % 2]
+        sid = pool.open(dfa, training_input=training)
+        streams.append((sid, dfa, []))
+    assert pool.active == 8
+    assert cache.compiles == 2  # one per fingerprint, not per stream
+    assert pool.stats()["matchers"] == 2  # one matcher per FSM too
+
+    # Interleave segments round-robin across all open streams.
+    for _ in range(3):
+        for sid, dfa, fed in streams:
+            piece = bytes(rng.integers(97, 123, size=96).astype(np.uint8))
+            pool.feed(sid, piece)
+            fed.append(piece)
+
+    for sid, dfa, fed in streams:
+        stats = pool.close(sid)
+        assert stats.segments == 3
+        assert stats.total_symbols == 3 * 96
+        assert stats.end_state == dfa.run(b"".join(fed))
+        assert stats.accepts == (stats.end_state in dfa.accepting)
+    assert pool.active == 0
+    assert cache.compiles == 2  # serving never re-compiled
+
+
+def test_open_with_precompiled_plan_skips_compiling(fsms, training, config):
+    plan = compile_plan(fsms[0], training, config)
+    cache = PlanCache(config=config)
+    pool = MatcherPool(cache, config=config)
+    sid = pool.open(plan=plan)
+    pool.feed(sid, b"abc" * 40)
+    stats = pool.close(sid)
+    assert stats.fingerprint == plan.fingerprint
+    assert cache.compiles == 0
+    assert plan.fingerprint in cache  # seeded for future streams
+
+
+def test_forced_scheme_per_stream(fsms, training, config):
+    pool = MatcherPool(config=config)
+    sid = pool.open(fsms[0], training_input=training, scheme="rr")
+    result = pool.feed(sid, b"xyz" * 40)
+    assert result.scheme == "rr"
+    assert pool.close(sid).scheme == "rr"
+
+
+def test_default_scheme_is_the_plans(fsms, training, config):
+    pool = MatcherPool(config=config)
+    sid = pool.open(fsms[0], training_input=training)
+    plan = pool.cache.get(fsms[0].fingerprint())
+    pool.feed(sid, b"abc" * 40)
+    closed = pool.close(sid)
+    assert closed.scheme in (plan.scheme, f"pm-spec{config.spec_k}")
+
+
+def test_unknown_and_closed_stream_ids_rejected(fsms, training, config):
+    pool = MatcherPool(config=config)
+    with pytest.raises(ServingError, match="unknown or closed"):
+        pool.feed(99, b"x")
+    sid = pool.open(fsms[0], training_input=training)
+    pool.close(sid)
+    with pytest.raises(ServingError, match="unknown or closed"):
+        pool.feed(sid, b"x")
+    with pytest.raises(ServingError, match="unknown or closed"):
+        pool.close(sid)
+
+
+def test_open_needs_dfa_or_plan(config):
+    pool = MatcherPool(config=config)
+    with pytest.raises(ServingError, match="needs a dfa or a precompiled plan"):
+        pool.open()
+
+
+def test_stream_capacity_guard(fsms, training, config):
+    pool = MatcherPool(config=config, max_streams=2)
+    a = pool.open(fsms[0], training_input=training)
+    pool.open(fsms[1], training_input=training)
+    with pytest.raises(ServingError, match="capacity"):
+        pool.open(fsms[0], training_input=training)
+    pool.close(a)
+    pool.open(fsms[0], training_input=training)  # freed slot reusable
+
+
+def test_close_all(fsms, training, config):
+    pool = MatcherPool(config=config)
+    for _ in range(3):
+        pool.open(fsms[0], training_input=training)
+    summaries = pool.close_all()
+    assert len(summaries) == 3
+    assert pool.active == 0
