@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Stress the serving tier and audit it against the sequential oracle.
+
+Drives M worker threads of interleaved open/feed/close traffic over K
+distinct automata through one shared PlanCache + MatcherPool, then checks
+that every closed stream's final state matches ``dfa.run`` over exactly
+the bytes it was fed, that the cache compiled once per fingerprint, and
+that no summary was lost or duplicated.  Same engine as ``repro stress``
+(`repro.serving.stress.run_stress`); exits non-zero on any violation.
+
+CI runs this seeded on both backends with ``REPRO_SELFCHECK=1`` so every
+segment additionally passes the runtime invariant audits::
+
+    PYTHONPATH=src REPRO_SELFCHECK=1 python scripts/stress_serving.py \\
+        --threads 8 --fingerprints 4 --ops 400 --seed 1 --backend fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--fingerprints", type=int, default=4)
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=400,
+        help="total operations (open/feed/close) split across the threads",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend",
+        choices=("sim", "fast"),
+        default=None,
+        help="execution backend for every matcher ($REPRO_BACKEND default)",
+    )
+    parser.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="force the runtime invariant audits on for every segment",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=None, help="plan-cache capacity"
+    )
+    parser.add_argument(
+        "--max-streams", type=int, default=None, help="pool admission bound"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.serving.stress import run_stress
+
+    report = run_stress(
+        threads=args.threads,
+        fingerprints=args.fingerprints,
+        operations=args.ops,
+        seed=args.seed,
+        backend=args.backend,
+        selfcheck=True if args.selfcheck else None,
+        capacity=args.capacity,
+        max_streams=args.max_streams,
+        log=print,
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

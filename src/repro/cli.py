@@ -18,6 +18,11 @@ Commands
                streaming cross-checked against the sequential oracle with
                runtime invariant audits on; failures are shrunk and saved
                as JSON repros (``--replay`` re-runs one).
+``stress``   — multithreaded serving soak: M worker threads of interleaved
+               open/feed/close over K automata through one shared
+               PlanCache/MatcherPool, audited against the sequential
+               oracle (exactly one compile per fingerprint, no lost or
+               incorrect stream states).
 
 Examples
 --------
@@ -31,6 +36,7 @@ Examples
     python -m repro.cli compare poweren 4 --threads 256
     python -m repro.cli trace snort 1 --input-length 4096 --threads 32
     python -m repro.cli fuzz --iterations 200 --seed 42 --out fuzz-repros
+    python -m repro.cli stress --threads 8 --fingerprints 4 --ops 400
 """
 
 from __future__ import annotations
@@ -280,6 +286,23 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def cmd_stress(args) -> int:
+    from repro.serving.stress import run_stress
+
+    report = run_stress(
+        threads=args.threads,
+        fingerprints=args.fingerprints,
+        operations=args.ops,
+        seed=args.seed,
+        backend=args.backend,
+        selfcheck=True if args.selfcheck else None,
+        capacity=args.capacity,
+        max_streams=args.max_streams,
+        log=print,
+    )
+    return 0 if report.ok else 1
+
+
 def cmd_compare(args) -> int:
     member, pal, data = _build(args)
     results = pal.compare_schemes(data)
@@ -411,6 +434,38 @@ def main(argv=None) -> int:
         help="skip the deterministic contract probes",
     )
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "stress",
+        help="multithreaded serving soak audited against the oracle",
+    )
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--fingerprints", type=int, default=4)
+    p.add_argument(
+        "--ops",
+        type=int,
+        default=400,
+        help="total operations (open/feed/close) split across the threads",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend",
+        choices=("sim", "fast"),
+        default=None,
+        help="execution backend for every matcher ($REPRO_BACKEND default)",
+    )
+    p.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="force the runtime invariant audits on for every segment",
+    )
+    p.add_argument(
+        "--capacity", type=int, default=None, help="plan-cache capacity"
+    )
+    p.add_argument(
+        "--max-streams", type=int, default=None, help="pool admission bound"
+    )
+    p.set_defaults(func=cmd_stress)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -59,7 +59,53 @@ class ServingError(ReproError):
 
     Covers pool misuse: unknown or already-closed stream ids, feeding past
     the pool's capacity, and similar multi-tenant bookkeeping violations.
+
+    The error is structured so front-ends can react programmatically
+    instead of parsing messages:
+
+    Attributes
+    ----------
+    code:
+        Machine-readable failure class:
+
+        - ``"capacity"`` — admission control rejected an open because
+          ``max_streams`` sessions are already active (retryable);
+        - ``"unknown_stream"`` — the stream id was never issued or its
+          stream is already closed and forgotten;
+        - ``"stream_closed"`` — the stream was closed concurrently while
+          this call was in flight (the feed/close race);
+        - ``"no_training_input"`` — a cold-cache miss had nothing to
+          compile from;
+        - ``"invalid_argument"`` — structurally bad call (missing dfa/plan,
+          non-positive capacity, ...).
+    retryable:
+        Whether the same call can sensibly be retried later (true for
+        ``"capacity"``: close a stream or wait, then reopen).
+    stream_id / fingerprint:
+        The offending stream id / plan fingerprint, when applicable.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: "str | None" = None,
+        retryable: bool = False,
+        stream_id: "int | None" = None,
+        fingerprint: "str | None" = None,
+    ):
+        self.code = code
+        self.retryable = bool(retryable)
+        self.stream_id = stream_id
+        self.fingerprint = fingerprint
+        context = []
+        if code is not None:
+            context.append(f"code={code}")
+        if retryable:
+            context.append("retryable")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
 
 
 class SelfCheckError(ReproError):

@@ -165,16 +165,29 @@ class GSpecPal:
     def _known_scheme_names(self) -> tuple:
         return self.KNOWN_SCHEMES + (f"pm-spec{self.config.spec_k}",)
 
-    def _validate_scheme(self, name: Optional[str]) -> None:
-        """Reject a forced scheme typo *before* profiling or simulator
-        construction, so the failure is immediate and actionable."""
+    @classmethod
+    def validate_scheme_name(
+        cls, name: Optional[str], *, spec_k: int = 4
+    ) -> None:
+        """Reject an unknown forced-scheme name with an actionable error.
+
+        Class-level so callers that have no framework instance yet — the
+        serving pool validating ``open(scheme=...)`` before paying a
+        compile — fail as fast as the run path does.  ``None`` (selector's
+        choice) always passes.
+        """
         if name is None:
             return
-        known = self._known_scheme_names()
+        known = cls.KNOWN_SCHEMES + (f"pm-spec{spec_k}",)
         if name not in known:
             raise SchemeError(
                 f"unknown scheme {name!r}; known schemes: {', '.join(known)}"
             )
+
+    def _validate_scheme(self, name: Optional[str]) -> None:
+        """Reject a forced scheme typo *before* profiling or simulator
+        construction, so the failure is immediate and actionable."""
+        self.validate_scheme_name(name, spec_k=self.config.spec_k)
 
     # ------------------------------------------------------------------
     # profiling
@@ -444,6 +457,14 @@ class StreamSession:
     execution backend accounts them; the first segment processed on an
     answer-only backend (``fast``) sets it to ``float('nan')`` — sticky —
     because the ledger then holds no execution cycles to sum.
+
+    Thread-ownership contract: a session is a single-owner object.  Its
+    carried ``state``/counters are updated without any internal locking,
+    so at most one thread may be inside :meth:`feed` at a time and a
+    session must not be fed once its owner has released it.  Multi-tenant
+    front-ends serialize externally —
+    :class:`~repro.serving.MatcherPool` holds a per-stream lock across
+    every feed/close, which is exactly this contract enforced.
     """
 
     def __init__(self, pal: GSpecPal, scheme: Optional[str] = None):
@@ -463,6 +484,18 @@ class StreamSession:
     def accepts(self) -> bool:
         """Whether the stream so far ends in an accepting state."""
         return self.state in self._pal.dfa.accepting
+
+    @property
+    def scheme(self) -> Optional[str]:
+        """Name of the scheme this session runs under.
+
+        The scheme the last segment actually ran (once fed), else the
+        forced scheme (when one was requested at open), else ``None`` —
+        a never-fed, unforced session has not consulted the selector yet.
+        """
+        if self._runner_name is not None:
+            return self._runner_name
+        return self._scheme
 
     def _scheme_runner(self, name: str):
         """The cached scheme instance for ``name`` (rebuild on change)."""

@@ -8,13 +8,19 @@ returns the same :class:`Counter` every call — and exports to a flat dict
 whose key names are part of the observability contract (see
 ``docs/observability.md``).
 
-All instruments are plain python objects: no locks (the simulator is
-single-threaded) and no background machinery.  When no registry is attached
+All instruments are plain python objects with no background machinery.
+Instrument *creation* is lock-protected so concurrent serving threads can
+share one registry safely, but the instruments themselves are lock-free
+(the simulator hot path is single-threaded): code recording into a shared
+instrument from several threads must hold its own lock — the serving tier
+records every ``serving.*`` metric under its pool/cache locks for exactly
+this reason (see ``docs/observability.md``).  When no registry is attached
 (the default) the instrumented code skips recording entirely.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Union
 
@@ -80,24 +86,30 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        # Guards create-on-first-use only; recording into an instrument is
+        # the caller's concurrency problem (see module docstring).
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
         inst = self._counters.get(name)
         if inst is None:
-            inst = self._counters[name] = Counter(name)
+            with self._lock:
+                inst = self._counters.setdefault(name, Counter(name))
         return inst
 
     def gauge(self, name: str) -> Gauge:
         inst = self._gauges.get(name)
         if inst is None:
-            inst = self._gauges[name] = Gauge(name)
+            with self._lock:
+                inst = self._gauges.setdefault(name, Gauge(name))
         return inst
 
     def histogram(self, name: str) -> Histogram:
         inst = self._histograms.get(name)
         if inst is None:
-            inst = self._histograms[name] = Histogram(name)
+            with self._lock:
+                inst = self._histograms.setdefault(name, Histogram(name))
         return inst
 
     # ------------------------------------------------------------------

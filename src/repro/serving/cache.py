@@ -11,9 +11,15 @@ A bounded LRU keeps memory predictable under many-tenant churn; eviction
 only drops the *plan* — matchers already serving from it keep their
 reference and finish unaffected.
 
-The cache is thread-safe: the compile itself runs under the lock so two
-racing ``get_or_compile`` calls for the same fingerprint can never both
-compile.
+Concurrency contract (see ``docs/architecture.md``): the cache is
+thread-safe and compiles are **single-flight per fingerprint**.  The global
+lock only guards the bookkeeping maps; the compile itself (and the disk
+spill I/O around it) runs *outside* the critical section under a
+fingerprint-keyed in-flight registry.  Two racing ``get_or_compile`` calls
+for the same fingerprint still produce exactly one compile — the loser
+blocks on the winner's result — while calls for *other* fingerprints hit
+the resident cache (or start their own compile) completely unblocked.  A
+slow compile can therefore never head-of-line-block another tenant's hit.
 """
 
 from __future__ import annotations
@@ -22,10 +28,23 @@ import threading
 import zipfile
 from collections import OrderedDict
 from pathlib import Path
+from time import perf_counter
 from typing import Dict, Optional
 
 from repro.errors import PlanError, ServingError
+from repro.observability import NULL_TRACER
 from repro.plan import CompiledPlan, compile_plan, load_plan, save_plan
+
+
+class _InFlightCompile:
+    """One in-progress compile other callers of the fingerprint wait on."""
+
+    __slots__ = ("event", "plan", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.plan: Optional[CompiledPlan] = None
+        self.error: Optional[BaseException] = None
 
 
 class PlanCache:
@@ -42,6 +61,16 @@ class PlanCache:
         ``<fingerprint>.npz`` on compile and reloaded on a memory miss, so
         a restarted server re-serves without recompiling (the CLI's
         ``--plan-cache`` flag builds on this).
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; the cache
+        records ``serving.cache.*`` counters/gauges/histograms into it
+        (always under the cache lock, so the counts are exact even under
+        concurrent traffic).
+    tracer:
+        Optional tracer handed to :func:`~repro.plan.compile_plan` so cold
+        compiles emit their usual ``compile`` span tree.  A shared
+        :class:`~repro.observability.Tracer` is **not** thread-safe —
+        attach one only when the cache is driven from a single thread.
     """
 
     def __init__(
@@ -50,15 +79,23 @@ class PlanCache:
         *,
         config=None,
         directory: Optional[str] = None,
+        metrics=None,
+        tracer=None,
     ):
         if capacity < 1:
-            raise ServingError(f"PlanCache capacity must be >= 1, got {capacity}")
+            raise ServingError(
+                f"PlanCache capacity must be >= 1, got {capacity}",
+                code="invalid_argument",
+            )
         self.capacity = int(capacity)
         self.config = config
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._plans: "OrderedDict[str, CompiledPlan]" = OrderedDict()
+        self._inflight: Dict[str, _InFlightCompile] = {}
         self._lock = threading.RLock()
         #: observability counters (monotonic over the cache's lifetime).
         self.hits = 0
@@ -66,6 +103,24 @@ class PlanCache:
         self.evictions = 0
         self.compiles = 0
         self.disk_loads = 0
+        #: calls that blocked on another thread's in-flight compile.
+        self.compile_waits = 0
+
+    # ------------------------------------------------------------------
+    # metrics plumbing (always called with self._lock held: the registry's
+    # instruments are not thread-safe on their own)
+    # ------------------------------------------------------------------
+    def _metric_inc(self, name: str, amount: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _metric_observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value)
+
+    def _metric_in_flight(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("serving.cache.in_flight").set(len(self._inflight))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -92,6 +147,8 @@ class PlanCache:
                 "evictions": self.evictions,
                 "compiles": self.compiles,
                 "disk_loads": self.disk_loads,
+                "compile_waits": self.compile_waits,
+                "in_flight": len(self._inflight),
             }
 
     # ------------------------------------------------------------------
@@ -102,52 +159,112 @@ class PlanCache:
             if plan is not None:
                 self._plans.move_to_end(fingerprint)
                 self.hits += 1
+                self._metric_inc("serving.cache.hits")
                 return plan
             self.misses += 1
+            self._metric_inc("serving.cache.misses")
             return None
 
     def put(self, plan: CompiledPlan) -> None:
         """Insert (or refresh) ``plan``; evicts LRU entries beyond capacity."""
         with self._lock:
-            self._plans[plan.fingerprint] = plan
-            self._plans.move_to_end(plan.fingerprint)
-            while len(self._plans) > self.capacity:
-                self._plans.popitem(last=False)
-                self.evictions += 1
+            self._put_locked(plan)
 
+    def _put_locked(self, plan: CompiledPlan) -> None:
+        self._plans[plan.fingerprint] = plan
+        self._plans.move_to_end(plan.fingerprint)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+            self._metric_inc("serving.cache.evictions")
+
+    # ------------------------------------------------------------------
     def get_or_compile(
         self, dfa, training_input=None, config=None
     ) -> CompiledPlan:
         """The plan for ``dfa`` — cached, spilled-to-disk, or compiled now.
 
-        Resolution order: memory hit → spill-directory load → compile
-        (requires ``training_input``).  Whatever the source, the plan ends
-        up resident and most-recently-used.
+        Resolution order: memory hit → in-flight wait → spill-directory
+        load → compile (requires ``training_input``).  Whatever the source,
+        the plan ends up resident and most-recently-used.
+
+        Compiles are single-flight: the first caller to miss a fingerprint
+        becomes its *leader* and compiles outside the cache lock; callers
+        racing the same fingerprint wait for the leader's result (a leader
+        failure propagates to every waiter, and the fingerprint becomes
+        compilable again).  Other fingerprints are never blocked.
         """
         fingerprint = dfa.fingerprint()
-        with self._lock:
-            plan = self._plans.get(fingerprint)
-            if plan is not None:
-                self._plans.move_to_end(fingerprint)
-                self.hits += 1
-                return plan
-            self.misses += 1
+        while True:
+            with self._lock:
+                plan = self._plans.get(fingerprint)
+                if plan is not None:
+                    self._plans.move_to_end(fingerprint)
+                    self.hits += 1
+                    self._metric_inc("serving.cache.hits")
+                    return plan
+                self.misses += 1
+                self._metric_inc("serving.cache.misses")
+                flight = self._inflight.get(fingerprint)
+                if flight is None:
+                    flight = self._inflight[fingerprint] = _InFlightCompile()
+                    self._metric_in_flight()
+                    break  # this caller leads the compile
+                self.compile_waits += 1
+                self._metric_inc("serving.cache.compile_waits")
+            waited_from = perf_counter()
+            flight.event.wait()
+            with self._lock:
+                self._metric_observe(
+                    "serving.cache.compile_wait_ms",
+                    (perf_counter() - waited_from) * 1e3,
+                )
+            if flight.error is not None:
+                raise flight.error
+            if flight.plan is not None:
+                return flight.plan
+            # Leader vanished without a result (should not happen); retry.
+
+        # -- leader path: all I/O and compute outside the critical section
+        try:
             plan = self._load_spilled(fingerprint, dfa)
+            from_disk = plan is not None
             if plan is None:
                 if training_input is None:
                     raise ServingError(
                         f"no plan cached for fingerprint {fingerprint[:12]}… and "
-                        "no training input to compile one"
+                        "no training input to compile one",
+                        code="no_training_input",
+                        fingerprint=fingerprint,
                     )
+                compile_from = perf_counter()
                 plan = compile_plan(
                     dfa,
                     training_input,
                     config if config is not None else self.config,
+                    tracer=self.tracer,
                 )
-                self.compiles += 1
+                compile_ms = (perf_counter() - compile_from) * 1e3
                 self._spill(plan)
-            self.put(plan)
+            with self._lock:
+                if from_disk:
+                    self.disk_loads += 1
+                    self._metric_inc("serving.cache.disk_loads")
+                else:
+                    self.compiles += 1
+                    self._metric_inc("serving.cache.compiles")
+                    self._metric_observe("serving.cache.compile_ms", compile_ms)
+                self._put_locked(plan)
+            flight.plan = plan
             return plan
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(fingerprint, None)
+                self._metric_in_flight()
+            flight.event.set()
 
     # ------------------------------------------------------------------
     # optional disk spill
@@ -173,5 +290,4 @@ class PlanCache:
             # Stale, truncated or corrupt spill: drop it and recompile.
             path.unlink(missing_ok=True)
             return None
-        self.disk_loads += 1
         return plan

@@ -9,6 +9,16 @@ Plans come from a shared :class:`~repro.serving.PlanCache`, so N tenants
 matching the same automaton cost one compile, one simulator, and one scheme
 instance per stream — nothing else.
 
+Concurrency contract (see ``docs/architecture.md``): every public method is
+thread-safe.  The pool lock only guards bookkeeping; each stream carries
+its own lock making :meth:`MatcherPool.feed` and :meth:`MatcherPool.close`
+mutually exclusive *per stream id* — concurrent feeds to different streams
+run in parallel, while a feed racing a close of the same stream gets a
+structured :class:`~repro.errors.ServingError` (``code="stream_closed"``)
+instead of running on a released session.  Admission control rejects opens
+beyond ``max_streams`` with a retryable ``code="capacity"`` error, or —
+with ``open_timeout`` set — waits boundedly for a slot.
+
 Typical serving loop::
 
     pool = MatcherPool(PlanCache(capacity=8))
@@ -23,6 +33,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ServingError
@@ -45,6 +56,23 @@ class StreamStats:
     accepts: bool
 
 
+class _StreamEntry:
+    """Pool-side record of one open stream.
+
+    ``lock`` serializes feed/close on this stream only; ``closed`` flips
+    exactly once, under the lock, so a feed that raced the close observes
+    it instead of touching the released session.
+    """
+
+    __slots__ = ("session", "fingerprint", "lock", "closed")
+
+    def __init__(self, session: StreamSession, fingerprint: str):
+        self.session = session
+        self.fingerprint = fingerprint
+        self.lock = threading.Lock()
+        self.closed = False
+
+
 class MatcherPool:
     """Serve many concurrent streams over plan-cached matchers.
 
@@ -52,13 +80,25 @@ class MatcherPool:
     ----------
     cache:
         Shared :class:`PlanCache`; a private default-capacity one is
-        created when omitted.
+        created when omitted.  A pool-level ``metrics`` registry is
+        adopted by a metrics-less cache so serving counters land in one
+        place.
     config:
         Default compile-time configuration for plans the pool must compile.
     backend / selfcheck:
         Runtime knobs applied to every matcher built from a plan.
     max_streams:
-        Upper bound on concurrently open streams (capacity guard).
+        Upper bound on concurrently open streams (admission control).
+    open_timeout:
+        Seconds :meth:`open` may block waiting for a slot when the pool is
+        at capacity (``None`` — the default — rejects immediately).  Both
+        paths raise a retryable ``ServingError(code="capacity")`` when no
+        slot frees up.
+    tracer / metrics:
+        Observability sinks.  Serving metrics (``serving.pool.*``) are
+        recorded under the pool's locks and are exact under concurrency; a
+        shared :class:`~repro.observability.Tracer` span stack is *not*
+        thread-safe, so attach a tracer only for single-threaded serving.
     """
 
     def __init__(
@@ -69,38 +109,69 @@ class MatcherPool:
         backend: Optional[str] = None,
         selfcheck: Optional[bool] = None,
         max_streams: int = 64,
+        open_timeout: Optional[float] = None,
         tracer=None,
         metrics=None,
     ):
         if max_streams < 1:
-            raise ServingError(f"max_streams must be >= 1, got {max_streams}")
-        self.cache = cache if cache is not None else PlanCache(config=config)
+            raise ServingError(
+                f"max_streams must be >= 1, got {max_streams}",
+                code="invalid_argument",
+            )
+        self.cache = (
+            cache
+            if cache is not None
+            else PlanCache(config=config, metrics=metrics, tracer=tracer)
+        )
         self.config = config
         self.backend = backend
         self.selfcheck = selfcheck
         self.max_streams = int(max_streams)
+        self.open_timeout = open_timeout
         self.tracer = tracer
         self.metrics = metrics
+        if metrics is not None and self.cache.metrics is None:
+            self.cache.metrics = metrics
         self._matchers: Dict[str, GSpecPal] = {}
-        self._sessions: Dict[int, Tuple[StreamSession, str]] = {}
+        self._entries: Dict[int, _StreamEntry] = {}
         self._next_id = 0
         self._opened = 0
         self._closed = 0
+        self._rejected = 0
         self._lock = threading.RLock()
+        #: signalled whenever a close frees a stream slot.
+        self._slot_freed = threading.Condition(self._lock)
+
+    # ------------------------------------------------------------------
+    # metrics plumbing (call with self._lock held — instruments are not
+    # thread-safe on their own)
+    # ------------------------------------------------------------------
+    def _metric_inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _metric_observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value)
+
+    def _metric_active(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("serving.pool.active").set(len(self._entries))
 
     # ------------------------------------------------------------------
     @property
     def active(self) -> int:
         """Number of currently open streams."""
         with self._lock:
-            return len(self._sessions)
+            return len(self._entries)
 
     def stats(self) -> Dict[str, object]:
         with self._lock:
             return {
-                "active_streams": len(self._sessions),
+                "active_streams": len(self._entries),
                 "opened": self._opened,
                 "closed": self._closed,
+                "rejected": self._rejected,
                 "matchers": len(self._matchers),
                 "cache": self.cache.stats(),
             }
@@ -108,7 +179,15 @@ class MatcherPool:
     # ------------------------------------------------------------------
     def _matcher_for(self, plan) -> GSpecPal:
         matcher = self._matchers.get(plan.fingerprint)
-        if matcher is None or matcher.plan is not plan:
+        # A plan reloaded from disk is a different *object* but the same
+        # artifact; rebuilding the matcher (and discarding its warmed
+        # simulator) is only warranted when the compiled content actually
+        # differs — fingerprint plus compile-config hash, not identity.
+        if (
+            matcher is None
+            or matcher.plan.fingerprint != plan.fingerprint
+            or matcher.plan.config_hash != plan.config_hash
+        ):
             matcher = GSpecPal.from_plan(
                 plan,
                 backend=self.backend,
@@ -118,6 +197,19 @@ class MatcherPool:
             )
             self._matchers[plan.fingerprint] = matcher
         return matcher
+
+    def _spec_k(self, plan=None) -> int:
+        """spec_k governing the ``pm-spec<k>`` alias for open-time scheme
+        validation: pool config when set, else the plan's compile config,
+        else the framework default (``matcher.stream`` re-validates with
+        the authoritative config either way)."""
+        if self.config is not None:
+            return self.config.spec_k
+        if plan is not None:
+            return int(plan.config["spec_k"])
+        from repro.framework.config import GSpecPalConfig
+
+        return GSpecPalConfig().spec_k
 
     def open(
         self,
@@ -131,70 +223,156 @@ class MatcherPool:
 
         Pass either a precompiled ``plan`` or a ``dfa`` (with
         ``training_input`` if its plan may not be cached yet).  ``scheme``
-        forces a scheme for this stream; by default every segment uses the
-        plan's compiled selection.
+        forces a scheme for this stream; it is validated against
+        ``GSpecPal.KNOWN_SCHEMES`` *before* any compile work, so a typo
+        fails immediately instead of after paying a cold compile.  By
+        default every segment uses the plan's compiled selection.
+
+        At capacity, the call raises a retryable
+        ``ServingError(code="capacity")`` — or, when ``open_timeout`` is
+        set, waits up to that many seconds for another stream to close
+        before rejecting.
         """
+        GSpecPal.validate_scheme_name(scheme, spec_k=self._spec_k(plan))
         if plan is None:
             if dfa is None:
-                raise ServingError("open() needs a dfa or a precompiled plan")
+                raise ServingError(
+                    "open() needs a dfa or a precompiled plan",
+                    code="invalid_argument",
+                )
             plan = self.cache.get_or_compile(dfa, training_input, self.config)
         else:
             self.cache.put(plan)
-        with self._lock:
-            if len(self._sessions) >= self.max_streams:
+        with self._slot_freed:
+            deadline = None
+            while len(self._entries) >= self.max_streams:
+                if self.open_timeout is not None and self.open_timeout > 0:
+                    if deadline is None:
+                        deadline = perf_counter() + self.open_timeout
+                    remaining = deadline - perf_counter()
+                    if remaining > 0:
+                        self._slot_freed.wait(remaining)
+                        continue
+                self._rejected += 1
+                self._metric_inc("serving.pool.rejected")
                 raise ServingError(
                     f"stream capacity exhausted ({self.max_streams} open); "
-                    "close a stream before opening another"
+                    "close a stream before opening another",
+                    code="capacity",
+                    retryable=True,
+                    fingerprint=plan.fingerprint,
                 )
             matcher = self._matcher_for(plan)
             session = matcher.stream(scheme=scheme)
             stream_id = self._next_id
             self._next_id += 1
             self._opened += 1
-            self._sessions[stream_id] = (session, plan.fingerprint)
+            self._entries[stream_id] = _StreamEntry(session, plan.fingerprint)
+            self._metric_inc("serving.pool.opened")
+            self._metric_active()
             return stream_id
 
-    def _session(self, stream_id: int) -> Tuple[StreamSession, str]:
-        entry = self._sessions.get(stream_id)
+    def _entry(self, stream_id: int) -> _StreamEntry:
+        with self._lock:
+            entry = self._entries.get(stream_id)
         if entry is None:
-            raise ServingError(f"unknown or closed stream id {stream_id}")
+            raise ServingError(
+                f"unknown or closed stream id {stream_id}",
+                code="unknown_stream",
+                stream_id=stream_id,
+            )
         return entry
 
     def feed(self, stream_id: int, segment) -> SchemeResult:
-        """Process one segment on the identified stream."""
+        """Process one segment on the identified stream.
+
+        Feeds to the same stream are serialized by its per-stream lock
+        (two threads can never interleave on one session's carried state);
+        feeds to different streams proceed concurrently.  Feeding a stream
+        that a racing thread closed raises ``code="stream_closed"``.
+        """
+        entry = self._entry(stream_id)
+        return self._feed_entry(stream_id, entry, segment)
+
+    def _feed_entry(
+        self, stream_id: int, entry: _StreamEntry, segment
+    ) -> SchemeResult:
+        started = perf_counter()
+        with entry.lock:
+            if entry.closed:
+                raise ServingError(
+                    f"stream {stream_id} is closed",
+                    code="stream_closed",
+                    stream_id=stream_id,
+                    fingerprint=entry.fingerprint,
+                )
+            result = entry.session.feed(segment)
         with self._lock:
-            session, _ = self._session(stream_id)
-        return session.feed(segment)
+            self._metric_inc("serving.pool.feeds")
+            self._metric_observe(
+                "serving.pool.feed_ms", (perf_counter() - started) * 1e3
+            )
+        return result
 
     def close(self, stream_id: int) -> StreamStats:
         """Close a stream and return its final summary.
 
         Matchers (and their cached plans/simulators) stay resident for
         future streams; only the per-stream session state is released.
+        The summary is built under the stream's lock — after the ``closed``
+        flag flips no feed can advance the session — so the reported end
+        state is exactly the state the last successful feed left behind.
         """
-        with self._lock:
-            session, fingerprint = self._session(stream_id)
-            del self._sessions[stream_id]
-            self._closed += 1
-        matcher = self._matchers[fingerprint]
-        scheme = session._runner_name
-        if scheme is None:
-            # Never fed: report what a segment would have run.
-            plan = matcher.plan
-            scheme = session._scheme if session._scheme is not None else plan.scheme
-        return StreamStats(
-            stream_id=stream_id,
-            fingerprint=fingerprint,
-            scheme=scheme,
-            segments=session.segments,
-            total_symbols=session.total_symbols,
-            total_cycles=session.total_cycles,
-            end_state=session.state,
-            accepts=session.accepts,
-        )
+        entry = self._entry(stream_id)
+        with entry.lock:
+            if entry.closed:
+                raise ServingError(
+                    f"stream {stream_id} is closed",
+                    code="stream_closed",
+                    stream_id=stream_id,
+                    fingerprint=entry.fingerprint,
+                )
+            entry.closed = True
+            session = entry.session
+            with self._slot_freed:
+                del self._entries[stream_id]
+                self._closed += 1
+                scheme = session.scheme
+                if scheme is None:
+                    # Never fed: report what a segment would have run.
+                    scheme = self._matchers[entry.fingerprint].plan.scheme
+                stats = StreamStats(
+                    stream_id=stream_id,
+                    fingerprint=entry.fingerprint,
+                    scheme=scheme,
+                    segments=session.segments,
+                    total_symbols=session.total_symbols,
+                    total_cycles=session.total_cycles,
+                    end_state=session.state,
+                    accepts=session.accepts,
+                )
+                self._metric_inc("serving.pool.closed")
+                self._metric_active()
+                self._slot_freed.notify()
+        return stats
 
     def close_all(self) -> Tuple[StreamStats, ...]:
-        """Close every open stream; returns their summaries."""
+        """Close every stream open at the snapshot; returns the summaries
+        of the streams *this call* closed.
+
+        Tolerates races: a stream another thread closes between the
+        snapshot and this call's ``close`` is simply skipped, never raised
+        on — two concurrent ``close_all`` calls partition the streams
+        between them.
+        """
         with self._lock:
-            ids = tuple(self._sessions)
-        return tuple(self.close(sid) for sid in ids)
+            ids = tuple(self._entries)
+        summaries = []
+        for sid in ids:
+            try:
+                summaries.append(self.close(sid))
+            except ServingError as exc:
+                if exc.code in ("unknown_stream", "stream_closed"):
+                    continue
+                raise
+        return tuple(summaries)

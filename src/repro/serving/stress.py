@@ -1,0 +1,316 @@
+"""Deterministic multithreaded stress harness for the serving tier.
+
+Drives ``M`` worker threads over ``K`` fingerprints with interleaved
+open/feed/close traffic through one shared :class:`~repro.serving.PlanCache`
++ :class:`~repro.serving.MatcherPool`, then audits the outcome against a
+sequential oracle:
+
+* every closed stream's ``end_state``/``accepts`` must equal
+  ``dfa.run(...)`` over the exact segments that stream was fed (each
+  worker's schedule is derived from its own seeded RNG, so the per-stream
+  byte sequence — and therefore the oracle — is independent of thread
+  interleaving);
+* the cache must have compiled **exactly once per distinct fingerprint**
+  the run touched, however many threads raced the cold cache (workers
+  start behind a barrier so the single-flight path is genuinely exercised);
+* no stream summary may be lost or duplicated, and no unexpected exception
+  may escape a worker.
+
+The harness layers on :mod:`repro.selfcheck` rather than re-implementing
+it: pass ``selfcheck=True`` (the CI job sets ``REPRO_SELFCHECK=1``) and
+every segment of every stream additionally runs the full runtime invariant
+audits — end-state oracle, chunk-end chain, ledger tiling — inside the
+scheme layer itself.
+
+Entry points: :func:`run_stress` (used by the soak tests), the
+``repro stress`` CLI command, and ``scripts/stress_serving.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.framework.config import GSpecPalConfig
+from repro.observability import MetricsRegistry
+from repro.serving.cache import PlanCache
+from repro.serving.pool import MatcherPool
+from repro.workloads import classic
+
+
+@dataclass
+class StressReport:
+    """Outcome of one :func:`run_stress` invocation."""
+
+    threads: int
+    fingerprints: int
+    operations: int
+    backend: str
+    seed: int
+    elapsed_s: float = 0.0
+    streams_opened: int = 0
+    streams_closed: int = 0
+    segments_fed: int = 0
+    compiles: int = 0
+    fingerprints_used: int = 0
+    compile_waits: int = 0
+    oracle_failures: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    pool_stats: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every audit held: correct oracle states, exactly one
+        compile per touched fingerprint, no lost summaries, no errors."""
+        return (
+            not self.errors
+            and not self.oracle_failures
+            and self.compiles == self.fingerprints_used
+            and self.streams_opened == self.streams_closed
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"serving stress: {self.threads} threads x "
+            f"{self.fingerprints} fingerprints x {self.operations} ops "
+            f"(backend={self.backend}, seed={self.seed})",
+            f"  elapsed    : {self.elapsed_s:.2f}s",
+            f"  streams    : {self.streams_opened} opened / "
+            f"{self.streams_closed} closed",
+            f"  segments   : {self.segments_fed} fed",
+            f"  compiles   : {self.compiles} "
+            f"(fingerprints touched: {self.fingerprints_used}, "
+            f"waits: {self.compile_waits})",
+            f"  oracle     : {len(self.oracle_failures)} mismatches",
+            f"  errors     : {len(self.errors)}",
+        ]
+        for failure in self.oracle_failures[:5]:
+            lines.append(f"    oracle! {failure}")
+        for error in self.errors[:5]:
+            lines.append(f"    error!  {error}")
+        lines.append("  verdict    : " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def build_fleet(fingerprints: int) -> Tuple:
+    """``fingerprints`` structurally distinct DFAs for the stress mix.
+
+    Alternates keyword scanners (sticky accepts, realistic serving shape)
+    with divisibility counters (dense, never-converging) so both friendly
+    and adversarial automata sit behind one cache.
+    """
+    primes = (3, 5, 7, 11, 13, 17, 19, 23)
+    fleet = []
+    for i in range(fingerprints):
+        if i % 2 == 0:
+            fleet.append(classic.keyword_scanner(b"kw%d" % i + b"end"))
+        else:
+            fleet.append(classic.divisibility(primes[(i // 2) % len(primes)]))
+    return tuple(fleet)
+
+
+def _random_segment(rng: np.random.Generator, max_len: int = 160) -> bytes:
+    length = int(rng.integers(16, max_len + 1))
+    return bytes(rng.integers(97, 123, size=length).astype(np.uint8))
+
+
+def run_stress(
+    *,
+    threads: int = 8,
+    fingerprints: int = 4,
+    operations: int = 400,
+    seed: int = 0,
+    backend: Optional[str] = None,
+    selfcheck: Optional[bool] = None,
+    capacity: Optional[int] = None,
+    max_streams: Optional[int] = None,
+    n_threads: int = 8,
+    log=None,
+) -> StressReport:
+    """Run the stress schedule and audit every outcome.
+
+    Parameters
+    ----------
+    threads / fingerprints / operations:
+        Worker count, distinct automata, and *total* operations (an open,
+        feed or close each count as one), split evenly across workers.
+    seed:
+        Seeds every worker's schedule; same seed ⇒ same per-stream byte
+        sequences and the same oracle, whatever the interleaving.
+    backend / selfcheck:
+        Runtime knobs forwarded to the pool's matchers (``selfcheck=None``
+        defers to ``REPRO_SELFCHECK``).
+    capacity / max_streams:
+        Cache capacity (default: all fingerprints resident) and pool
+        admission bound (default: roomy enough that the schedule is never
+        rejected — rejection paths have their own dedicated tests).
+    n_threads:
+        Simulated GPU threads per segment run (kept small: the harness
+        stresses the serving tier, not the simulator).
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if fingerprints < 1:
+        raise ValueError(f"fingerprints must be >= 1, got {fingerprints}")
+    dfas = build_fleet(fingerprints)
+    config = GSpecPalConfig(n_threads=n_threads)
+    trainings = tuple(
+        bytes(
+            np.random.default_rng(seed * 31 + i)
+            .integers(97, 123, size=1024)
+            .astype(np.uint8)
+        )
+        for i in range(fingerprints)
+    )
+    metrics = MetricsRegistry()
+    cache = PlanCache(
+        capacity=capacity if capacity is not None else max(fingerprints, 2),
+        config=config,
+        metrics=metrics,
+    )
+    # Per-worker stream cap of 4 ⇒ a max_streams default that can never
+    # reject this schedule.
+    local_cap = 4
+    pool = MatcherPool(
+        cache,
+        config=config,
+        backend=backend,
+        selfcheck=selfcheck,
+        max_streams=max_streams if max_streams is not None else threads * local_cap,
+        metrics=metrics,
+    )
+
+    per_worker = max(1, operations // threads)
+    barrier = threading.Barrier(threads)
+    guard = threading.Lock()
+    #: (StreamStats, dfa index, joined fed bytes, number of segments)
+    closed_records: List[Tuple[object, int, bytes, int]] = []
+    errors: List[str] = []
+    used_indices: set = set()
+
+    def worker(widx: int) -> None:
+        rng = np.random.default_rng(seed * 7919 + widx + 1)
+        open_streams: List[List] = []  # [sid, dfa_idx, [segments]]
+
+        def do_open(didx: int) -> None:
+            sid = pool.open(dfas[didx], training_input=trainings[didx])
+            open_streams.append([sid, didx, []])
+            with guard:
+                used_indices.add(didx)
+
+        def do_close(slot: int) -> None:
+            sid, didx, segments = open_streams.pop(slot)
+            stats = pool.close(sid)
+            with guard:
+                closed_records.append(
+                    (stats, didx, b"".join(segments), len(segments))
+                )
+
+        try:
+            barrier.wait(timeout=60)
+            # First open is pinned to fingerprint widx % K, so with
+            # threads >= fingerprints every automaton races its cold
+            # compile from several workers at the barrier.
+            do_open(widx % fingerprints)
+            for _ in range(per_worker - 1):
+                roll = float(rng.random())
+                if not open_streams or (
+                    roll < 0.2 and len(open_streams) < local_cap
+                ):
+                    do_open(int(rng.integers(0, fingerprints)))
+                elif roll < 0.85:
+                    slot = int(rng.integers(0, len(open_streams)))
+                    sid, _, segments = open_streams[slot]
+                    segment = _random_segment(rng)
+                    pool.feed(sid, segment)
+                    segments.append(segment)
+                else:
+                    do_close(int(rng.integers(0, len(open_streams))))
+            while open_streams:
+                do_close(len(open_streams) - 1)
+        except Exception as exc:  # noqa: BLE001 - harness collects everything
+            with guard:
+                errors.append(f"worker {widx}: {type(exc).__name__}: {exc}")
+
+    started = perf_counter()
+    pool_threads = [
+        threading.Thread(target=worker, args=(w,), name=f"stress-{w}")
+        for w in range(threads)
+    ]
+    for t in pool_threads:
+        t.start()
+    for t in pool_threads:
+        t.join()
+    elapsed = perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # audits
+    # ------------------------------------------------------------------
+    oracle_failures: List[str] = []
+    seen_ids: set = set()
+    total_segments = 0
+    for stats, didx, fed, n_segments in closed_records:
+        total_segments += n_segments
+        if stats.stream_id in seen_ids:
+            oracle_failures.append(
+                f"duplicate summary for stream {stats.stream_id}"
+            )
+            continue
+        seen_ids.add(stats.stream_id)
+        dfa = dfas[didx]
+        expected = int(dfa.run(fed))
+        if int(stats.end_state) != expected:
+            oracle_failures.append(
+                f"stream {stats.stream_id} (fsm {didx}): end_state "
+                f"{stats.end_state} != oracle {expected}"
+            )
+        if bool(stats.accepts) != (expected in dfa.accepting):
+            oracle_failures.append(
+                f"stream {stats.stream_id} (fsm {didx}): accepts "
+                f"{stats.accepts} != oracle {expected in dfa.accepting}"
+            )
+        if stats.total_symbols != len(fed):
+            oracle_failures.append(
+                f"stream {stats.stream_id}: total_symbols "
+                f"{stats.total_symbols} != {len(fed)} fed"
+            )
+        if stats.segments != n_segments:
+            oracle_failures.append(
+                f"stream {stats.stream_id}: segments "
+                f"{stats.segments} != {n_segments} fed"
+            )
+
+    pool_stats = pool.stats()
+    if pool_stats["active_streams"]:
+        errors.append(
+            f"{pool_stats['active_streams']} streams leaked past the drain"
+        )
+    cache_stats = cache.stats()
+    from repro.engine import resolve_backend_name
+
+    report = StressReport(
+        threads=threads,
+        fingerprints=fingerprints,
+        operations=per_worker * threads,
+        backend=resolve_backend_name(backend),
+        seed=seed,
+        elapsed_s=elapsed,
+        streams_opened=int(pool_stats["opened"]),
+        streams_closed=len(seen_ids),
+        segments_fed=total_segments,
+        compiles=int(cache_stats["compiles"]),
+        fingerprints_used=len(used_indices),
+        compile_waits=int(cache_stats["compile_waits"]),
+        oracle_failures=oracle_failures,
+        errors=errors,
+        pool_stats=pool_stats,
+        metrics=metrics.as_dict(),
+    )
+    if log is not None:
+        log(report.summary())
+    return report

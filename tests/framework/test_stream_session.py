@@ -145,3 +145,18 @@ def test_traced_session_emits_one_feed_span_per_segment(scanner_dfa, rng):
         assert any(c.name.startswith("scheme:") for c in span.children)
         if i:
             assert span.attrs["carried_state"] == feeds[i - 1].attrs["end_state"]
+
+
+def test_scheme_property_exposes_run_scheme(pal, rng):
+    """The public ``scheme`` property: None before an unforced session has
+    consulted the selector, the forced name immediately when forced, and
+    the actually-run scheme once fed (no private attribute reaching)."""
+    unforced = pal.stream()
+    assert unforced.scheme is None
+    unforced.feed(bytes(rng.integers(97, 123, size=128).astype(np.uint8)))
+    assert unforced.scheme is not None
+
+    forced = pal.stream(scheme="rr")
+    assert forced.scheme == "rr"  # known before any segment runs
+    forced.feed(b"abc" * 16)
+    assert forced.scheme == "rr"

@@ -105,3 +105,21 @@ def test_stats_snapshot(scanner_dfa, training, config):
     assert stats["size"] == 1
     assert stats["capacity"] == 4
     assert stats["compiles"] == 1
+
+
+def test_no_training_miss_error_is_structured(scanner_dfa):
+    cache = PlanCache()
+    with pytest.raises(ServingError, match="no training input") as excinfo:
+        cache.get_or_compile(scanner_dfa)
+    assert excinfo.value.code == "no_training_input"
+    assert excinfo.value.fingerprint == scanner_dfa.fingerprint()
+    # The failed leader released its single-flight slot for retries.
+    assert cache.stats()["in_flight"] == 0
+
+
+def test_stats_include_single_flight_fields(scanner_dfa, training, config):
+    cache = PlanCache(config=config)
+    cache.get_or_compile(scanner_dfa, training)
+    stats = cache.stats()
+    assert stats["compile_waits"] == 0
+    assert stats["in_flight"] == 0

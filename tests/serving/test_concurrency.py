@@ -1,0 +1,487 @@
+"""Serving-tier concurrency: per-stream locks, single-flight compiles,
+admission control, and the multithreaded soak audit.
+
+The acceptance bar (ISSUE 5): ≥8 threads × ≥4 fingerprints × ≥200
+interleaved operations with zero unexpected exceptions, exactly one
+compile per distinct fingerprint, and every closed stream oracle-correct —
+on both backends; plus a regression proving a cache hit is never blocked
+behind another fingerprint's in-flight compile.
+"""
+
+import threading
+from time import perf_counter, sleep
+
+import numpy as np
+import pytest
+
+import repro.serving.cache as cache_mod
+from repro.errors import SchemeError, ServingError
+from repro.framework import GSpecPal, GSpecPalConfig
+from repro.observability import MetricsRegistry
+from repro.plan import compile_plan, load_plan, save_plan
+from repro.serving import MatcherPool, PlanCache, run_stress
+from repro.workloads import classic
+
+
+@pytest.fixture()
+def config():
+    return GSpecPalConfig(n_threads=8)
+
+
+@pytest.fixture()
+def training(rng):
+    return bytes(rng.integers(97, 123, size=512).astype(np.uint8))
+
+
+@pytest.fixture()
+def fsms():
+    return (classic.keyword_scanner(b"alpha"), classic.divisibility(7))
+
+
+# ----------------------------------------------------------------------
+# the soak audit (tentpole acceptance)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["sim", "fast"])
+def test_soak_eight_threads_four_fingerprints(backend):
+    report = run_stress(
+        threads=8,
+        fingerprints=4,
+        operations=240,
+        seed=11,
+        backend=backend,
+    )
+    assert report.ok, report.summary()
+    assert report.errors == []
+    assert report.oracle_failures == []
+    # Exactly one compile per distinct fingerprint, however many threads
+    # raced the cold cache at the barrier.
+    assert report.fingerprints_used == 4
+    assert report.compiles == 4
+    assert report.pool_stats["cache"]["compiles"] == 4
+    # No stream summary lost or duplicated.
+    assert report.streams_opened == report.streams_closed
+    assert report.pool_stats["active_streams"] == 0
+
+
+def test_soak_is_deterministic_per_stream():
+    a = run_stress(threads=4, fingerprints=2, operations=80, seed=5)
+    b = run_stress(threads=4, fingerprints=2, operations=80, seed=5)
+    assert a.ok and b.ok
+    # Thread interleaving may differ, but the schedule — and therefore the
+    # amount of traffic — is seed-determined.
+    assert a.streams_opened == b.streams_opened
+    assert a.segments_fed == b.segments_fed
+
+
+# ----------------------------------------------------------------------
+# single-flight compiles
+# ----------------------------------------------------------------------
+def test_racing_cold_compiles_are_single_flight(training, config):
+    dfa = classic.keyword_scanner(b"race")
+    cache = PlanCache(config=config)
+    n = 6
+    real_compile = cache_mod.compile_plan
+
+    def slow_compile(*args, **kwargs):
+        # Hold the compile until every other racer is parked on the
+        # in-flight event, so the overlap is guaranteed, not lucky timing.
+        deadline = perf_counter() + 10.0
+        while cache.compile_waits < n - 1 and perf_counter() < deadline:
+            sleep(0.001)
+        return real_compile(*args, **kwargs)
+
+    cache_mod.compile_plan = slow_compile
+    try:
+        barrier = threading.Barrier(n)
+        results, errors = [], []
+
+        def racer():
+            try:
+                barrier.wait(timeout=10)
+                results.append(cache.get_or_compile(dfa, training))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=racer) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+    finally:
+        cache_mod.compile_plan = real_compile
+
+    assert errors == []
+    assert cache.compiles == 1  # one leader compiled; everyone else waited
+    assert cache.compile_waits == n - 1
+    assert len({id(plan) for plan in results}) == 1  # same plan object
+    assert cache.stats()["in_flight"] == 0
+
+
+def test_cache_hit_unblocked_while_other_compile_in_flight(training, config):
+    """Regression: the global compile-under-lock is gone — a hit on
+    fingerprint B completes while fingerprint A's compile is in flight."""
+    slow_dfa = classic.keyword_scanner(b"slowpoke")
+    hit_dfa = classic.divisibility(5)
+    cache = PlanCache(config=config)
+    resident = compile_plan(hit_dfa, training, config)
+    cache.put(resident)
+
+    gate = threading.Event()
+    entered = threading.Event()
+    real_compile = cache_mod.compile_plan
+
+    def blocked_compile(*args, **kwargs):
+        entered.set()
+        assert gate.wait(timeout=30), "test deadlock: gate never opened"
+        return real_compile(*args, **kwargs)
+
+    cache_mod.compile_plan = blocked_compile
+    try:
+        leader = threading.Thread(
+            target=cache.get_or_compile, args=(slow_dfa, training)
+        )
+        leader.start()
+        assert entered.wait(timeout=30)  # A's compile is now in flight
+        assert cache.stats()["in_flight"] == 1
+
+        started = perf_counter()
+        hit = cache.get_or_compile(hit_dfa)  # no training: must be a hit
+        elapsed = perf_counter() - started
+        assert hit is resident
+        assert elapsed < 1.0, f"hit blocked {elapsed:.1f}s behind a compile"
+        assert not gate.is_set()  # A really was still compiling
+    finally:
+        gate.set()
+        cache_mod.compile_plan = real_compile
+    leader.join(timeout=30)
+    assert cache.compiles == 1
+    assert slow_dfa.fingerprint() in cache
+
+
+def test_leader_compile_failure_propagates_then_clears(training, config):
+    dfa = classic.keyword_scanner(b"doomed")
+    cache = PlanCache(config=config)
+    real_compile = cache_mod.compile_plan
+    boom = RuntimeError("compile exploded")
+
+    started = threading.Event()
+    release = threading.Event()
+
+    def failing_compile(*args, **kwargs):
+        started.set()
+        assert release.wait(timeout=30)
+        raise boom
+
+    cache_mod.compile_plan = failing_compile
+    try:
+        leader_error, waiter_error = [], []
+
+        def leader():
+            try:
+                cache.get_or_compile(dfa, training)
+            except Exception as exc:  # noqa: BLE001
+                leader_error.append(exc)
+
+        def waiter():
+            started.wait(timeout=30)
+            try:
+                cache.get_or_compile(dfa, training)
+            except Exception as exc:  # noqa: BLE001
+                waiter_error.append(exc)
+            finally:
+                release.set()
+
+        threads = [
+            threading.Thread(target=leader),
+            threading.Thread(target=waiter),
+        ]
+        for t in threads:
+            t.start()
+        # Let the waiter park on the in-flight event before the leader
+        # fails (release is set by the waiter thread itself only after it
+        # issued its call — a best-effort ordering; either path is legal).
+        sleep(0.05)
+        release.set()
+        for t in threads:
+            t.join(timeout=30)
+    finally:
+        cache_mod.compile_plan = real_compile
+
+    assert leader_error and leader_error[0] is boom
+    # A waiter that overlapped the failed compile sees the same error; one
+    # that arrived after the in-flight entry cleared becomes a new leader
+    # (and fails on the restored real compile path only if it raced — here
+    # the real compile works, so it may simply succeed).
+    if waiter_error:
+        assert waiter_error[0] is boom
+    # The failed fingerprint is compilable again — single-flight state
+    # cleared, and a retry with the real compiler succeeds.
+    assert cache.stats()["in_flight"] == 0
+    plan = cache.get_or_compile(dfa, training)
+    assert plan.fingerprint == dfa.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# per-stream locking and the feed/close race
+# ----------------------------------------------------------------------
+def test_feed_racing_close_gets_structured_error(fsms, training, config):
+    pool = MatcherPool(config=config)
+    sid = pool.open(fsms[0], training_input=training)
+    entry = pool._entry(sid)  # a feed's lookup, frozen in time
+    pool.close(sid)  # ... the close wins the race
+    with pytest.raises(ServingError) as excinfo:
+        pool._feed_entry(sid, entry, b"abc")
+    assert excinfo.value.code == "stream_closed"
+    assert excinfo.value.stream_id == sid
+    assert not excinfo.value.retryable
+
+
+def test_unknown_stream_error_is_structured(config):
+    pool = MatcherPool(config=config)
+    with pytest.raises(ServingError) as excinfo:
+        pool.feed(1234, b"x")
+    assert excinfo.value.code == "unknown_stream"
+    assert excinfo.value.stream_id == 1234
+
+
+def test_concurrent_feeds_to_one_stream_never_interleave(
+    fsms, training, config
+):
+    """Two threads hammering the same stream id must serialize: the final
+    state equals the oracle over *some* permutation-free concatenation —
+    here every thread feeds the same bytes, so any serialized order gives
+    the same oracle state, while a lost-update race would not."""
+    dfa = fsms[1]  # divisibility: every byte advances the counter
+    pool = MatcherPool(config=config)
+    sid = pool.open(dfa, training_input=training)
+    segment = b"a" * 64
+    per_thread = 8
+    errors = []
+    barrier = threading.Barrier(4)
+
+    def hammer():
+        try:
+            barrier.wait(timeout=10)
+            for _ in range(per_thread):
+                pool.feed(sid, segment)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert errors == []
+    stats = pool.close(sid)
+    assert stats.segments == 4 * per_thread
+    assert stats.total_symbols == 4 * per_thread * 64
+    assert stats.end_state == dfa.run(segment * (4 * per_thread))
+
+
+def test_close_summary_reports_public_scheme(fsms, training, config):
+    pool = MatcherPool(config=config)
+    sid = pool.open(fsms[0], training_input=training, scheme="rr")
+    session = pool._entry(sid).session
+    assert session.scheme == "rr"  # public property, pre-feed
+    pool.feed(sid, b"abc" * 20)
+    assert session.scheme == "rr"
+    assert pool.close(sid).scheme == "rr"
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+def test_capacity_rejection_is_structured_and_retryable(
+    fsms, training, config
+):
+    pool = MatcherPool(config=config, max_streams=1)
+    pool.open(fsms[0], training_input=training)
+    with pytest.raises(ServingError) as excinfo:
+        pool.open(fsms[0], training_input=training)
+    assert excinfo.value.code == "capacity"
+    assert excinfo.value.retryable
+    assert pool.stats()["rejected"] == 1
+
+
+def test_bounded_wait_open_succeeds_when_slot_frees(fsms, training, config):
+    pool = MatcherPool(config=config, max_streams=1, open_timeout=10.0)
+    first = pool.open(fsms[0], training_input=training)
+    closer = threading.Timer(0.1, pool.close, args=(first,))
+    closer.start()
+    try:
+        second = pool.open(fsms[0], training_input=training)  # blocks briefly
+    finally:
+        closer.join()
+    assert pool.active == 1
+    pool.close(second)
+    assert pool.stats()["rejected"] == 0
+
+
+def test_bounded_wait_open_times_out(fsms, training, config):
+    pool = MatcherPool(config=config, max_streams=1, open_timeout=0.05)
+    pool.open(fsms[0], training_input=training)
+    with pytest.raises(ServingError) as excinfo:
+        pool.open(fsms[0], training_input=training)
+    assert excinfo.value.code == "capacity"
+    assert excinfo.value.retryable
+
+
+# ----------------------------------------------------------------------
+# close_all race tolerance
+# ----------------------------------------------------------------------
+def test_close_all_tolerates_racing_closes(fsms, training, config):
+    pool = MatcherPool(config=config)
+    n = 12
+    for _ in range(n):
+        pool.open(fsms[0], training_input=training)
+    results = {}
+    barrier = threading.Barrier(2)
+    errors = []
+
+    def drain(key):
+        try:
+            barrier.wait(timeout=10)
+            results[key] = pool.close_all()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=drain, args=(k,)) for k in ("a", "b")
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert errors == []  # racing closes are tolerated, never raised
+    ids_a = {s.stream_id for s in results["a"]}
+    ids_b = {s.stream_id for s in results["b"]}
+    # The two calls partition the streams: no stream lost, none closed
+    # (and summarized) twice.
+    assert ids_a.isdisjoint(ids_b)
+    assert len(ids_a) + len(ids_b) == n
+    assert pool.active == 0
+
+
+def test_close_all_returns_only_what_it_closed(fsms, training, config):
+    pool = MatcherPool(config=config)
+    keep = pool.open(fsms[0], training_input=training)
+    pool.open(fsms[1], training_input=training)
+    pool.close(keep)
+    summaries = pool.close_all()
+    assert len(summaries) == 1
+    assert summaries[0].stream_id != keep
+
+
+# ----------------------------------------------------------------------
+# satellite regressions
+# ----------------------------------------------------------------------
+def test_equal_reloaded_plan_keeps_resident_matcher(
+    fsms, training, config, tmp_path
+):
+    """put()-ing a plan reloaded from disk (same fingerprint + config) must
+    not discard the resident matcher and its warmed simulator."""
+    plan = compile_plan(fsms[0], training, config)
+    pool = MatcherPool(config=config)
+    sid = pool.open(plan=plan)
+    matcher = pool._matchers[plan.fingerprint]
+
+    reloaded = load_plan(save_plan(plan, tmp_path / "plan.npz"))
+    assert reloaded is not plan  # different object, same artifact
+    sid2 = pool.open(plan=reloaded)
+    assert pool._matchers[plan.fingerprint] is matcher  # not rebuilt
+    assert pool.stats()["matchers"] == 1
+    for s in (sid, sid2):
+        pool.feed(s, b"alpha" * 16)
+    expected = fsms[0].run(b"alpha" * 16)
+    assert pool.close(sid).end_state == expected
+    assert pool.close(sid2).end_state == expected
+
+
+def test_unknown_scheme_rejected_at_open_before_compile(
+    fsms, training, config
+):
+    pool = MatcherPool(config=config)
+    with pytest.raises(SchemeError, match="unknown scheme"):
+        pool.open(fsms[0], training_input=training, scheme="bogus")
+    # Fail-fast means fail *cheap*: no compile was paid for the typo, and
+    # no stream slot leaked.
+    assert pool.cache.stats()["compiles"] == 0
+    assert pool.active == 0
+    assert pool.stats()["opened"] == 0
+
+
+def test_stream_rejects_unknown_scheme_at_open(fsms, training, config):
+    pal = GSpecPal(fsms[0], config, training_input=training)
+    with pytest.raises(SchemeError, match="unknown scheme"):
+        pal.stream(scheme="bogus")
+
+
+def test_spec_alias_accepted_at_open(fsms, training, config):
+    pool = MatcherPool(config=config)
+    sid = pool.open(
+        fsms[0], training_input=training, scheme=f"pm-spec{config.spec_k}"
+    )
+    pool.feed(sid, b"xyz" * 10)
+    pool.close(sid)
+
+
+# ----------------------------------------------------------------------
+# serving metrics
+# ----------------------------------------------------------------------
+def test_serving_metrics_threaded_into_registry(fsms, training, config):
+    registry = MetricsRegistry()
+    pool = MatcherPool(config=config, metrics=registry, max_streams=1)
+    sid = pool.open(fsms[0], training_input=training)
+    pool.feed(sid, b"abc" * 20)
+    with pytest.raises(ServingError):
+        pool.open(fsms[0], training_input=training)  # capacity reject (a hit)
+    pool.close(sid)
+    sid2 = pool.open(fsms[0], training_input=training)  # cache hit
+    pool.close(sid2)
+
+    exported = registry.as_dict()
+    assert exported["serving.cache.compiles"] == 1
+    assert exported["serving.cache.misses"] == 1
+    assert exported["serving.cache.hits"] == 2
+    assert exported["serving.cache.in_flight"] == 0
+    assert exported["serving.pool.opened"] == 2
+    assert exported["serving.pool.closed"] == 2
+    assert exported["serving.pool.rejected"] == 1
+    assert exported["serving.pool.active"] == 0
+    assert exported["serving.pool.feeds"] == 1
+    assert exported["serving.pool.feed_ms.count"] == 1
+    assert exported["serving.pool.feed_ms.max"] > 0
+
+
+def test_compile_wait_time_recorded(training, config):
+    dfa = classic.keyword_scanner(b"waited")
+    registry = MetricsRegistry()
+    cache = PlanCache(config=config, metrics=registry)
+    real_compile = cache_mod.compile_plan
+
+    def slow_compile(*args, **kwargs):
+        deadline = perf_counter() + 10.0
+        while cache.compile_waits < 1 and perf_counter() < deadline:
+            sleep(0.001)
+        return real_compile(*args, **kwargs)
+
+    cache_mod.compile_plan = slow_compile
+    try:
+        barrier = threading.Barrier(2)
+
+        def racer():
+            barrier.wait(timeout=10)
+            cache.get_or_compile(dfa, training)
+
+        threads = [threading.Thread(target=racer) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+    finally:
+        cache_mod.compile_plan = real_compile
+    exported = registry.as_dict()
+    assert exported["serving.cache.compile_waits"] == 1
+    assert exported["serving.cache.compile_wait_ms.count"] == 1
+    assert exported["serving.cache.compile_ms.count"] == 1
