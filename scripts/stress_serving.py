@@ -44,6 +44,11 @@ def main(argv=None) -> int:
         help="force the runtime invariant audits on for every segment",
     )
     parser.add_argument(
+        "--fused",
+        action="store_true",
+        help="enable gang scheduling: workers batch feeds through feed_many",
+    )
+    parser.add_argument(
         "--capacity", type=int, default=None, help="plan-cache capacity"
     )
     parser.add_argument(
@@ -60,6 +65,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         backend=args.backend,
         selfcheck=True if args.selfcheck else None,
+        fused=args.fused,
         capacity=args.capacity,
         max_streams=args.max_streams,
         log=print,

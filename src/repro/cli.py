@@ -298,6 +298,7 @@ def cmd_stress(args) -> int:
         selfcheck=True if args.selfcheck else None,
         capacity=args.capacity,
         max_streams=args.max_streams,
+        fused=args.fused,
         log=print,
     )
     return 0 if report.ok else 1
@@ -464,6 +465,11 @@ def main(argv=None) -> int:
     )
     p.add_argument(
         "--max-streams", type=int, default=None, help="pool admission bound"
+    )
+    p.add_argument(
+        "--fused",
+        action="store_true",
+        help="gang-schedule same-fingerprint feeds into fused batches",
     )
     p.set_defaults(func=cmd_stress)
 

@@ -32,6 +32,7 @@ from repro.engine.base import (
     resolve_backend_name,
 )
 from repro.engine.fast import FastBackend
+from repro.engine.fused import FusedBatchEngine, FusedDispatchResult
 from repro.engine.sim import SimBackend
 
 __all__ = [
@@ -41,6 +42,8 @@ __all__ = [
     "CostSink",
     "ExecutionBackend",
     "FastBackend",
+    "FusedBatchEngine",
+    "FusedDispatchResult",
     "SimBackend",
     "create_backend",
     "resolve_backend_name",

@@ -1,0 +1,237 @@
+"""Cross-stream fused batch execution: many streams, one lockstep gather.
+
+The serving tier multiplexes N concurrent streams over one
+:class:`~repro.plan.CompiledPlan`, but a per-stream ``feed`` pays N separate
+numpy dispatches per segment — partitioning, prediction and recovery rounds
+for every stream, however short its segment.  :class:`FusedBatchEngine`
+widens the flattened-table gather of :class:`~repro.engine.fast.FastBackend`
+across *streams*: all segments that share one plan advance in a single
+``(streams × lanes)`` lockstep batch, one vectorized gather per symbol
+position, with ragged segment lengths handled by **length-sorted grouping**
+— streams are ordered by descending segment length so the working set at
+every position is a contiguous prefix slice, never a boolean mask.
+
+Semantics contract (pinned by ``tests/engine/test_fused_differential.py``
+and the serving property suite): a fused dispatch is *answer-identical* to
+feeding every stream sequentially through its own
+:class:`~repro.framework.gspecpal.StreamSession` — same end states, same
+accepts, for every scheme and both backends, for any segmentation.  Fused
+execution is answer-only: no speculation is performed across the batch, so
+no cycle ledger is charged (a stream fed through the fused path reports
+``total_cycles = NaN``, exactly like the ``fast`` backend's contract).
+
+With self-checking enabled (``REPRO_SELFCHECK=1`` or an explicit flag) the
+dispatch runs block-wise and stashes a per-stream *frontier* — the carried
+state at every symbol-block boundary — so
+:func:`repro.selfcheck.audit.audit_fused_dispatch` can re-verify both the
+end-state oracle and the frontier chain for every stream instead of the
+audits being silently bypassed by the fused fast path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.automata.dfa import STATE_DTYPE, _as_symbol_array
+from repro.errors import SimulationError
+
+#: Symbol-block width used by the self-checking (frontier-stashing) path.
+DEFAULT_BLOCK = 128
+
+
+class FusedDispatchResult:
+    """Outcome of one fused cross-stream dispatch.
+
+    Attributes
+    ----------
+    end_states:
+        ``(n_streams,)`` end states in the *original* (user-space) DFA
+        numbering, aligned with the dispatch's input order.
+    n_streams / total_symbols:
+        Batch width and total symbols advanced across all streams.
+    frontiers:
+        ``None`` unless self-checking ran; otherwise, per stream, the list
+        of ``(position, user_state)`` snapshots taken at symbol-block
+        boundaries (the audit's chain evidence).
+    """
+
+    __slots__ = ("end_states", "n_streams", "total_symbols", "frontiers")
+
+    def __init__(self, end_states, n_streams, total_symbols, frontiers=None):
+        self.end_states = end_states
+        self.n_streams = n_streams
+        self.total_symbols = total_symbols
+        self.frontiers = frontiers
+
+
+class FusedBatchEngine:
+    """Gang-schedule many same-plan streams into one lockstep batch.
+
+    Parameters
+    ----------
+    sim:
+        The shared :class:`~repro.gpu.kernel.GpuSimulator` — supplies the
+        (possibly frequency-transformed) execution table, the backend and
+        the user↔executor state translation.  One engine serves any number
+        of dispatches; it holds no per-stream state.
+    selfcheck:
+        Explicit audit switch; ``None`` defers to ``REPRO_SELFCHECK``.
+    block:
+        Symbol-block width for the self-checking path's frontier snapshots.
+    """
+
+    def __init__(self, sim, *, selfcheck: Optional[bool] = None, block: int = DEFAULT_BLOCK):
+        from repro.selfcheck.audit import selfcheck_enabled
+
+        if block < 1:
+            raise SimulationError(f"block must be >= 1, got {block}")
+        self.sim = sim
+        self.dfa = sim.dfa
+        self.engine = sim.engine
+        self.selfcheck = selfcheck_enabled(selfcheck)
+        self.block = int(block)
+
+    @property
+    def backend_name(self) -> str:
+        return self.engine.name
+
+    # ------------------------------------------------------------------
+    def run_streams(self, segments: Sequence, starts: Sequence[int]) -> np.ndarray:
+        """Advance every stream through its segment; return user-space ends.
+
+        ``segments`` may be ragged (any mix of lengths, empty segments
+        included); ``starts`` are the streams' carried states in the
+        original DFA numbering.  Equivalent to
+        ``[dfa.run(seg, start=s) for seg, s in zip(segments, starts)]`` —
+        and therefore to the per-stream sequential serving path — computed
+        as one fused batch.
+        """
+        return self.dispatch(segments, starts).end_states
+
+    def dispatch(self, segments: Sequence, starts: Sequence[int]) -> FusedDispatchResult:
+        """Like :meth:`run_streams` but returns the full dispatch record."""
+        symbol_rows: List[np.ndarray] = [_as_symbol_array(seg) for seg in segments]
+        n_streams = len(symbol_rows)
+        starts_arr = np.asarray(list(starts), dtype=np.int64)
+        if starts_arr.shape != (n_streams,):
+            raise SimulationError(
+                f"starts must match the number of streams "
+                f"({starts_arr.shape} vs {n_streams} segments)"
+            )
+        lengths = np.array([row.size for row in symbol_rows], dtype=np.int64)
+        total_symbols = int(lengths.sum())
+        if n_streams == 0:
+            return FusedDispatchResult(
+                np.empty(0, dtype=STATE_DTYPE), 0, 0,
+                frontiers=[] if self.selfcheck else None,
+            )
+
+        exec_starts = np.asarray(
+            self.sim.to_exec_states(starts_arr), dtype=np.int64
+        )
+        max_len = int(lengths.max(initial=0))
+        if max_len == 0:
+            # Every segment empty: carried states pass through untouched.
+            ends = np.asarray(starts_arr, dtype=STATE_DTYPE).copy()
+            frontiers = [[] for _ in range(n_streams)] if self.selfcheck else None
+            result = FusedDispatchResult(ends, n_streams, 0, frontiers)
+            if self.selfcheck:
+                self._audit(symbol_rows, starts_arr, result)
+            return result
+
+        # Length-sorted grouping: descending segment length makes the
+        # still-working streams a prefix at every position, so the inner
+        # loop slices instead of masking.  Stable sort keeps equal-length
+        # streams in input order (determinism under audit).
+        order = np.argsort(-lengths, kind="stable")
+        sorted_lengths = lengths[order]
+        padded = np.zeros((n_streams, max_len), dtype=np.int64)
+        for rank, idx in enumerate(order):
+            row = symbol_rows[idx]
+            if row.size:
+                padded[rank, : row.size] = row
+
+        if self.selfcheck:
+            exec_ends_sorted, frontier_snaps = self._run_blockwise(
+                padded, exec_starts[order], sorted_lengths
+            )
+        else:
+            exec_ends_sorted = self._run_fused(
+                padded, exec_starts[order], sorted_lengths
+            )
+            frontier_snaps = None
+
+        inverse = np.empty(n_streams, dtype=np.int64)
+        inverse[order] = np.arange(n_streams)
+        exec_ends = np.asarray(exec_ends_sorted, dtype=np.int64)[inverse]
+        ends = np.asarray(
+            self.sim.to_user_states(exec_ends), dtype=STATE_DTYPE
+        )
+
+        frontiers = None
+        if frontier_snaps is not None:
+            frontiers = [
+                [
+                    (pos, int(self.sim.to_user_state(state)))
+                    for pos, state in frontier_snaps[int(inverse[i])]
+                ]
+                for i in range(n_streams)
+            ]
+        result = FusedDispatchResult(ends, n_streams, total_symbols, frontiers)
+        if self.selfcheck:
+            self._audit(symbol_rows, starts_arr, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_fused(self, padded, starts, lengths) -> np.ndarray:
+        """One fused dispatch over descending-length-sorted lanes."""
+        run_streams = getattr(self.engine, "run_streams", None)
+        if run_streams is not None:
+            return run_streams(padded, starts, lengths)
+        # Generic backend (``sim``): the lockstep executor already handles
+        # ragged lengths; a pure functional run (no ledger) keeps the fused
+        # path answer-only on every backend.
+        return self.engine.run_batch(padded, starts, stats=None, lengths=lengths)
+
+    def _run_blockwise(self, padded, starts, lengths):
+        """Self-checking path: advance block by block, snapshot frontiers.
+
+        Returns the sorted-order end states plus, per sorted lane, the
+        ``(position, exec_state)`` snapshots at every block boundary the
+        lane was still working at.
+        """
+        n_streams, max_len = padded.shape
+        states = np.asarray(starts, dtype=np.int64).copy()
+        snaps: List[list] = [[] for _ in range(n_streams)]
+        for base in range(0, max_len, self.block):
+            width = min(self.block, max_len - base)
+            # Working prefix: lanes whose segment extends past ``base``
+            # (lengths descending ⇒ they form a prefix).
+            k = int(np.searchsorted(-lengths, -base, side="left"))
+            if k == 0:
+                break
+            sub_lengths = np.minimum(lengths[:k] - base, width)
+            states[:k] = self.engine.run_batch(
+                padded[:k, base : base + width],
+                states[:k],
+                stats=None,
+                lengths=sub_lengths,
+            )
+            boundary = base + width
+            for lane in range(k):
+                pos = min(int(lengths[lane]), boundary)
+                snaps[lane].append((pos, int(states[lane])))
+        return states, snaps
+
+    def _audit(self, symbol_rows, starts, result) -> None:
+        from repro.selfcheck.audit import audit_fused_dispatch
+
+        audit_fused_dispatch(self, symbol_rows, starts, result)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FusedBatchEngine(backend={self.backend_name!r}, "
+            f"selfcheck={self.selfcheck})"
+        )

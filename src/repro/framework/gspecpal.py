@@ -81,6 +81,10 @@ class GSpecPal:
         )
         self._features: Optional[FSMFeatures] = None
         self._sim: Optional[GpuSimulator] = None
+        #: cached cross-stream gang scheduler (built on first use; shares
+        #: the simulator, so it sees the same table/backend every stream
+        #: session does).
+        self._fused = None
         #: compile-once artifact backing this instance (set by
         #: :meth:`from_plan`); when present, profiling/selection replay the
         #: plan and the simulator consumes its precomputed pieces.
@@ -438,6 +442,24 @@ class GSpecPal:
         within = int(np.argmax(accept[path]))
         return int(partition.offsets[flip]) + within
 
+    def fused_engine(self):
+        """The (cached) cross-stream gang scheduler for this matcher.
+
+        A :class:`~repro.engine.fused.FusedBatchEngine` sharing this
+        framework's simulator: the serving pool uses it to advance every
+        active stream on one plan in a single ``(streams × lanes)``
+        lockstep dispatch instead of N per-stream scheme runs.  Fused
+        dispatches are answer-identical to per-stream feeds (the
+        differential suites pin this) but answer-only — no cycle ledger.
+        """
+        if self._fused is None:
+            from repro.engine.fused import FusedBatchEngine
+
+            self._fused = FusedBatchEngine(
+                self._simulator(), selfcheck=self.config.selfcheck
+            )
+        return self._fused
+
     def stream(self, scheme: Optional[str] = None) -> "StreamSession":
         """Open an incremental session: feed segments, carry state across.
 
@@ -536,3 +558,20 @@ class StreamSession:
             # cost.  NaN is sticky and poisons any downstream comparison.
             self.total_cycles = float("nan")
         return result
+
+    def apply_fused(self, symbols, end_state: int) -> None:
+        """Account one segment advanced by a fused cross-stream dispatch.
+
+        The gang scheduler (:meth:`MatcherPool.feed_many`) computes this
+        session's new carried state inside one batched dispatch; this
+        method applies it under the session's usual single-owner contract
+        (the pool holds the per-stream lock across the whole dispatch).
+        Fused execution bypasses the scheme layer and charges no ledger,
+        so ``total_cycles`` goes NaN-sticky exactly as on the answer-only
+        backend.
+        """
+        symbols = _as_symbol_array(symbols)
+        self.state = int(end_state)
+        self.segments += 1
+        self.total_symbols += int(symbols.size)
+        self.total_cycles = float("nan")

@@ -172,6 +172,68 @@ def audit_scheme_run(scheme, data, start_state, result) -> None:
             )
 
 
+def audit_fused_dispatch(engine, segments, starts, result) -> None:
+    """Audit one fused cross-stream dispatch, per stream.
+
+    The fused path (:class:`~repro.engine.fused.FusedBatchEngine`) bypasses
+    the scheme layer, so the scheme-run audits above never see it; this
+    audit restores the same guarantees at the dispatch boundary:
+
+    ``fused_end_state_oracle``
+        Every stream's fused end state (in user-space numbering) equals the
+        sequential ``DFA.run`` oracle over that stream's own segment from
+        its own carried state — the per-stream answer contract.
+    ``fused_frontier_chain``
+        The per-stream frontier snapshots the dispatch stashed at symbol-
+        block boundaries chain under the oracle: re-running each block's
+        slice from the previous frontier reproduces every snapshot, so the
+        fused gather never silently skipped or reordered a lane mid-batch.
+
+    ``engine`` is the dispatching :class:`FusedBatchEngine`; ``segments``
+    and ``starts`` are the dispatch inputs (user space); ``result`` its
+    :class:`~repro.engine.fused.FusedDispatchResult`.
+    """
+    dfa = engine.dfa
+    bad_ends = []
+    for i, (segment, start) in enumerate(zip(segments, starts)):
+        symbols = _as_symbol_array(segment)
+        oracle_end = int(dfa.run(symbols, start=int(start)))
+        if int(result.end_states[i]) != oracle_end:
+            bad_ends.append(i)
+    if bad_ends:
+        raise SelfCheckError(
+            "fused end states disagree with the per-stream sequential "
+            "oracle",
+            invariant="fused_end_state_oracle",
+            scheme="fused",
+            backend=engine.backend_name,
+            lanes=bad_ends,
+        )
+
+    if result.frontiers is None:
+        return
+    bad_chains = []
+    for i, snaps in enumerate(result.frontiers):
+        symbols = _as_symbol_array(segments[i])
+        state = int(starts[i])
+        prev = 0
+        for pos, snap_state in snaps:
+            state = int(dfa.run(symbols[prev:pos], start=state))
+            if state != int(snap_state):
+                bad_chains.append(i)
+                break
+            prev = pos
+    if bad_chains:
+        raise SelfCheckError(
+            "fused frontier snapshots disagree with re-running each "
+            "symbol block from the previous frontier",
+            invariant="fused_frontier_chain",
+            scheme="fused",
+            backend=engine.backend_name,
+            lanes=bad_chains,
+        )
+
+
 def oracle_chunk_ends(scheme, partition, exec_start: int) -> np.ndarray:
     """Executor-space ground-truth end state of every chunk, chained.
 

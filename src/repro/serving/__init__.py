@@ -12,10 +12,11 @@ harness auditing the whole tier against the sequential oracle
 """
 
 from repro.serving.cache import PlanCache
-from repro.serving.pool import MatcherPool, StreamStats
+from repro.serving.pool import FeedOutcome, MatcherPool, StreamStats
 from repro.serving.stress import StressReport, run_stress
 
 __all__ = [
+    "FeedOutcome",
     "MatcherPool",
     "PlanCache",
     "StreamStats",

@@ -34,8 +34,9 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.automata.dfa import _as_symbol_array
 from repro.errors import ServingError
 from repro.framework.gspecpal import GSpecPal, StreamSession
 from repro.schemes import SchemeResult
@@ -54,6 +55,41 @@ class StreamStats:
     total_cycles: float
     end_state: int
     accepts: bool
+
+
+@dataclass(frozen=True)
+class FeedOutcome:
+    """Per-feed result of one :meth:`MatcherPool.feed_many` call.
+
+    A gang dispatch must not let one closed stream poison its batchmates,
+    so instead of raising, ``feed_many`` reports every feed individually:
+    ``ok`` feeds carry the stream's new carried state, failed feeds carry
+    the structured :class:`~repro.errors.ServingError` a lone :meth:`feed`
+    would have raised (``unknown_stream`` / ``stream_closed``).
+
+    Attributes
+    ----------
+    stream_id / ok:
+        The feed's target and whether it was applied.
+    end_state / accepts:
+        Carried state after the segment (``None`` on failure).
+    symbols:
+        Symbols advanced by this feed (0 on failure).
+    fused:
+        True when the segment ran inside a fused cross-stream dispatch;
+        False when it fell back to the per-stream scheme path (pool not in
+        fused mode, or the batch too narrow to gang).
+    error:
+        The structured error for a failed feed, ``None`` otherwise.
+    """
+
+    stream_id: int
+    ok: bool
+    end_state: Optional[int] = None
+    accepts: Optional[bool] = None
+    symbols: int = 0
+    fused: bool = False
+    error: Optional[ServingError] = None
 
 
 class _StreamEntry:
@@ -89,6 +125,18 @@ class MatcherPool:
         Runtime knobs applied to every matcher built from a plan.
     max_streams:
         Upper bound on concurrently open streams (admission control).
+    fused:
+        Opt into gang scheduling: :meth:`feed_many` coalesces pending
+        feeds that share a fingerprint into one fused
+        ``(streams × lanes)`` dispatch (see
+        :class:`~repro.engine.fused.FusedBatchEngine`) instead of N
+        per-stream scheme runs.  Off by default — fused streams report
+        ``total_cycles = NaN`` (answer-only execution), so cycle-accounting
+        consumers should stay per-stream.
+    fused_min_streams:
+        Narrowest batch worth fusing; same-fingerprint groups below this
+        width fall back to the per-stream path (counted by
+        ``serving.pool.fused_fallbacks``).
     open_timeout:
         Seconds :meth:`open` may block waiting for a slot when the pool is
         at capacity (``None`` — the default — rejects immediately).  Both
@@ -109,6 +157,8 @@ class MatcherPool:
         backend: Optional[str] = None,
         selfcheck: Optional[bool] = None,
         max_streams: int = 64,
+        fused: bool = False,
+        fused_min_streams: int = 2,
         open_timeout: Optional[float] = None,
         tracer=None,
         metrics=None,
@@ -116,6 +166,11 @@ class MatcherPool:
         if max_streams < 1:
             raise ServingError(
                 f"max_streams must be >= 1, got {max_streams}",
+                code="invalid_argument",
+            )
+        if fused_min_streams < 1:
+            raise ServingError(
+                f"fused_min_streams must be >= 1, got {fused_min_streams}",
                 code="invalid_argument",
             )
         self.cache = (
@@ -127,6 +182,8 @@ class MatcherPool:
         self.backend = backend
         self.selfcheck = selfcheck
         self.max_streams = int(max_streams)
+        self.fused = bool(fused)
+        self.fused_min_streams = int(fused_min_streams)
         self.open_timeout = open_timeout
         self.tracer = tracer
         self.metrics = metrics
@@ -149,6 +206,10 @@ class MatcherPool:
     def _metric_inc(self, name: str) -> None:
         if self.metrics is not None:
             self.metrics.counter(name).inc()
+
+    def _metric_inc_by(self, name: str, amount: float) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
 
     def _metric_observe(self, name: str, value: float) -> None:
         if self.metrics is not None:
@@ -313,6 +374,161 @@ class MatcherPool:
                 "serving.pool.feed_ms", (perf_counter() - started) * 1e3
             )
         return result
+
+    # ------------------------------------------------------------------
+    # gang scheduling (fused cross-stream dispatch)
+    # ------------------------------------------------------------------
+    def feed_many(self, feeds: Sequence[Tuple[int, object]]) -> Tuple[FeedOutcome, ...]:
+        """Process many ``(stream_id, segment)`` feeds, gang-scheduled.
+
+        Feeds targeting streams that share a fingerprint are coalesced
+        into one fused ``(streams × lanes)`` dispatch when the pool is in
+        fused mode and the group is at least ``fused_min_streams`` wide;
+        everything else runs through the ordinary per-stream scheme path.
+        Either way each feed is answer-identical to calling :meth:`feed`
+        with the same segment (the differential suites pin this).
+
+        The per-stream-lock contract is preserved: a fused dispatch holds
+        every participating stream's lock (acquired in stream-id order, so
+        concurrent gang dispatches cannot deadlock) for the duration of
+        the batch — a close racing the dispatch either lands before it
+        (that feed reports ``stream_closed``) or blocks until the batch
+        completes, never mid-batch.  A stream id may appear several times
+        in one call; its segments are applied in input order across
+        successive dispatch waves.
+
+        Returns one :class:`FeedOutcome` per input feed, in input order.
+        Serving-contract failures (unknown/closed streams) are reported in
+        the outcomes instead of raised, so one bad stream never poisons
+        its batchmates.
+        """
+        feeds = list(feeds)
+        outcomes: List[Optional[FeedOutcome]] = [None] * len(feeds)
+        pending = list(enumerate(feeds))
+        while pending:
+            # One wave: each stream id at most once, so per-stream segment
+            # order is preserved across waves.
+            wave: List[Tuple[int, int, object]] = []
+            seen: set = set()
+            later: List[Tuple[int, Tuple[int, object]]] = []
+            for idx, (stream_id, segment) in pending:
+                if stream_id in seen:
+                    later.append((idx, (stream_id, segment)))
+                else:
+                    seen.add(stream_id)
+                    wave.append((idx, stream_id, segment))
+            self._dispatch_wave(wave, outcomes)
+            pending = later
+        return tuple(outcomes)  # type: ignore[arg-type]
+
+    def _dispatch_wave(self, wave, outcomes) -> None:
+        """Group one wave by fingerprint and dispatch each group."""
+        groups: Dict[str, List[Tuple[int, int, _StreamEntry, object]]] = {}
+        for idx, stream_id, segment in wave:
+            with self._lock:
+                entry = self._entries.get(stream_id)
+            if entry is None:
+                outcomes[idx] = FeedOutcome(
+                    stream_id=stream_id,
+                    ok=False,
+                    error=ServingError(
+                        f"unknown or closed stream id {stream_id}",
+                        code="unknown_stream",
+                        stream_id=stream_id,
+                    ),
+                )
+                continue
+            groups.setdefault(entry.fingerprint, []).append(
+                (idx, stream_id, entry, segment)
+            )
+        for fingerprint, group in groups.items():
+            if self.fused and len(group) >= self.fused_min_streams:
+                self._dispatch_fused(fingerprint, group, outcomes)
+            else:
+                self._dispatch_sequential(group, outcomes)
+
+    def _dispatch_sequential(self, group, outcomes) -> None:
+        """Per-stream fallback: each feed runs the ordinary scheme path."""
+        for idx, stream_id, entry, segment in group:
+            try:
+                result = self._feed_entry(stream_id, entry, segment)
+            except ServingError as exc:
+                outcomes[idx] = FeedOutcome(
+                    stream_id=stream_id, ok=False, error=exc
+                )
+            else:
+                outcomes[idx] = FeedOutcome(
+                    stream_id=stream_id,
+                    ok=True,
+                    end_state=int(result.end_state),
+                    accepts=bool(result.accepts),
+                    symbols=int(_as_symbol_array(segment).size),
+                )
+            with self._lock:
+                self._metric_inc("serving.pool.fused_fallbacks")
+
+    def _dispatch_fused(self, fingerprint, group, outcomes) -> None:
+        """One fused dispatch over every live stream in the group.
+
+        Locks are taken in stream-id order and held across the whole
+        batch; streams found closed under their lock are reported in their
+        outcome and excluded from the dispatch rather than failing it.
+        """
+        started = perf_counter()
+        ordered = sorted(group, key=lambda item: item[1])
+        locked: List[_StreamEntry] = []
+        try:
+            live: List[Tuple[int, int, _StreamEntry, object]] = []
+            for idx, stream_id, entry, segment in ordered:
+                entry.lock.acquire()
+                locked.append(entry)
+                if entry.closed:
+                    outcomes[idx] = FeedOutcome(
+                        stream_id=stream_id,
+                        ok=False,
+                        error=ServingError(
+                            f"stream {stream_id} is closed",
+                            code="stream_closed",
+                            stream_id=stream_id,
+                            fingerprint=fingerprint,
+                        ),
+                    )
+                else:
+                    live.append((idx, stream_id, entry, segment))
+            if not live:
+                return
+            with self._lock:
+                matcher = self._matchers[fingerprint]
+            engine = matcher.fused_engine()
+            segments = [_as_symbol_array(segment) for *_ignored, segment in live]
+            starts = [entry.session.state for _, _, entry, _ in live]
+            dispatch = engine.dispatch(segments, starts)
+            for pos, (idx, stream_id, entry, _segment) in enumerate(live):
+                entry.session.apply_fused(
+                    segments[pos], int(dispatch.end_states[pos])
+                )
+                outcomes[idx] = FeedOutcome(
+                    stream_id=stream_id,
+                    ok=True,
+                    end_state=entry.session.state,
+                    accepts=entry.session.accepts,
+                    symbols=int(segments[pos].size),
+                    fused=True,
+                )
+        finally:
+            for entry in reversed(locked):
+                entry.lock.release()
+        with self._lock:
+            self._metric_inc("serving.pool.fused_dispatches")
+            self._metric_inc_by("serving.pool.feeds", len(live))
+            self._metric_inc_by("serving.pool.fused_streams", len(live))
+            self._metric_inc_by(
+                "serving.pool.fused_symbols", dispatch.total_symbols
+            )
+            self._metric_observe("serving.pool.fused_batch_width", len(live))
+            self._metric_observe(
+                "serving.pool.fused_ms", (perf_counter() - started) * 1e3
+            )
 
     def close(self, stream_id: int) -> StreamStats:
         """Close a stream and return its final summary.

@@ -51,10 +51,13 @@ class StressReport:
     operations: int
     backend: str
     seed: int
+    fused: bool = False
     elapsed_s: float = 0.0
     streams_opened: int = 0
     streams_closed: int = 0
     segments_fed: int = 0
+    fused_dispatches: int = 0
+    fused_streams: int = 0
     compiles: int = 0
     fingerprints_used: int = 0
     compile_waits: int = 0
@@ -78,11 +81,20 @@ class StressReport:
         lines = [
             f"serving stress: {self.threads} threads x "
             f"{self.fingerprints} fingerprints x {self.operations} ops "
-            f"(backend={self.backend}, seed={self.seed})",
+            f"(backend={self.backend}, seed={self.seed}"
+            + (", fused" if self.fused else "")
+            + ")",
             f"  elapsed    : {self.elapsed_s:.2f}s",
             f"  streams    : {self.streams_opened} opened / "
             f"{self.streams_closed} closed",
             f"  segments   : {self.segments_fed} fed",
+        ]
+        if self.fused:
+            lines.append(
+                f"  fused      : {self.fused_dispatches} dispatches / "
+                f"{self.fused_streams} gang-fed streams"
+            )
+        lines += [
             f"  compiles   : {self.compiles} "
             f"(fingerprints touched: {self.fingerprints_used}, "
             f"waits: {self.compile_waits})",
@@ -130,6 +142,7 @@ def run_stress(
     capacity: Optional[int] = None,
     max_streams: Optional[int] = None,
     n_threads: int = 8,
+    fused: bool = False,
     log=None,
 ) -> StressReport:
     """Run the stress schedule and audit every outcome.
@@ -152,6 +165,15 @@ def run_stress(
     n_threads:
         Simulated GPU threads per segment run (kept small: the harness
         stresses the serving tier, not the simulator).
+    fused:
+        Gang-scheduling mode: the pool is built with ``fused=True`` and
+        each worker, instead of feeding one stream at a time, batches a
+        fresh segment for *every* stream it has open into one
+        :meth:`~repro.serving.MatcherPool.feed_many` call — so fused
+        dispatches race other workers' gang dispatches, opens and closes
+        on the same fingerprints.  The oracle audit is unchanged: fused or
+        not, every closed stream must match ``dfa.run`` over exactly the
+        bytes it was fed.
     """
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
@@ -182,6 +204,7 @@ def run_stress(
         backend=backend,
         selfcheck=selfcheck,
         max_streams=max_streams if max_streams is not None else threads * local_cap,
+        fused=fused,
         metrics=metrics,
     )
 
@@ -224,11 +247,27 @@ def run_stress(
                 ):
                     do_open(int(rng.integers(0, fingerprints)))
                 elif roll < 0.85:
-                    slot = int(rng.integers(0, len(open_streams)))
-                    sid, _, segments = open_streams[slot]
-                    segment = _random_segment(rng)
-                    pool.feed(sid, segment)
-                    segments.append(segment)
+                    if fused and roll < 0.6:
+                        # Gang feed: one fresh segment for every open
+                        # stream, coalesced into a single feed_many call
+                        # (same-fingerprint streams fuse into one batch).
+                        feeds = [
+                            (entry[0], _random_segment(rng))
+                            for entry in open_streams
+                        ]
+                        outcomes = pool.feed_many(feeds)
+                        for entry, (_, segment), outcome in zip(
+                            open_streams, feeds, outcomes
+                        ):
+                            if not outcome.ok:
+                                raise outcome.error
+                            entry[2].append(segment)
+                    else:
+                        slot = int(rng.integers(0, len(open_streams)))
+                        sid, _, segments = open_streams[slot]
+                        segment = _random_segment(rng)
+                        pool.feed(sid, segment)
+                        segments.append(segment)
                 else:
                     do_close(int(rng.integers(0, len(open_streams))))
             while open_streams:
@@ -293,23 +332,27 @@ def run_stress(
     cache_stats = cache.stats()
     from repro.engine import resolve_backend_name
 
+    exported = metrics.as_dict()
     report = StressReport(
         threads=threads,
         fingerprints=fingerprints,
         operations=per_worker * threads,
         backend=resolve_backend_name(backend),
         seed=seed,
+        fused=fused,
         elapsed_s=elapsed,
         streams_opened=int(pool_stats["opened"]),
         streams_closed=len(seen_ids),
         segments_fed=total_segments,
+        fused_dispatches=int(exported.get("serving.pool.fused_dispatches", 0)),
+        fused_streams=int(exported.get("serving.pool.fused_streams", 0)),
         compiles=int(cache_stats["compiles"]),
         fingerprints_used=len(used_indices),
         compile_waits=int(cache_stats["compile_waits"]),
         oracle_failures=oracle_failures,
         errors=errors,
         pool_stats=pool_stats,
-        metrics=metrics.as_dict(),
+        metrics=exported,
     )
     if log is not None:
         log(report.summary())

@@ -427,6 +427,145 @@ def test_spec_alias_accepted_at_open(fsms, training, config):
 
 
 # ----------------------------------------------------------------------
+# fused gang scheduling (ISSUE 6)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["sim", "fast"])
+def test_fused_soak(backend):
+    """The fused gang-scheduling soak: workers batch a segment for every
+    stream they have open into one feed_many call, racing other workers'
+    gang dispatches, opens and closes on the same fingerprints — and every
+    closed stream still matches the sequential oracle exactly."""
+    report = run_stress(
+        threads=6,
+        fingerprints=3,
+        operations=240,
+        seed=13,
+        backend=backend,
+        fused=True,
+    )
+    assert report.ok, report.summary()
+    assert report.fused
+    # The schedule actually exercised gang dispatch, not just fallbacks.
+    assert report.fused_dispatches > 0
+    assert report.fused_streams >= 2 * report.fused_dispatches
+    assert report.streams_opened == report.streams_closed
+    assert report.compiles == report.fingerprints_used
+
+
+def test_close_during_fused_batch_is_serialized(fsms, training, config):
+    """A close racing a fused dispatch lands strictly before or after the
+    batch — the per-stream lock is held across the whole dispatch — and a
+    feed whose stream lost the race reports stream_closed in its outcome
+    instead of poisoning its batchmates."""
+    pool = MatcherPool(config=config, fused=True, fused_min_streams=2)
+    survivor = pool.open(fsms[0], training_input=training)
+    victim = pool.open(fsms[0], training_input=training)
+    stop = threading.Event()
+    closed = threading.Event()
+    errors = []
+    survivor_fed = bytearray()
+    closed_seen = 0
+
+    def feeder():
+        nonlocal closed_seen
+        try:
+            while not stop.is_set():
+                outcomes = pool.feed_many(
+                    [(survivor, b"alpha" * 8), (victim, b"beta" * 8)]
+                )
+                assert outcomes[0].ok  # batchmate never poisoned
+                survivor_fed.extend(b"alpha" * 8)
+                if not outcomes[1].ok:
+                    assert outcomes[1].error.code in (
+                        "stream_closed",
+                        "unknown_stream",
+                    )
+                    closed_seen += 1
+                    if closed_seen >= 3:
+                        break
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def closer():
+        try:
+            sleep(0.01)
+            pool.close(victim)
+            closed.set()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=feeder),
+        threading.Thread(target=closer),
+    ]
+    for t in threads:
+        t.start()
+    assert closed.wait(timeout=30)
+    stop.set()
+    for t in threads:
+        t.join(timeout=30)
+    assert errors == []
+    stats = pool.close(survivor)
+    assert stats.end_state == fsms[0].run(bytes(survivor_fed))
+    assert stats.total_symbols == len(survivor_fed)
+
+
+def test_feed_many_falls_back_below_min_width(fsms, training, config):
+    """A group narrower than fused_min_streams runs the ordinary scheme
+    path — and still lands the same answer."""
+    registry = MetricsRegistry()
+    pool = MatcherPool(
+        config=config, fused=True, fused_min_streams=4, metrics=registry
+    )
+    sids = [pool.open(fsms[0], training_input=training) for _ in range(2)]
+    outcomes = pool.feed_many([(sid, b"alpha" * 10) for sid in sids])
+    assert all(o.ok and not o.fused for o in outcomes)
+    exported = registry.as_dict()
+    assert exported.get("serving.pool.fused_dispatches", 0) == 0
+    assert exported["serving.pool.fused_fallbacks"] == 2
+    for sid in sids:
+        assert pool.close(sid).end_state == fsms[0].run(b"alpha" * 10)
+
+
+def test_feed_many_mixed_fingerprints_fuse_per_group(fsms, training, config):
+    registry = MetricsRegistry()
+    pool = MatcherPool(config=config, fused=True, metrics=registry)
+    a = [pool.open(fsms[0], training_input=training) for _ in range(3)]
+    b = [pool.open(fsms[1], training_input=training) for _ in range(2)]
+    feeds = [(sid, b"xyzzy" * 6) for sid in a + b]
+    outcomes = pool.feed_many(feeds)
+    assert all(o.ok and o.fused for o in outcomes)
+    exported = registry.as_dict()
+    # One dispatch per fingerprint group, widths 3 and 2.
+    assert exported["serving.pool.fused_dispatches"] == 2
+    assert exported["serving.pool.fused_streams"] == 5
+    assert exported["serving.pool.fused_batch_width.max"] == 3
+    assert exported["serving.pool.fused_batch_width.min"] == 2
+    for sid in a:
+        assert pool.close(sid).end_state == fsms[0].run(b"xyzzy" * 6)
+    for sid in b:
+        assert pool.close(sid).end_state == fsms[1].run(b"xyzzy" * 6)
+
+
+def test_fused_stream_cycles_go_nan(fsms, training, config):
+    """Fused execution is answer-only: a gang-fed stream's total_cycles is
+    NaN-sticky, exactly like the fast backend's per-stream contract."""
+    pool = MatcherPool(config=config, backend="sim", fused=True)
+    sids = [pool.open(fsms[0], training_input=training) for _ in range(2)]
+    pool.feed(sids[0], b"alpha" * 8)  # sim backend: real cycles so far
+    outcomes = pool.feed_many([(sid, b"alpha" * 8) for sid in sids])
+    assert all(o.ok and o.fused for o in outcomes)
+    for sid in sids:
+        assert np.isnan(pool.close(sid).total_cycles)
+
+
+def test_fused_pool_invalid_min_streams_rejected(config):
+    with pytest.raises(ServingError) as excinfo:
+        MatcherPool(config=config, fused=True, fused_min_streams=0)
+    assert excinfo.value.code == "invalid_argument"
+
+
+# ----------------------------------------------------------------------
 # serving metrics
 # ----------------------------------------------------------------------
 def test_serving_metrics_threaded_into_registry(fsms, training, config):
