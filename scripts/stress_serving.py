@@ -54,6 +54,24 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--max-streams", type=int, default=None, help="pool admission bound"
     )
+    parser.add_argument(
+        "--equivalent-mix",
+        action="store_true",
+        help="tenants submit language-equivalent DFA variants; audits one "
+        "compile (and one spill file) per language class",
+    )
+    parser.add_argument(
+        "--variants",
+        type=int,
+        default=3,
+        help="language-equivalent variants per class (equivalent mix only)",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="plan-cache spill directory (audited in the equivalent mix)",
+    )
     args = parser.parse_args(argv)
 
     from repro.serving.stress import run_stress
@@ -68,6 +86,9 @@ def main(argv=None) -> int:
         fused=args.fused,
         capacity=args.capacity,
         max_streams=args.max_streams,
+        equivalent_mix=args.equivalent_mix,
+        variants=args.variants,
+        spill_dir=args.spill_dir,
         log=print,
     )
     return 0 if report.ok else 1

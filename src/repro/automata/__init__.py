@@ -2,19 +2,21 @@
 
 This subpackage is a self-contained replacement for the pipeline the paper
 builds on RE2: regular expressions are parsed into Thompson NFAs, determinized
-with the subset construction, minimized with Hopcroft's algorithm, and
-materialized as dense numpy transition tables ready for the lockstep GPU
-executor.
+with a vectorized bitset subset construction, minimized with vectorized
+partition refinement (canonically renumbered, so language-equivalent DFAs
+share bit-identical minimal tables), and materialized as dense numpy
+transition tables ready for the lockstep GPU executor.
 """
 
 from repro.automata.bitset import BitsetNFA
 from repro.automata.dfa import DFA, run_lockstep
 from repro.automata.nfa import NFA, nfa_to_dfa
 from repro.automata.regex import compile_regex, compile_disjunction, parse_regex
-from repro.automata.minimize import minimize_dfa
+from repro.automata.minimize import canonical_fingerprint, canonical_form, minimize_dfa
 from repro.automata.moore import minimize_dfa_moore
 from repro.automata.properties import (
     StateFrequencyProfile,
+    are_equivalent,
     convergence_profile,
     profile_state_frequencies,
     reachable_states,
@@ -29,6 +31,9 @@ __all__ = [
     "minimize_dfa_moore",
     "StateFrequencyProfile",
     "TransformedDFA",
+    "are_equivalent",
+    "canonical_fingerprint",
+    "canonical_form",
     "compile_disjunction",
     "compile_regex",
     "convergence_profile",

@@ -206,6 +206,20 @@ class DFA:
         h.update(self.table.tobytes())
         return h.hexdigest()
 
+    def canonical_fingerprint(self) -> str:
+        """Content hash identifying this automaton's *language*.
+
+        The fingerprint of the canonical form (minimize, then BFS-renumber
+        from the start state in symbol order — see
+        :func:`repro.automata.minimize.canonical_form`), so it is identical
+        for every DFA accepting the same language over the same alphabet.
+        Used by the plan cache to dedupe compiles across language-equivalent
+        submissions; strictly coarser than :meth:`fingerprint`.
+        """
+        from repro.automata.minimize import canonical_fingerprint
+
+        return canonical_fingerprint(self)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DFA):
             return NotImplemented

@@ -1,8 +1,23 @@
-"""DFA minimization via Hopcroft's partition-refinement algorithm.
+"""DFA minimization and canonical forms via vectorized partition refinement.
 
 Minimization keeps the benchmark DFAs at the canonical sizes that the paper's
 Table II reports, and guarantees that property profiling (state frequencies,
 convergence) is not polluted by unreachable or duplicate states.
+
+:func:`minimize_dfa` is a vectorized *incremental* Moore/Valmari-style
+refinement: the partition lives in a flat colour array and each round
+recolours only the dirty frontier — states with a successor whose colour
+changed last round — from their ``(colour, successor colours)`` signature
+rows (``np.unique(axis=0)``), instead of walking a Python worklist of
+splitter sets.  The pre-refactor Hopcroft worklist implementation is kept as
+:func:`_minimize_reference` — it is the differential oracle for the fuzzer
+and the baseline for ``benchmarks/bench_compile.py``.
+
+On top of minimization this module defines the *canonical form*: minimize,
+then breadth-first renumber states from the start state in symbol order.
+Two DFAs accept the same language iff their canonical forms are
+bit-identical, which is what :func:`canonical_fingerprint` hashes and what
+the plan cache keys language-equivalence aliasing on.
 """
 
 from __future__ import annotations
@@ -39,12 +54,200 @@ def _restrict_to_reachable(dfa: DFA) -> DFA:
     )
 
 
+def _bfs_renumber(dfa: DFA) -> DFA:
+    """Renumber states breadth-first from the start state in symbol order.
+
+    The visit order is fully determined by the transition structure (state 0
+    is the start; successors are discovered symbol-by-symbol within each
+    frontier wave), so any two isomorphic DFAs renumber to bit-identical
+    tables.  Assumes every state is reachable — callers minimize first.
+    """
+    n, k = dfa.n_states, dfa.n_symbols
+    remap = np.full(n, -1, dtype=np.int64)
+    remap[dfa.start] = 0
+    assigned = 1
+    frontier = np.array([dfa.start], dtype=np.int64)
+    while frontier.size and assigned < n:
+        succ = dfa.table[frontier].ravel()  # row-major = symbol order per state
+        uniq, first = np.unique(succ, return_index=True)
+        fresh = remap[uniq] < 0
+        new_states = uniq[fresh][np.argsort(first[fresh], kind="stable")]
+        remap[new_states] = assigned + np.arange(new_states.size)
+        assigned += new_states.size
+        frontier = new_states
+    table = np.empty_like(dfa.table)
+    table[remap] = remap[dfa.table].astype(STATE_DTYPE)
+    return DFA(
+        table=table,
+        start=0,
+        accepting=frozenset(int(remap[s]) for s in dfa.accepting),
+        name=dfa.name,
+    )
+
+
+def _distinct_columns(table: np.ndarray) -> np.ndarray:
+    """The distinct columns of ``table``, cheaply.
+
+    ``np.unique(table, axis=1)`` lexicographically sorts whole columns —
+    O(n·k·log k) element comparisons, the dominant cost of minimizing wide
+    alphabets.  Instead, hash every column to one 64-bit key (fixed random
+    weights, wraparound arithmetic), group by key, and *verify* each column
+    against its group representative; any collision falls back to the exact
+    path, so the result is always exact.  Column order differs from
+    ``np.unique`` (keys, not lexicographic) but refinement only needs the
+    distinct column *set*.
+    """
+    n, k = table.shape
+    if k <= 1:
+        return table
+    cols = np.ascontiguousarray(table.T).astype(np.uint64)
+    weights = np.random.default_rng(0x5EED5EED).integers(
+        1, 1 << 62, size=n, dtype=np.uint64
+    ) | np.uint64(1)
+    keys = (cols * weights).sum(axis=1)
+    uniq_keys, first = np.unique(keys, return_index=True)
+    reps = cols[first]
+    if not np.array_equal(reps[np.searchsorted(uniq_keys, keys)], cols):
+        return np.unique(table, axis=1)  # hash collision: exact fallback
+    return np.ascontiguousarray(reps.T).astype(table.dtype)
+
+
 def minimize_dfa(dfa: DFA, name: Optional[str] = None) -> DFA:
     """Return the minimal DFA equivalent to ``dfa``.
 
-    Implementation notes: classic Hopcroft with a worklist of (block, symbol)
-    splitters.  Predecessor sets are precomputed as numpy index arrays, so the
-    inner refinement loop is mostly vectorized set membership.
+    Vectorized *incremental* Moore/Valmari-style partition refinement: the
+    partition lives in a flat colour array, and each round recolours only
+    the **dirty** states — those with at least one successor whose colour
+    changed in the previous round — from their ``(colour, successor
+    colours)`` signature rows.  That makes the per-round cost proportional
+    to the active refinement frontier instead of ``n_states × n_symbols``,
+    which is what lets deep, chain-like automata (keyword scanners, bounded
+    gaps, counters) minimize in milliseconds rather than paying a full
+    table pass per distinguishing-depth level.
+
+    Colour ids are stable: when a block splits, one part keeps the old id
+    and the rest get fresh never-before-used ids, so dirtiness propagates
+    exactly along real colour changes.  A dirty state whose signature
+    changed can never rejoin the clean remainder of its block (its
+    signature now contains a fresh id the clean members' cannot), so blocks
+    with clean members send every dirty sub-group to fresh ids, while
+    fully-dirty blocks let their first signature group keep the id.
+
+    The result is in *canonical numbering* (breadth-first from the start
+    state in symbol order, see :func:`_bfs_renumber`), which makes
+    minimization idempotent at the byte level and gives language-equivalent
+    inputs bit-identical minimal tables.
+    """
+    dfa = _restrict_to_reachable(dfa)
+    n = dfa.n_states
+
+    # Refine over distinct table columns only: symbols with identical
+    # columns produce identical signature entries and cannot split blocks
+    # the representative column does not already split.
+    unique_cols = _distinct_columns(dfa.table)
+    k_red = unique_cols.shape[1]
+
+    # Reverse-edge CSR over the reduced table (built once): pred_sorted
+    # holds edge sources grouped by target, indptr[t]:indptr[t+1] spans
+    # the predecessors of state t.
+    dst = unique_cols.ravel()
+    src = np.repeat(np.arange(n, dtype=np.int64), k_red)
+    edge_order = np.argsort(dst, kind="stable")
+    pred_sorted = src[edge_order]
+    indptr = np.searchsorted(dst[edge_order], np.arange(n + 1))
+
+    # Initial partition: accepting / non-accepting, densified to 0-based
+    # colours (all-accepting and none-accepting DFAs start with one colour).
+    _, colour = np.unique(dfa.accepting_mask, return_inverse=True)
+    colour = np.ravel(colour).astype(np.int64)
+    next_id = int(colour.max()) + 1
+
+    dirty = np.arange(n, dtype=np.int64)
+    while dirty.size:
+        sig = np.concatenate(
+            [colour[dirty, None], colour[unique_cols[dirty]]], axis=1
+        )
+        uniq, inv = np.unique(sig, axis=0, return_inverse=True)
+        inv = np.ravel(inv)
+        block = uniq[:, 0]  # non-decreasing (lexicographic row order)
+
+        # A block with clean (non-dirty) members keeps its id for them and
+        # every dirty group splits to a fresh id; a fully-dirty block keeps
+        # the id for its first signature group only.
+        sizes = np.bincount(colour, minlength=next_id)
+        dirty_counts = np.bincount(colour[dirty], minlength=next_id)
+        block_has_clean = (sizes - dirty_counts) > 0
+        keeps = np.zeros(uniq.shape[0], dtype=bool)
+        _, first_of_block = np.unique(block, return_index=True)
+        keeps[first_of_block] = True
+        keeps &= ~block_has_clean[block]
+
+        fresh = ~keeps
+        new_ids = np.where(keeps, block, 0)
+        n_fresh = int(fresh.sum())
+        new_ids[fresh] = next_id + np.arange(n_fresh)
+        next_id += n_fresh
+
+        changed = dirty[fresh[inv]]
+        colour[dirty] = new_ids[inv]
+
+        # Next frontier: predecessors of every state whose colour changed.
+        if changed.size:
+            starts = indptr[changed]
+            counts = indptr[changed + 1] - starts
+            total = int(counts.sum())
+            offsets = np.repeat(
+                starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+            )
+            dirty = np.unique(pred_sorted[offsets + np.arange(total)])
+        else:
+            dirty = np.empty(0, dtype=np.int64)
+
+    # Quotient: one representative state per colour (first occurrence),
+    # with the sparse stable ids densified to 0-based colours.
+    uniq_ids, reps = np.unique(colour, return_index=True)
+    dense = np.full(next_id, -1, dtype=np.int64)
+    dense[uniq_ids] = np.arange(uniq_ids.size)
+    colour = dense[colour]
+    table = colour[dfa.table[reps]].astype(STATE_DTYPE)
+    accepting = frozenset(
+        int(c) for c in np.unique(colour[np.flatnonzero(dfa.accepting_mask)])
+    )
+    quotient = DFA(
+        table=table,
+        start=int(colour[dfa.start]),
+        accepting=accepting,
+        name=name if name is not None else dfa.name,
+    )
+    return _bfs_renumber(quotient)
+
+
+def canonical_form(dfa: DFA, name: Optional[str] = None) -> DFA:
+    """The canonical representative of ``dfa``'s language class.
+
+    Minimize, then breadth-first renumber from the start state in symbol
+    order.  Complete DFAs accepting the same language map to bit-identical
+    canonical tables (Myhill–Nerode: the minimal complete DFA is unique up
+    to isomorphism, and the BFS numbering fixes the isomorphism).
+    """
+    return minimize_dfa(dfa, name=name)
+
+
+def canonical_fingerprint(dfa: DFA) -> str:
+    """Content fingerprint of ``dfa``'s canonical form.
+
+    Identical for all language-equivalent DFAs over the same alphabet; this
+    is the key the serving tier dedupes compiled plans on.
+    """
+    return canonical_form(dfa).fingerprint()
+
+
+def _minimize_reference(dfa: DFA, name: Optional[str] = None) -> DFA:
+    """Pre-refactor Hopcroft worklist minimization (differential oracle).
+
+    Kept verbatim as the baseline for the fuzzer's differential gate and
+    for ``benchmarks/bench_compile.py``'s speedup guard.  Produces the same
+    minimal DFA as :func:`minimize_dfa` up to state renumbering.
     """
     dfa = _restrict_to_reachable(dfa)
     full_k = dfa.n_symbols
@@ -59,7 +262,7 @@ def minimize_dfa(dfa: DFA, name: Optional[str] = None) -> DFA:
         name=dfa.name,
     )
     if unique_cols.shape[1] != full_k:
-        minimized = minimize_dfa(reduced, name=name)
+        minimized = _minimize_reference(reduced, name=name)
         table = minimized.table[:, col_of_symbol]
         return DFA(
             table=table,

@@ -133,85 +133,176 @@ def symbol_classes(nfa: NFA) -> List[List[int]]:
     return list(groups.values())
 
 
+def _epsilon_closure_matrix(nfa: NFA, n_bytes: int) -> np.ndarray:
+    """``(n_states, n_bytes)`` packed boolean matrix of per-state ε-closures.
+
+    Computed as a vectorized fixpoint over the static ε-edge list: every
+    iteration ORs each state's successors' closure rows into its own
+    (``np.bitwise_or.reduceat`` over the edge-sorted gather), so one pass
+    costs O(ε-edges × n_bytes) with no per-state python work.  Convergence
+    takes at most the ε-diameter iterations — small for Thompson NFAs.
+    """
+    n = nfa.n_states
+    closure = np.zeros((n, n_bytes), dtype=np.uint8)
+    closure[np.arange(n), np.arange(n) // 8] = 1 << (np.arange(n) % 8).astype(np.uint8)
+
+    srcs: List[int] = []
+    dsts: List[int] = []
+    for q, edges in enumerate(nfa.transitions):
+        for d in edges.get(EPSILON, ()):
+            srcs.append(q)
+            dsts.append(d)
+    if not srcs:
+        return closure
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    group_src = src[np.concatenate(([0], np.flatnonzero(np.diff(src)) + 1))]
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(src)) + 1))
+
+    while True:
+        contrib = np.bitwise_or.reduceat(closure[dst], starts, axis=0)
+        updated = closure[group_src] | contrib
+        if np.array_equal(updated, closure[group_src]):
+            return closure
+        closure[group_src] = updated
+
+
+def _grouped_or(rows: np.ndarray, counts: np.ndarray, width: int) -> np.ndarray:
+    """OR-reduce consecutive ``counts[i]``-sized row groups of ``rows``.
+
+    Vectorized segmented reduction: empty groups yield all-zero rows.  Only
+    non-empty groups participate in the ``np.bitwise_or.reduceat`` call —
+    their start offsets are strictly increasing, which sidesteps reduceat's
+    empty-segment quirks entirely.
+    """
+    n_groups = counts.size
+    out = np.zeros((n_groups, width), dtype=np.uint8)
+    nonempty = np.flatnonzero(counts)
+    if rows.shape[0] == 0 or nonempty.size == 0:
+        return out
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))[nonempty]
+    out[nonempty] = np.bitwise_or.reduceat(rows, starts, axis=0)
+    return out
+
+
 def nfa_to_dfa(nfa: NFA, name: Optional[str] = None, max_states: int = 100_000) -> DFA:
-    """Determinize ``nfa`` via the subset construction.
+    """Determinize ``nfa`` via a vectorized bitset subset construction.
 
     The resulting DFA is *complete*: a dead state is materialized for subsets
     with no outgoing transition so that the dense table has no holes.  The
     construction runs over symbol equivalence classes (see
     :func:`symbol_classes`) and expands the full-width table at the end.
 
+    State sets are packed uint8 bitset rows.  ε-closures come from
+    :func:`_epsilon_closure_matrix` (a vectorized fixpoint), the per-state
+    closed moves from one segmented OR over the symbol-edge list, and the
+    frontier is expanded **one wave at a time**: a whole wave of subsets is
+    unpacked to a boolean membership matrix, its class targets computed by
+    a single segmented OR-reduction, and new subsets deduplicated with
+    ``np.unique`` over packed rows — no per-subset python inner loops.
+
     Parameters
     ----------
     max_states:
-        Safety valve against exponential blow-up; raises
-        :class:`AutomatonError` when exceeded.
+        Safety valve against exponential blow-up; raises a structured
+        :class:`AutomatonError` (carrying ``state_count`` and ``limit``)
+        when exceeded.
     """
     classes = symbol_classes(nfa)
     reps = [cls[0] for cls in classes]
     n_classes = len(classes)
     n = nfa.n_states
+    n_bytes = (n + 7) // 8
 
-    # ε-eliminate once: closed_move[q][ci] is the bitmask of
-    # ε-closure(move(q, rep(ci))).  Subsets become ints, and a subset's
-    # class target is a plain OR over its member masks.
-    closure_mask = [0] * n
-    for q in range(n):
-        mask = 0
-        for s in nfa.epsilon_closure([q]):
-            mask |= 1 << s
-        closure_mask[q] = mask
-    closed_move: List[List[int]] = [[0] * n_classes for _ in range(n)]
-    for q in range(n):
-        edges = nfa.transitions[q]
-        for ci, sym in enumerate(reps):
-            t = 0
-            for d in edges.get(sym, ()):
-                t |= closure_mask[d]
-            closed_move[q][ci] = t
-    acc_mask = 0
+    closure = _epsilon_closure_matrix(nfa, n_bytes)
+
+    # closed_move[q, ci] = packed ε-closure(move(q, rep(ci))): one gather of
+    # the destination closures + one segmented OR over the (q, ci) edge list.
+    rep_class = {sym: ci for ci, sym in enumerate(reps)}
+    e_src: List[int] = []
+    e_cls: List[int] = []
+    e_dst: List[int] = []
+    for q, edges in enumerate(nfa.transitions):
+        for sym, targets in edges.items():
+            ci = rep_class.get(sym)
+            if ci is None:
+                continue
+            for d in targets:
+                e_src.append(q)
+                e_cls.append(ci)
+                e_dst.append(d)
+    closed_move = np.zeros((n, n_classes, n_bytes), dtype=np.uint8)
+    if e_src:
+        src = np.asarray(e_src, dtype=np.int64)
+        cls_arr = np.asarray(e_cls, dtype=np.int64)
+        dst = np.asarray(e_dst, dtype=np.int64)
+        key = src * n_classes + cls_arr
+        order = np.argsort(key, kind="stable")
+        key, dst = key[order], dst[order]
+        boundaries = np.concatenate(([0], np.flatnonzero(np.diff(key)) + 1))
+        merged = np.bitwise_or.reduceat(closure[dst], boundaries, axis=0)
+        group_keys = key[boundaries]
+        closed_move[group_keys // n_classes, group_keys % n_classes] = merged
+    closed_move_flat = closed_move.reshape(n, n_classes * n_bytes)
+
+    acc_packed = np.zeros(n_bytes, dtype=np.uint8)
     for q in nfa.accepting:
-        acc_mask |= 1 << q
+        acc_packed[q // 8] |= np.uint8(1 << (q % 8))
 
-    def bits(mask: int) -> List[int]:
-        out = []
-        while mask:
-            low = mask & -mask
-            out.append(low.bit_length() - 1)
-            mask ^= low
-        return out
-
-    start_mask = closure_mask[nfa.start]
-    subset_ids: Dict[int, int] = {start_mask: 0}
-    worklist: List[int] = [start_mask]
-    rows: List[List[int]] = []
+    start_row = closure[nfa.start]
+    subset_ids: Dict[bytes, int] = {start_row.tobytes(): 0}
     accepting: Set[int] = set()
+    table_rows: List[np.ndarray] = []
+    frontier = start_row[None, :]  # (wave_size, n_bytes)
 
-    while worklist:
-        subset = worklist.pop()
-        sid = subset_ids[subset]
-        while len(rows) <= sid:
-            rows.append([0] * n_classes)
-        if subset & acc_mask:
-            accepting.add(sid)
-        members = [closed_move[q] for q in bits(subset)]
-        row = rows[sid]
-        for ci in range(n_classes):
-            target = 0
-            for moves in members:
-                target |= moves[ci]
-            tid = subset_ids.get(target)
-            if tid is None:
-                tid = len(subset_ids)
-                if tid > max_states:
+    while frontier.shape[0]:
+        wave = frontier.shape[0]
+        hits = (frontier & acc_packed).any(axis=1)
+        base_id = sum(t.shape[0] for t in table_rows)
+        accepting.update(
+            int(base_id + i) for i in np.flatnonzero(hits)
+        )
+
+        members = np.unpackbits(frontier, axis=1, bitorder="little")[:, :n]
+        counts = members.sum(axis=1).astype(np.int64)
+        _, states = np.nonzero(members)  # row-major: grouped by wave row
+        targets = _grouped_or(
+            closed_move_flat[states], counts, n_classes * n_bytes
+        ).reshape(wave * n_classes, n_bytes)
+
+        # Dedupe the wave's targets and assign ids to genuinely new subsets.
+        uniq, inverse = np.unique(targets, axis=0, return_inverse=True)
+        uniq_ids = np.empty(uniq.shape[0], dtype=np.int64)
+        fresh_rows: List[np.ndarray] = []
+        for u in range(uniq.shape[0]):
+            packed = uniq[u].tobytes()
+            sid = subset_ids.get(packed)
+            if sid is None:
+                sid = len(subset_ids)
+                if sid >= max_states:
                     raise AutomatonError(
-                        f"subset construction exceeded {max_states} states for {nfa.name!r}"
+                        f"subset construction for {nfa.name!r} exceeded "
+                        f"max_states: reached {sid + 1} states "
+                        f"(limit {max_states})",
+                        state_count=sid + 1,
+                        limit=max_states,
+                        automaton=nfa.name,
                     )
-                subset_ids[target] = tid
-                worklist.append(target)
-            row[ci] = tid
+                subset_ids[packed] = sid
+                fresh_rows.append(uniq[u])
+            uniq_ids[u] = sid
+        table_rows.append(
+            uniq_ids[np.ravel(inverse)].reshape(wave, n_classes).astype(STATE_DTYPE)
+        )
+        frontier = (
+            np.stack(fresh_rows)
+            if fresh_rows
+            else np.empty((0, n_bytes), dtype=np.uint8)
+        )
 
-    class_table = np.asarray(rows, dtype=STATE_DTYPE)
+    class_table = np.concatenate(table_rows, axis=0)
     table = np.empty((class_table.shape[0], nfa.n_symbols), dtype=STATE_DTYPE)
     for ci, cls in enumerate(classes):
         table[:, cls] = class_table[:, ci : ci + 1]

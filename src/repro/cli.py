@@ -243,6 +243,7 @@ def cmd_report(args) -> int:
 
 def cmd_compile(args) -> int:
     from repro.plan import compile_plan, save_plan
+    from repro.plan.compile import COMPILE_STAGES
 
     member = build_member(args.suite, args.index)
     training = member.training_input(args.training_length)
@@ -251,6 +252,16 @@ def cmd_compile(args) -> int:
     )
     path = save_plan(plan, args.output)
     print(plan.summary())
+    if args.stats:
+        total = sum(plan.stage_timings_ms.values())
+        print("\ncompile stages:")
+        for name in COMPILE_STAGES:
+            ms = plan.stage_timings_ms.get(name, 0.0)
+            share = (ms / total * 100.0) if total > 0 else 0.0
+            print(f"  {name:12s} {ms:9.3f} ms  ({share:5.1f}%)")
+        print(f"  {'total':12s} {total:9.3f} ms")
+        print(f"content fingerprint  : {plan.fingerprint}")
+        print(f"canonical fingerprint: {plan.canonical_fingerprint}")
     print(f"\nwrote {path}")
     return 0
 
@@ -299,6 +310,9 @@ def cmd_stress(args) -> int:
         capacity=args.capacity,
         max_streams=args.max_streams,
         fused=args.fused,
+        equivalent_mix=args.equivalent_mix,
+        variants=args.variants,
+        spill_dir=args.spill_dir,
         log=print,
     )
     return 0 if report.ok else 1
@@ -374,6 +388,11 @@ def main(argv=None) -> int:
         required=True,
         metavar="PATH",
         help="where to write the plan (.npz)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage compile timings and both plan fingerprints",
     )
     p.set_defaults(func=cmd_compile)
 
@@ -470,6 +489,24 @@ def main(argv=None) -> int:
         "--fused",
         action="store_true",
         help="gang-schedule same-fingerprint feeds into fused batches",
+    )
+    p.add_argument(
+        "--equivalent-mix",
+        action="store_true",
+        help="tenants submit language-equivalent DFA variants; audits one "
+        "compile (and one spill file) per language class",
+    )
+    p.add_argument(
+        "--variants",
+        type=int,
+        default=3,
+        help="language-equivalent variants per class (equivalent mix only)",
+    )
+    p.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="plan-cache spill directory (audited in the equivalent mix)",
     )
     p.set_defaults(func=cmd_stress)
 

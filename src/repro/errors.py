@@ -14,7 +14,36 @@ class ReproError(Exception):
 
 
 class AutomatonError(ReproError):
-    """An automaton definition is structurally invalid."""
+    """An automaton definition is structurally invalid.
+
+    Construction-size failures are structured so callers (the regex
+    compiler, the serving tier, operators reading logs) can react to the
+    numbers instead of parsing the message:
+
+    Attributes
+    ----------
+    state_count:
+        How many states the offending construction had produced when it
+        was aborted, or ``None`` for errors that are not size-related.
+    limit:
+        The configured ceiling that was exceeded (``max_states`` for the
+        subset construction), or ``None``.
+    automaton:
+        Name of the offending automaton, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        state_count: "int | None" = None,
+        limit: "int | None" = None,
+        automaton: "str | None" = None,
+    ):
+        self.state_count = state_count
+        self.limit = limit
+        self.automaton = automaton
+        super().__init__(message)
 
 
 class RegexSyntaxError(ReproError):

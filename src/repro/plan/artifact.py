@@ -40,7 +40,9 @@ from repro.errors import PlanError
 from repro.selector.features import FSMFeatures
 
 #: Bump when the artifact layout changes incompatibly.
-PLAN_FORMAT_VERSION = 1
+#: v2: adds the canonical (language-level) fingerprint and per-stage
+#: compile timings.
+PLAN_FORMAT_VERSION = 2
 
 #: GSpecPalConfig fields frozen into a plan.  Runtime-only knobs —
 #: ``backend`` (execution engine) and ``selfcheck`` (audits) — are
@@ -96,6 +98,12 @@ class CompiledPlan:
     fingerprint:
         ``dfa.fingerprint()`` at compile time; re-verified on load and on
         every cache lookup.
+    canonical_fingerprint:
+        ``dfa.canonical_fingerprint()`` at compile time — the fingerprint
+        of the minimal, BFS-renumbered canonical form, identical for all
+        language-equivalent DFAs.  The serving cache keys plan dedupe and
+        single-flight on this; re-verified on load like the content
+        fingerprint.
     config_hash:
         :func:`config_fingerprint` of the compile-time configuration.
     config:
@@ -120,10 +128,17 @@ class CompiledPlan:
     predictor_stats:
         Trained lookback-2 statistics: window, per-k accuracies and the
         candidate-queue geometry measured on the training boundaries.
+    stage_timings_ms:
+        Wall-clock milliseconds per compile-pipeline stage
+        (``normalize``/``canonicalize``/``profile``/``select``/
+        ``transform``/``train``), as measured when this plan was built.
+        Observability metadata only — excluded from plan equality so
+        compiling the same inputs still yields value-equal plans.
     """
 
     dfa: DFA
     fingerprint: str
+    canonical_fingerprint: str
     config_hash: str
     config: Dict[str, Any]
     features: FSMFeatures
@@ -136,6 +151,7 @@ class CompiledPlan:
     permutation: Optional[np.ndarray]
     hot_state_count: int
     predictor_stats: Dict[str, float] = field(default_factory=dict)
+    stage_timings_ms: Dict[str, float] = field(default_factory=dict, compare=False)
     version: int = PLAN_FORMAT_VERSION
 
     def __post_init__(self) -> None:
@@ -173,6 +189,13 @@ class CompiledPlan:
             raise PlanError(
                 f"plan fingerprint mismatch: artifact says {self.fingerprint[:12]}…, "
                 f"embedded DFA hashes to {actual[:12]}… (corrupt or tampered plan)"
+            )
+        actual_canonical = self.dfa.canonical_fingerprint()
+        if actual_canonical != self.canonical_fingerprint:
+            raise PlanError(
+                "plan canonical fingerprint mismatch: artifact says "
+                f"{self.canonical_fingerprint[:12]}…, embedded DFA canonicalizes "
+                f"to {actual_canonical[:12]}… (corrupt or tampered plan)"
             )
         if dfa is not None and dfa.fingerprint() != self.fingerprint:
             raise PlanError(
@@ -224,6 +247,7 @@ class CompiledPlan:
             f"plan for  : {self.dfa.name} ({self.dfa.n_states} states, "
             f"{self.dfa.n_symbols} symbols)",
             f"fingerprint: {self.fingerprint}",
+            f"canonical  : {self.canonical_fingerprint}",
             f"config     : {self.config_hash[:16]}… "
             f"(n_threads={self.config['n_threads']}, "
             f"spec_k={self.config['spec_k']}, "

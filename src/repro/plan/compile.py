@@ -1,24 +1,46 @@
 """The offline compile phase: ``compile_plan``.
 
-Runs every expensive per-FSM step exactly once — feature profiling, the
-selector walk, the frequency transformation, the Eq. 1–4 cost model and the
-lookback-2 predictor training — and freezes the results into a
-:class:`~repro.plan.artifact.CompiledPlan`.
+The compile path is an explicit staged pipeline; every expensive per-FSM
+step runs exactly once, inside a named stage, and the results are frozen
+into a :class:`~repro.plan.artifact.CompiledPlan`:
 
-With tracing enabled the whole phase sits under one ``compile`` span with
-``profile`` / ``select`` / ``transform`` / ``cost_model`` / ``predictor``
-children, so the offline cost is as observable as the online one.  Compile
-spans carry no cycle source (this is host-side work, not simulated kernel
-time), so the scheme-run cycle tiling is untouched.
+``normalize``
+    Validate inputs, apply config defaults, coerce the training stream.
+``canonicalize``
+    Compute the language-level identity: minimize + BFS-renumber the DFA
+    and hash the canonical form (:meth:`DFA.canonical_fingerprint`).  The
+    plan keeps executing the *submitted* DFA — canonicalization only
+    establishes identity, it never rewrites state numbering under a tenant.
+``profile``
+    The Table-II feature vector on the training slice.
+``select``
+    The Fig. 6 decision-tree walk.
+``transform``
+    State-frequency profiling and the Fig. 4 frequency transformation.
+``train``
+    Cost-model evaluation (Eq. 1–4) and lookback-2 predictor training,
+    as ``cost_model`` / ``predictor`` sub-steps.
+
+Every stage is traced (one ``compile`` span with one child per stage),
+timed (wall-clock milliseconds recorded in the plan's
+``stage_timings_ms`` and, when a :class:`MetricsRegistry` is supplied, in
+``compile.stage.<name>_ms`` histograms), and the canonical fingerprint is
+stored alongside the content fingerprint so the serving tier can dedupe
+language-equivalent submissions.  Compile spans carry no cycle source
+(this is host-side work, not simulated kernel time), so the scheme-run
+cycle tiling is untouched.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.automata.dfa import DFA, _as_symbol_array
+from repro.automata.minimize import canonical_form
 from repro.automata.properties import profile_state_frequencies
 from repro.automata.transform import frequency_transform
 from repro.errors import PlanError
@@ -29,6 +51,17 @@ from repro.selector.decision_tree import DecisionTreeSelector
 from repro.selector.features import profile_features
 from repro.speculation.chunks import partition_input
 from repro.speculation.predictor import LOOKBACK, predict_start_states
+
+#: Stage names, in execution order (the contract `repro compile --stats`
+#: and the docs expose).
+COMPILE_STAGES = (
+    "normalize",
+    "canonicalize",
+    "profile",
+    "select",
+    "transform",
+    "train",
+)
 
 
 def _predictor_stats(dfa: DFA, symbols: np.ndarray, n_chunks: int, features) -> dict:
@@ -61,6 +94,7 @@ def compile_plan(
     config=None,
     *,
     tracer=None,
+    metrics=None,
 ) -> CompiledPlan:
     """Compile ``dfa`` against ``training_input`` into an immutable plan.
 
@@ -75,32 +109,54 @@ def compile_plan(
         Compile-time tunables (defaults to ``GSpecPalConfig()``).  The
         plan records a config hash; serving verifies it.
     tracer:
-        Optional span sink; the phase emits one ``compile`` span tree.
+        Optional span sink; the phase emits one ``compile`` span tree with
+        one child span per pipeline stage.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; each stage
+        observes its wall-clock duration into ``compile.stage.<name>_ms``.
     """
     from repro.framework.config import GSpecPalConfig
 
-    if config is None:
-        config = GSpecPalConfig()
     tracer = tracer if tracer is not None else NULL_TRACER
-    symbols = _as_symbol_array(training_input)
-    if symbols.size == 0:
-        raise PlanError("compile_plan needs a non-empty training input")
-    n_chunks = min(64, config.n_threads)
+    timings: Dict[str, float] = {}
 
-    with tracer.span(
-        "compile", fsm=dfa.name, training_symbols=int(symbols.size)
-    ) as cspan:
-        with tracer.span("profile"):
+    @contextmanager
+    def stage(name: str, **attrs):
+        t0 = time.perf_counter()
+        with tracer.span(name, **attrs) as span:
+            yield span
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        timings[name] = elapsed_ms
+        if metrics is not None:
+            metrics.histogram(f"compile.stage.{name}_ms").observe(elapsed_ms)
+
+    with tracer.span("compile", fsm=dfa.name) as cspan:
+        with stage("normalize"):
+            if config is None:
+                config = GSpecPalConfig()
+            symbols = _as_symbol_array(training_input)
+            if symbols.size == 0:
+                raise PlanError("compile_plan needs a non-empty training input")
+            n_chunks = min(64, config.n_threads)
+
+        with stage("canonicalize") as cnspan:
+            canonical = canonical_form(dfa)
+            canonical_fp = canonical.fingerprint()
+            if cnspan:
+                cnspan.set_attr("canonical_states", canonical.n_states)
+                cnspan.set_attr("canonical_fingerprint", canonical_fp[:16])
+
+        with stage("profile"):
             features = profile_features(dfa, symbols, n_chunks=n_chunks)
 
         selector = DecisionTreeSelector(config.thresholds)
-        with tracer.span("select") as sspan:
+        with stage("select") as sspan:
             scheme, path = selector.decide(features)
             if sspan:
                 sspan.set_attr("decision", scheme)
                 sspan.set_attr("path", path)
 
-        with tracer.span("transform") as tspan:
+        with stage("transform") as tspan:
             freq = profile_state_frequencies(dfa, symbols)
             if config.use_transformation:
                 transformed = frequency_transform(
@@ -120,23 +176,24 @@ def compile_plan(
                 tspan.set_attr("layout", "rank" if permutation is not None else "hash")
                 tspan.set_attr("hot_states", int(hot))
 
-        with tracer.span("cost_model"):
-            estimates = CostModel(config.device).estimate_all(
-                features,
-                CostModelInputs(
-                    input_length=int(symbols.size),
-                    n_threads=config.n_threads,
-                    k=config.spec_k,
-                    others_capacity=config.others_registers,
-                ),
-            )
-
-        with tracer.span("predictor"):
-            predictor_stats = _predictor_stats(dfa, symbols, n_chunks, features)
+        with stage("train"):
+            with tracer.span("cost_model"):
+                estimates = CostModel(config.device).estimate_all(
+                    features,
+                    CostModelInputs(
+                        input_length=int(symbols.size),
+                        n_threads=config.n_threads,
+                        k=config.spec_k,
+                        others_capacity=config.others_registers,
+                    ),
+                )
+            with tracer.span("predictor"):
+                predictor_stats = _predictor_stats(dfa, symbols, n_chunks, features)
 
         plan = CompiledPlan(
             dfa=dfa,
             fingerprint=dfa.fingerprint(),
+            canonical_fingerprint=canonical_fp,
             config_hash=config_fingerprint(config),
             config=config_snapshot(config),
             features=features,
@@ -149,8 +206,11 @@ def compile_plan(
             permutation=permutation,
             hot_state_count=int(hot),
             predictor_stats=predictor_stats,
+            stage_timings_ms=dict(timings),
         )
         if cspan:
+            cspan.set_attr("training_symbols", int(symbols.size))
             cspan.set_attr("fingerprint", plan.fingerprint)
+            cspan.set_attr("canonical_fingerprint", plan.canonical_fingerprint)
             cspan.set_attr("scheme", plan.scheme)
     return plan

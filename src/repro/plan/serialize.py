@@ -6,9 +6,10 @@ frequency profile, permutation) are stored as compressed arrays, and every
 scalar decision — features, selection, cost estimates, predictor stats,
 config snapshot and both hashes — rides in one embedded JSON document.
 
-``load_plan`` re-verifies the content fingerprint of the embedded DFA
-against the stored one, so a corrupted or hand-edited artifact is rejected
-before it can serve a single byte.
+``load_plan`` re-verifies both the content fingerprint and the canonical
+(language-level) fingerprint of the embedded DFA against the stored ones,
+so a corrupted or hand-edited artifact is rejected before it can serve a
+single byte.
 """
 
 from __future__ import annotations
@@ -33,6 +34,8 @@ def save_plan(plan: CompiledPlan, path: Union[str, Path]) -> Path:
         {
             "version": PLAN_FORMAT_VERSION,
             "fingerprint": plan.fingerprint,
+            "canonical_fingerprint": plan.canonical_fingerprint,
+            "stage_timings_ms": plan.stage_timings_ms,
             "config_hash": plan.config_hash,
             "config": plan.config,
             "features": plan.features.as_dict(),
@@ -96,6 +99,7 @@ def load_plan(path: Union[str, Path]) -> CompiledPlan:
         plan = CompiledPlan(
             dfa=dfa,
             fingerprint=str(meta["fingerprint"]),
+            canonical_fingerprint=str(meta["canonical_fingerprint"]),
             config_hash=str(meta["config_hash"]),
             config=meta["config"],
             features=FSMFeatures(**meta["features"]),
@@ -108,6 +112,9 @@ def load_plan(path: Union[str, Path]) -> CompiledPlan:
             permutation=data["permutation"] if meta["has_permutation"] else None,
             hot_state_count=int(meta["hot_state_count"]),
             predictor_stats=meta["predictor_stats"],
+            stage_timings_ms={
+                k: float(v) for k, v in meta.get("stage_timings_ms", {}).items()
+            },
         )
     # Fingerprint verification on load: a plan whose embedded automaton no
     # longer hashes to what the compiler recorded must never serve.

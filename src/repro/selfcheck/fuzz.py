@@ -130,6 +130,57 @@ def check_case(case: FuzzCase) -> Optional[str]:
         )
     if bool(accepts) != (oracle_end in dfa.accepting):
         return f"accepts={accepts} disagrees with oracle (scheme={case.scheme})"
+    identity = _check_identity_layer(dfa, symbols)
+    if identity is not None:
+        return f"identity layer: {identity} (backend={case.backend})"
+    return None
+
+
+def _check_identity_layer(dfa: DFA, symbols: np.ndarray) -> Optional[str]:
+    """Differential gate for the minimization / canonical-form layer.
+
+    Runs on every fuzz case (so the random DFA corpus exercises it on both
+    backends): the vectorized :func:`minimize_dfa` must agree with the
+    pre-refactor Hopcroft worklist (``_minimize_reference``) up to
+    isomorphism, minimization must be idempotent at the byte level, and
+    canonical forms of language-equivalent relabellings must be
+    bit-identical.
+    """
+    from repro.automata.minimize import (
+        _minimize_reference,
+        canonical_form,
+        minimize_dfa,
+    )
+    from repro.automata.properties import are_equivalent
+
+    minimized = minimize_dfa(dfa)
+    reference = _minimize_reference(dfa)
+    if minimized.n_states != reference.n_states:
+        return (
+            f"minimize_dfa gives {minimized.n_states} states, "
+            f"_minimize_reference gives {reference.n_states}"
+        )
+    if not are_equivalent(minimized, reference):
+        return "minimize_dfa and _minimize_reference disagree on the language"
+    if not are_equivalent(minimized, dfa):
+        return "minimize_dfa changed the language"
+    again = minimize_dfa(minimized)
+    if (
+        not np.array_equal(again.table, minimized.table)
+        or again.start != minimized.start
+        or again.accepting != minimized.accepting
+    ):
+        return "minimize_dfa is not idempotent"
+    relabelled = dfa.renumbered(list(reversed(range(dfa.n_states))))
+    c_orig, c_relab = canonical_form(dfa), canonical_form(relabelled)
+    if (
+        not np.array_equal(c_orig.table, c_relab.table)
+        or c_orig.start != c_relab.start
+        or c_orig.accepting != c_relab.accepting
+    ):
+        return "canonical forms of a relabelling are not bit-identical"
+    if symbols.size and minimized.accepts(symbols) != dfa.accepts(symbols):
+        return "minimized DFA disagrees with the original on the case input"
     return None
 
 

@@ -1,25 +1,43 @@
-"""Fingerprint-keyed LRU cache of compiled plans.
+"""Two-level fingerprint-keyed LRU cache of compiled plans.
 
-The serving tier's first rule: **at most one compile per fingerprint**.
+The serving tier's first rule: **at most one compile per language**.
 Compiling a plan is the expensive per-FSM work (feature profiling, selector
 walk, transformation, cost model, predictor training); the cache amortizes
-it across every stream that matches against the same automaton.
+it across every stream that matches against the same automaton — or any
+language-equivalent one.
 
-Keys are :meth:`~repro.automata.dfa.DFA.fingerprint` content hashes, so two
-structurally identical DFAs (however they were constructed) share one plan.
+The cache is two-level:
+
+* an **alias map** from content fingerprints
+  (:meth:`~repro.automata.dfa.DFA.fingerprint`) to canonical fingerprints
+  (:meth:`~repro.automata.dfa.DFA.canonical_fingerprint`, the hash of the
+  minimal BFS-renumbered form);
+* the **plan store**, a bounded LRU keyed by canonical fingerprint.
+
+Two tenants submitting syntactically different but language-equivalent
+DFAs therefore hit one compiled plan and one spill file
+(``<canonical_fingerprint>.npz``).  Dedupe is *first-submitter-wins*: the
+resident plan embeds (and executes) the first submitter's DFA, so its
+``end_state`` numbering is the plan's; acceptance decisions are exact for
+every aliased tenant because the automata accept the same language.
+Canonicalization runs once per content fingerprint (outside the lock) and
+is memoized in the alias map.
+
 A bounded LRU keeps memory predictable under many-tenant churn; eviction
 only drops the *plan* — matchers already serving from it keep their
-reference and finish unaffected.
+reference and finish unaffected, and aliases survive so a re-miss skips
+re-canonicalization.
 
 Concurrency contract (see ``docs/architecture.md``): the cache is
-thread-safe and compiles are **single-flight per fingerprint**.  The global
-lock only guards the bookkeeping maps; the compile itself (and the disk
-spill I/O around it) runs *outside* the critical section under a
-fingerprint-keyed in-flight registry.  Two racing ``get_or_compile`` calls
-for the same fingerprint still produce exactly one compile — the loser
-blocks on the winner's result — while calls for *other* fingerprints hit
-the resident cache (or start their own compile) completely unblocked.  A
-slow compile can therefore never head-of-line-block another tenant's hit.
+thread-safe and compiles are **single-flight per canonical fingerprint**.
+The global lock only guards the bookkeeping maps; the compile itself (and
+the disk spill I/O around it) runs *outside* the critical section under a
+canonical-fingerprint-keyed in-flight registry.  Two racing
+``get_or_compile`` calls for language-equivalent DFAs still produce exactly
+one compile — the loser blocks on the winner's result — while calls for
+other language classes hit the resident cache (or start their own compile)
+completely unblocked.  A slow compile can therefore never
+head-of-line-block another tenant's hit.
 """
 
 from __future__ import annotations
@@ -37,7 +55,7 @@ from repro.plan import CompiledPlan, compile_plan, load_plan, save_plan
 
 
 class _InFlightCompile:
-    """One in-progress compile other callers of the fingerprint wait on."""
+    """One in-progress compile other callers of the language class wait on."""
 
     __slots__ = ("event", "plan", "error")
 
@@ -48,7 +66,11 @@ class _InFlightCompile:
 
 
 class PlanCache:
-    """Bounded LRU of :class:`~repro.plan.CompiledPlan`, keyed by fingerprint.
+    """Bounded LRU of :class:`~repro.plan.CompiledPlan` with language aliasing.
+
+    Plans are stored under their *canonical* fingerprint; lookups by content
+    fingerprint resolve through the alias map, so every public method keeps
+    accepting the content fingerprints callers already hold.
 
     Parameters
     ----------
@@ -58,9 +80,9 @@ class PlanCache:
         Default compile-time configuration for :meth:`get_or_compile`.
     directory:
         Optional spill directory: plans are persisted as
-        ``<fingerprint>.npz`` on compile and reloaded on a memory miss, so
-        a restarted server re-serves without recompiling (the CLI's
-        ``--plan-cache`` flag builds on this).
+        ``<canonical_fingerprint>.npz`` on compile and reloaded on a memory
+        miss, so a restarted server re-serves without recompiling (the
+        CLI's ``--plan-cache`` flag builds on this).
     metrics:
         Optional :class:`~repro.observability.MetricsRegistry`; the cache
         records ``serving.cache.*`` counters/gauges/histograms into it
@@ -94,7 +116,10 @@ class PlanCache:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: plan store, keyed by canonical fingerprint (LRU order).
         self._plans: "OrderedDict[str, CompiledPlan]" = OrderedDict()
+        #: content fingerprint → canonical fingerprint (never evicted).
+        self._alias: Dict[str, str] = {}
         self._inflight: Dict[str, _InFlightCompile] = {}
         self._lock = threading.RLock()
         #: observability counters (monotonic over the cache's lifetime).
@@ -105,6 +130,12 @@ class PlanCache:
         self.disk_loads = 0
         #: calls that blocked on another thread's in-flight compile.
         self.compile_waits = 0
+        #: resolutions served by a plan compiled for a *different* content
+        #: fingerprint in the same language class.
+        self.alias_hits = 0
+        #: new content fingerprints that joined an already-known language
+        #: class instead of starting their own compile.
+        self.dedupes = 0
 
     # ------------------------------------------------------------------
     # metrics plumbing (always called with self._lock held: the registry's
@@ -122,18 +153,28 @@ class PlanCache:
         if self.metrics is not None:
             self.metrics.gauge("serving.cache.in_flight").set(len(self._inflight))
 
+    def _note_alias_hit_locked(self, plan: CompiledPlan, fingerprint: str) -> None:
+        """Record that ``fingerprint`` was served by an aliased plan."""
+        if plan.fingerprint != fingerprint:
+            self.alias_hits += 1
+            self._metric_inc("serving.cache.alias_hits")
+
     # ------------------------------------------------------------------
+    def _resolve_locked(self, fingerprint: str) -> str:
+        """Canonical key for ``fingerprint`` (itself when unaliased)."""
+        return self._alias.get(fingerprint, fingerprint)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._plans)
 
     def __contains__(self, fingerprint: str) -> bool:
         with self._lock:
-            return fingerprint in self._plans
+            return self._resolve_locked(fingerprint) in self._plans
 
     @property
     def fingerprints(self) -> tuple:
-        """Resident fingerprints, least-recently-used first."""
+        """Resident canonical fingerprints, least-recently-used first."""
         with self._lock:
             return tuple(self._plans)
 
@@ -148,31 +189,46 @@ class PlanCache:
                 "compiles": self.compiles,
                 "disk_loads": self.disk_loads,
                 "compile_waits": self.compile_waits,
+                "alias_hits": self.alias_hits,
+                "dedupes": self.dedupes,
+                "aliases": len(self._alias),
                 "in_flight": len(self._inflight),
             }
 
     # ------------------------------------------------------------------
     def get(self, fingerprint: str) -> Optional[CompiledPlan]:
-        """The cached plan for ``fingerprint`` (refreshes recency), or None."""
+        """The cached plan for ``fingerprint`` (refreshes recency), or None.
+
+        Accepts either a content fingerprint (resolved through the alias
+        map) or a canonical fingerprint.
+        """
         with self._lock:
-            plan = self._plans.get(fingerprint)
+            canonical = self._resolve_locked(fingerprint)
+            plan = self._plans.get(canonical)
             if plan is not None:
-                self._plans.move_to_end(fingerprint)
+                self._plans.move_to_end(canonical)
                 self.hits += 1
                 self._metric_inc("serving.cache.hits")
+                self._note_alias_hit_locked(plan, fingerprint)
                 return plan
             self.misses += 1
             self._metric_inc("serving.cache.misses")
             return None
 
     def put(self, plan: CompiledPlan) -> None:
-        """Insert (or refresh) ``plan``; evicts LRU entries beyond capacity."""
+        """Insert (or refresh) ``plan``; evicts LRU entries beyond capacity.
+
+        Registers the plan's own content → canonical alias, so later
+        content-fingerprint lookups resolve without re-canonicalizing.
+        """
         with self._lock:
             self._put_locked(plan)
 
     def _put_locked(self, plan: CompiledPlan) -> None:
-        self._plans[plan.fingerprint] = plan
-        self._plans.move_to_end(plan.fingerprint)
+        canonical = plan.canonical_fingerprint
+        self._alias[plan.fingerprint] = canonical
+        self._plans[canonical] = plan
+        self._plans.move_to_end(canonical)
         while len(self._plans) > self.capacity:
             self._plans.popitem(last=False)
             self.evictions += 1
@@ -184,30 +240,45 @@ class PlanCache:
     ) -> CompiledPlan:
         """The plan for ``dfa`` — cached, spilled-to-disk, or compiled now.
 
-        Resolution order: memory hit → in-flight wait → spill-directory
-        load → compile (requires ``training_input``).  Whatever the source,
-        the plan ends up resident and most-recently-used.
+        Resolution order: alias-resolved memory hit → in-flight wait →
+        spill-directory load → compile (requires ``training_input``).
+        Whatever the source, the plan ends up resident and
+        most-recently-used under its canonical fingerprint.
 
-        Compiles are single-flight: the first caller to miss a fingerprint
-        becomes its *leader* and compiles outside the cache lock; callers
-        racing the same fingerprint wait for the leader's result (a leader
-        failure propagates to every waiter, and the fingerprint becomes
-        compilable again).  Other fingerprints are never blocked.
+        Compiles are single-flight per *language class*: the first caller
+        to miss a canonical fingerprint becomes its *leader* and compiles
+        outside the cache lock; callers racing any language-equivalent DFA
+        wait for the leader's result (a leader failure propagates to every
+        waiter, and the class becomes compilable again).  Other language
+        classes are never blocked.
         """
         fingerprint = dfa.fingerprint()
+        with self._lock:
+            canonical = self._alias.get(fingerprint)
+        if canonical is None:
+            # First sighting of this content fingerprint: canonicalize
+            # outside the lock (minimization is the expensive part) and
+            # memoize the alias below.
+            canonical = dfa.canonical_fingerprint()
         while True:
             with self._lock:
-                plan = self._plans.get(fingerprint)
+                if fingerprint not in self._alias:
+                    if canonical in self._plans or canonical in self._inflight:
+                        self.dedupes += 1
+                        self._metric_inc("serving.cache.dedupes")
+                    self._alias[fingerprint] = canonical
+                plan = self._plans.get(canonical)
                 if plan is not None:
-                    self._plans.move_to_end(fingerprint)
+                    self._plans.move_to_end(canonical)
                     self.hits += 1
                     self._metric_inc("serving.cache.hits")
+                    self._note_alias_hit_locked(plan, fingerprint)
                     return plan
                 self.misses += 1
                 self._metric_inc("serving.cache.misses")
-                flight = self._inflight.get(fingerprint)
+                flight = self._inflight.get(canonical)
                 if flight is None:
-                    flight = self._inflight[fingerprint] = _InFlightCompile()
+                    flight = self._inflight[canonical] = _InFlightCompile()
                     self._metric_in_flight()
                     break  # this caller leads the compile
                 self.compile_waits += 1
@@ -219,6 +290,8 @@ class PlanCache:
                     "serving.cache.compile_wait_ms",
                     (perf_counter() - waited_from) * 1e3,
                 )
+                if flight.plan is not None:
+                    self._note_alias_hit_locked(flight.plan, fingerprint)
             if flight.error is not None:
                 raise flight.error
             if flight.plan is not None:
@@ -227,7 +300,7 @@ class PlanCache:
 
         # -- leader path: all I/O and compute outside the critical section
         try:
-            plan = self._load_spilled(fingerprint, dfa)
+            plan = self._load_spilled(canonical, dfa, fingerprint)
             from_disk = plan is not None
             if plan is None:
                 if training_input is None:
@@ -243,6 +316,7 @@ class PlanCache:
                     training_input,
                     config if config is not None else self.config,
                     tracer=self.tracer,
+                    metrics=self.metrics,
                 )
                 compile_ms = (perf_counter() - compile_from) * 1e3
                 self._spill(plan)
@@ -250,6 +324,7 @@ class PlanCache:
                 if from_disk:
                     self.disk_loads += 1
                     self._metric_inc("serving.cache.disk_loads")
+                    self._note_alias_hit_locked(plan, fingerprint)
                 else:
                     self.compiles += 1
                     self._metric_inc("serving.cache.compiles")
@@ -262,30 +337,39 @@ class PlanCache:
             raise
         finally:
             with self._lock:
-                self._inflight.pop(fingerprint, None)
+                self._inflight.pop(canonical, None)
                 self._metric_in_flight()
             flight.event.set()
 
     # ------------------------------------------------------------------
     # optional disk spill
     # ------------------------------------------------------------------
-    def _spill_path(self, fingerprint: str) -> Optional[Path]:
+    def _spill_path(self, canonical: str) -> Optional[Path]:
         if self.directory is None:
             return None
-        return self.directory / f"{fingerprint}.npz"
+        return self.directory / f"{canonical}.npz"
 
     def _spill(self, plan: CompiledPlan) -> None:
-        path = self._spill_path(plan.fingerprint)
+        path = self._spill_path(plan.canonical_fingerprint)
         if path is not None:
             save_plan(plan, path)
 
-    def _load_spilled(self, fingerprint: str, dfa) -> Optional[CompiledPlan]:
-        path = self._spill_path(fingerprint)
+    def _load_spilled(
+        self, canonical: str, dfa, fingerprint: str
+    ) -> Optional[CompiledPlan]:
+        path = self._spill_path(canonical)
         if path is None or not path.exists():
             return None
         try:
             plan = load_plan(path)
-            plan.verify(dfa)
+            if plan.canonical_fingerprint != canonical:
+                raise PlanError(
+                    f"spill file {path.name} holds canonical fingerprint "
+                    f"{plan.canonical_fingerprint[:12]}…, expected {canonical[:12]}…"
+                )
+            if plan.fingerprint == fingerprint:
+                # Same content: full content verification, as before.
+                plan.verify(dfa)
         except (PlanError, OSError, ValueError, KeyError, zipfile.BadZipFile):
             # Stale, truncated or corrupt spill: drop it and recompile.
             path.unlink(missing_ok=True)

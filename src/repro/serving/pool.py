@@ -1,13 +1,15 @@
 """Multi-tenant serving: many concurrent streams over cached plans.
 
 :class:`MatcherPool` is the serve-many half of the compile-once split.  It
-keeps one plan-backed :class:`~repro.framework.GSpecPal` matcher per FSM
-fingerprint (built via ``GSpecPal.from_plan`` — zero profiling on the
-serving path) and multiplexes any number of concurrent
+keeps one plan-backed :class:`~repro.framework.GSpecPal` matcher per
+*language class* — keyed by the plan's canonical fingerprint, so tenants
+submitting language-equivalent DFAs share one warmed matcher (built via
+``GSpecPal.from_plan`` — zero profiling on the serving path) — and
+multiplexes any number of concurrent
 :class:`~repro.framework.gspecpal.StreamSession`\\ s over those matchers.
 Plans come from a shared :class:`~repro.serving.PlanCache`, so N tenants
-matching the same automaton cost one compile, one simulator, and one scheme
-instance per stream — nothing else.
+matching the same (or an equivalent) automaton cost one compile, one
+simulator, and one scheme instance per stream — nothing else.
 
 Concurrency contract (see ``docs/architecture.md``): every public method is
 thread-safe.  The pool lock only guards bookkeeping; each stream carries
@@ -45,7 +47,12 @@ from repro.serving.cache import PlanCache
 
 @dataclass(frozen=True)
 class StreamStats:
-    """Summary returned by :meth:`MatcherPool.close`."""
+    """Summary returned by :meth:`MatcherPool.close`.
+
+    ``fingerprint`` is the content fingerprint of the plan the stream was
+    opened with; ``canonical_fingerprint`` identifies its language class
+    (shared across aliased tenants served by one matcher).
+    """
 
     stream_id: int
     fingerprint: str
@@ -55,6 +62,7 @@ class StreamStats:
     total_cycles: float
     end_state: int
     accepts: bool
+    canonical_fingerprint: str = ""
 
 
 @dataclass(frozen=True)
@@ -100,11 +108,14 @@ class _StreamEntry:
     it instead of touching the released session.
     """
 
-    __slots__ = ("session", "fingerprint", "lock", "closed")
+    __slots__ = ("session", "fingerprint", "canonical", "lock", "closed")
 
-    def __init__(self, session: StreamSession, fingerprint: str):
+    def __init__(self, session: StreamSession, fingerprint: str, canonical: str):
         self.session = session
+        #: content fingerprint of the plan this stream was opened with.
         self.fingerprint = fingerprint
+        #: canonical fingerprint — the pool's matcher/gang-scheduling key.
+        self.canonical = canonical
         self.lock = threading.Lock()
         self.closed = False
 
@@ -239,14 +250,15 @@ class MatcherPool:
 
     # ------------------------------------------------------------------
     def _matcher_for(self, plan) -> GSpecPal:
-        matcher = self._matchers.get(plan.fingerprint)
+        matcher = self._matchers.get(plan.canonical_fingerprint)
         # A plan reloaded from disk is a different *object* but the same
-        # artifact; rebuilding the matcher (and discarding its warmed
-        # simulator) is only warranted when the compiled content actually
-        # differs — fingerprint plus compile-config hash, not identity.
+        # artifact, and a language-equivalent plan is a different artifact
+        # serving the same class; rebuilding the matcher (and discarding
+        # its warmed simulator) is only warranted when the compiled
+        # language class or compile-config hash actually differs.
         if (
             matcher is None
-            or matcher.plan.fingerprint != plan.fingerprint
+            or matcher.plan.canonical_fingerprint != plan.canonical_fingerprint
             or matcher.plan.config_hash != plan.config_hash
         ):
             matcher = GSpecPal.from_plan(
@@ -256,7 +268,7 @@ class MatcherPool:
                 tracer=self.tracer,
                 metrics=self.metrics,
             )
-            self._matchers[plan.fingerprint] = matcher
+            self._matchers[plan.canonical_fingerprint] = matcher
         return matcher
 
     def _spec_k(self, plan=None) -> int:
@@ -328,7 +340,9 @@ class MatcherPool:
             stream_id = self._next_id
             self._next_id += 1
             self._opened += 1
-            self._entries[stream_id] = _StreamEntry(session, plan.fingerprint)
+            self._entries[stream_id] = _StreamEntry(
+                session, plan.fingerprint, plan.canonical_fingerprint
+            )
             self._metric_inc("serving.pool.opened")
             self._metric_active()
             return stream_id
@@ -422,7 +436,11 @@ class MatcherPool:
         return tuple(outcomes)  # type: ignore[arg-type]
 
     def _dispatch_wave(self, wave, outcomes) -> None:
-        """Group one wave by fingerprint and dispatch each group."""
+        """Group one wave by canonical fingerprint and dispatch each group.
+
+        Grouping on the canonical key means streams opened with different
+        but language-equivalent plans gang into one fused dispatch (their
+        sessions all run the shared matcher's transition table)."""
         groups: Dict[str, List[Tuple[int, int, _StreamEntry, object]]] = {}
         for idx, stream_id, segment in wave:
             with self._lock:
@@ -438,7 +456,7 @@ class MatcherPool:
                     ),
                 )
                 continue
-            groups.setdefault(entry.fingerprint, []).append(
+            groups.setdefault(entry.canonical, []).append(
                 (idx, stream_id, entry, segment)
             )
         for fingerprint, group in groups.items():
@@ -556,7 +574,7 @@ class MatcherPool:
                 scheme = session.scheme
                 if scheme is None:
                     # Never fed: report what a segment would have run.
-                    scheme = self._matchers[entry.fingerprint].plan.scheme
+                    scheme = self._matchers[entry.canonical].plan.scheme
                 stats = StreamStats(
                     stream_id=stream_id,
                     fingerprint=entry.fingerprint,
@@ -566,6 +584,7 @@ class MatcherPool:
                     total_cycles=session.total_cycles,
                     end_state=session.state,
                     accepts=session.accepts,
+                    canonical_fingerprint=entry.canonical,
                 )
                 self._metric_inc("serving.pool.closed")
                 self._metric_active()

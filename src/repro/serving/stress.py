@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.automata.dfa import DFA
 from repro.framework.config import GSpecPalConfig
 from repro.observability import MetricsRegistry
 from repro.serving.cache import PlanCache
@@ -52,6 +53,8 @@ class StressReport:
     backend: str
     seed: int
     fused: bool = False
+    equivalent_mix: bool = False
+    variants: int = 1
     elapsed_s: float = 0.0
     streams_opened: int = 0
     streams_closed: int = 0
@@ -61,6 +64,9 @@ class StressReport:
     compiles: int = 0
     fingerprints_used: int = 0
     compile_waits: int = 0
+    alias_hits: int = 0
+    dedupes: int = 0
+    spill_files: int = 0
     oracle_failures: List[str] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
     pool_stats: Dict[str, object] = field(default_factory=dict)
@@ -69,7 +75,8 @@ class StressReport:
     @property
     def ok(self) -> bool:
         """True when every audit held: correct oracle states, exactly one
-        compile per touched fingerprint, no lost summaries, no errors."""
+        compile per touched fingerprint (per *language class* in the
+        equivalent mix), no lost summaries, no errors."""
         return (
             not self.errors
             and not self.oracle_failures
@@ -96,8 +103,17 @@ class StressReport:
             )
         lines += [
             f"  compiles   : {self.compiles} "
-            f"(fingerprints touched: {self.fingerprints_used}, "
+            f"({'classes' if self.equivalent_mix else 'fingerprints'} "
+            f"touched: {self.fingerprints_used}, "
             f"waits: {self.compile_waits})",
+        ]
+        if self.equivalent_mix:
+            lines.append(
+                f"  aliasing   : {self.variants} variants/class, "
+                f"{self.alias_hits} alias hits / {self.dedupes} dedupes, "
+                f"{self.spill_files} spill files"
+            )
+        lines += [
             f"  oracle     : {len(self.oracle_failures)} mismatches",
             f"  errors     : {len(self.errors)}",
         ]
@@ -126,6 +142,59 @@ def build_fleet(fingerprints: int) -> Tuple:
     return tuple(fleet)
 
 
+def _inflated_duplicate(
+    dfa: DFA, rng: np.random.Generator, name: str
+) -> DFA:
+    """A language-equivalent DFA with one duplicated (redundant) state.
+
+    Picks a state ``s``, appends a copy of its row as a fresh state ``d``
+    (accepting iff ``s`` is) and reroutes a random subset of the
+    transitions into ``s`` to ``d`` instead.  ``s`` and ``d`` are
+    behaviourally identical, so the language is unchanged while both the
+    state count and the content fingerprint differ.
+    """
+    n, k = dfa.n_states, dfa.n_symbols
+    s = int(rng.integers(0, n))
+    table = np.vstack([np.asarray(dfa.table), dfa.table[s : s + 1]])
+    body = table[:n]
+    reroute = (body == s) & (rng.random((n, k)) < 0.5)
+    body[reroute] = n
+    accepting = set(dfa.accepting)
+    if s in accepting:
+        accepting.add(n)
+    return DFA(
+        table=table, start=dfa.start, accepting=frozenset(accepting), name=name
+    )
+
+
+def build_variant_fleet(
+    fingerprints: int, variants: int, seed: int
+) -> Tuple[Tuple, Tuple]:
+    """``(base_fleet, grid)`` where ``grid[i]`` holds ``variants``
+    language-equivalent DFAs for class ``i``.
+
+    Variant 0 is the :func:`build_fleet` automaton itself; the others
+    alternate between random state relabellings and duplicate-state
+    inflations, so every class mixes distinct content fingerprints over
+    one canonical fingerprint.
+    """
+    base = build_fleet(fingerprints)
+    rng = np.random.default_rng(seed * 104_729 + 11)
+    grid = []
+    for dfa in base:
+        row = [dfa]
+        for v in range(1, variants):
+            if v % 2 == 1:
+                perm = rng.permutation(dfa.n_states)
+                row.append(dfa.renumbered(perm, name=f"{dfa.name}~relabel{v}"))
+            else:
+                row.append(
+                    _inflated_duplicate(dfa, rng, name=f"{dfa.name}~inflate{v}")
+                )
+        grid.append(tuple(row))
+    return base, tuple(grid)
+
+
 def _random_segment(rng: np.random.Generator, max_len: int = 160) -> bytes:
     length = int(rng.integers(16, max_len + 1))
     return bytes(rng.integers(97, 123, size=length).astype(np.uint8))
@@ -143,6 +212,9 @@ def run_stress(
     max_streams: Optional[int] = None,
     n_threads: int = 8,
     fused: bool = False,
+    equivalent_mix: bool = False,
+    variants: int = 3,
+    spill_dir: Optional[str] = None,
     log=None,
 ) -> StressReport:
     """Run the stress schedule and audit every outcome.
@@ -174,12 +246,33 @@ def run_stress(
         on the same fingerprints.  The oracle audit is unchanged: fused or
         not, every closed stream must match ``dfa.run`` over exactly the
         bytes it was fed.
+    equivalent_mix:
+        Language-equivalence dedupe mode: every open submits a randomly
+        chosen *variant* of its class (``variants`` per class — the base
+        automaton plus relabelled and duplicate-state-inflated
+        equivalents, see :func:`build_variant_fleet`).  The cache audit
+        then requires exactly one compile per *language class* (not per
+        content fingerprint), and — with ``spill_dir`` set — exactly one
+        spill file per class, named by its canonical fingerprint.  The
+        oracle audits ``accepts`` (exact across a class) plus the
+        symbol/segment accounting; ``end_state`` is skipped because it is
+        reported in the first submitter's state numbering.
+    variants:
+        Language-equivalent variants per class in the equivalent mix.
+    spill_dir:
+        Optional plan-cache spill directory (audited in the equivalent
+        mix: one ``<canonical_fingerprint>.npz`` per touched class).
     """
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
     if fingerprints < 1:
         raise ValueError(f"fingerprints must be >= 1, got {fingerprints}")
-    dfas = build_fleet(fingerprints)
+    if equivalent_mix and variants < 2:
+        raise ValueError(f"equivalent_mix needs variants >= 2, got {variants}")
+    if equivalent_mix:
+        dfas, variant_grid = build_variant_fleet(fingerprints, variants, seed)
+    else:
+        dfas, variant_grid = build_fleet(fingerprints), None
     config = GSpecPalConfig(n_threads=n_threads)
     trainings = tuple(
         bytes(
@@ -193,6 +286,7 @@ def run_stress(
     cache = PlanCache(
         capacity=capacity if capacity is not None else max(fingerprints, 2),
         config=config,
+        directory=spill_dir,
         metrics=metrics,
     )
     # Per-worker stream cap of 4 ⇒ a max_streams default that can never
@@ -221,7 +315,15 @@ def run_stress(
         open_streams: List[List] = []  # [sid, dfa_idx, [segments]]
 
         def do_open(didx: int) -> None:
-            sid = pool.open(dfas[didx], training_input=trainings[didx])
+            if variant_grid is not None:
+                # Equivalent mix: submit a random variant of the class —
+                # same language, different content fingerprint.
+                submitted = variant_grid[didx][
+                    int(rng.integers(0, len(variant_grid[didx])))
+                ]
+            else:
+                submitted = dfas[didx]
+            sid = pool.open(submitted, training_input=trainings[didx])
             open_streams.append([sid, didx, []])
             with guard:
                 used_indices.add(didx)
@@ -303,7 +405,10 @@ def run_stress(
         seen_ids.add(stats.stream_id)
         dfa = dfas[didx]
         expected = int(dfa.run(fed))
-        if int(stats.end_state) != expected:
+        if not equivalent_mix and int(stats.end_state) != expected:
+            # The end_state audit only holds when every tenant submits the
+            # same automaton; aliased tenants get states in the first
+            # submitter's numbering, so the equivalent mix audits accepts.
             oracle_failures.append(
                 f"stream {stats.stream_id} (fsm {didx}): end_state "
                 f"{stats.end_state} != oracle {expected}"
@@ -330,6 +435,21 @@ def run_stress(
             f"{pool_stats['active_streams']} streams leaked past the drain"
         )
     cache_stats = cache.stats()
+
+    if equivalent_mix and spill_dir is not None:
+        # Exactly one spill file per touched language class, named by the
+        # class's canonical fingerprint.
+        expected_spills = {
+            dfas[didx].canonical_fingerprint() for didx in used_indices
+        }
+        actual_spills = {p.stem for p in cache.directory.glob("*.npz")}
+        if actual_spills != expected_spills:
+            errors.append(
+                f"spill audit: {len(actual_spills)} files for "
+                f"{len(expected_spills)} language classes "
+                f"(unexpected: {sorted(actual_spills - expected_spills)[:3]}, "
+                f"missing: {sorted(expected_spills - actual_spills)[:3]})"
+            )
     from repro.engine import resolve_backend_name
 
     exported = metrics.as_dict()
@@ -340,6 +460,8 @@ def run_stress(
         backend=resolve_backend_name(backend),
         seed=seed,
         fused=fused,
+        equivalent_mix=equivalent_mix,
+        variants=variants if equivalent_mix else 1,
         elapsed_s=elapsed,
         streams_opened=int(pool_stats["opened"]),
         streams_closed=len(seen_ids),
@@ -349,6 +471,13 @@ def run_stress(
         compiles=int(cache_stats["compiles"]),
         fingerprints_used=len(used_indices),
         compile_waits=int(cache_stats["compile_waits"]),
+        alias_hits=int(cache_stats["alias_hits"]),
+        dedupes=int(cache_stats["dedupes"]),
+        spill_files=(
+            len(tuple(cache.directory.glob("*.npz")))
+            if cache.directory is not None
+            else 0
+        ),
         oracle_failures=oracle_failures,
         errors=errors,
         pool_stats=pool_stats,

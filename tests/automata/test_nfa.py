@@ -76,6 +76,18 @@ class TestSubsetConstruction:
         with pytest.raises(AutomatonError):
             nfa_to_dfa(nfa, max_states=1)
 
+    def test_max_states_guard_is_structured(self):
+        nfa = build_ab_or_b()
+        nfa.name = "ab-or-b"
+        with pytest.raises(AutomatonError) as excinfo:
+            nfa_to_dfa(nfa, max_states=1)
+        err = excinfo.value
+        assert err.limit == 1
+        assert err.state_count is not None and err.state_count > err.limit
+        assert err.automaton == "ab-or-b"
+        assert str(err.state_count) in str(err)
+        assert "limit 1" in str(err)
+
     def test_start_is_zero(self):
         assert nfa_to_dfa(build_ab_or_b()).start == 0
 

@@ -12,8 +12,9 @@ import pytest
 
 from repro.errors import PlanError
 from repro.framework import GSpecPal, GSpecPalConfig
-from repro.observability import Tracer
+from repro.observability import MetricsRegistry, Tracer
 from repro.plan import compile_plan, config_fingerprint
+from repro.plan.compile import COMPILE_STAGES
 from repro.automata.transform import frequency_transform
 from repro.automata.properties import profile_state_frequencies
 
@@ -100,5 +101,30 @@ def test_compile_emits_compile_span_tree(scanner_dfa, training, config):
     compile_plan(scanner_dfa, training, config, tracer=tracer)
     roots = tracer.roots
     assert [s.name for s in roots] == ["compile"]
-    children = [s.name for s in roots[0].children]
-    assert children == ["profile", "select", "transform", "cost_model", "predictor"]
+    children = {s.name: s for s in roots[0].children}
+    assert list(children) == list(COMPILE_STAGES)
+    # cost_model / predictor are sub-steps of the train stage
+    assert [s.name for s in children["train"].children] == ["cost_model", "predictor"]
+
+
+def test_compile_records_stage_timings_and_metrics(scanner_dfa, training, config):
+    metrics = MetricsRegistry()
+    plan = compile_plan(scanner_dfa, training, config, metrics=metrics)
+    assert set(plan.stage_timings_ms) == set(COMPILE_STAGES)
+    assert all(v >= 0.0 for v in plan.stage_timings_ms.values())
+    snapshot = metrics.as_dict()
+    for name in COMPILE_STAGES:
+        assert snapshot[f"compile.stage.{name}_ms.count"] == 1.0
+
+
+def test_compile_stores_canonical_fingerprint(scanner_dfa, training, config):
+    plan = compile_plan(scanner_dfa, training, config)
+    assert plan.canonical_fingerprint == scanner_dfa.canonical_fingerprint()
+    # Language-equivalent submissions share the canonical fingerprint but
+    # keep their own content fingerprint.
+    perm = list(range(scanner_dfa.n_states))
+    perm[0], perm[-1] = perm[-1], perm[0]
+    relabelled = scanner_dfa.renumbered(perm)
+    other = compile_plan(relabelled, training, config)
+    assert other.canonical_fingerprint == plan.canonical_fingerprint
+    assert other.fingerprint != plan.fingerprint
