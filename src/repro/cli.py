@@ -362,7 +362,7 @@ def main(argv=None) -> int:
     _add_member_args(p)
     p.add_argument(
         "--scheme",
-        choices=("pm", "sre", "rr", "nf", "seq", "spec-seq"),
+        choices=("pm", "sre", "rr", "nf", "sfa", "seq", "spec-seq"),
         default=None,
         help="force a scheme (default: selector's pick)",
     )
@@ -402,7 +402,7 @@ def main(argv=None) -> int:
     _add_member_args(p)
     p.add_argument(
         "--scheme",
-        choices=("pm", "sre", "rr", "nf", "seq", "spec-seq"),
+        choices=("pm", "sre", "rr", "nf", "sfa", "seq", "spec-seq"),
         default=None,
         help="force a scheme (default: selector's pick)",
     )
@@ -436,7 +436,7 @@ def main(argv=None) -> int:
     )
     p.add_argument(
         "--schemes",
-        default="pm,sre,rr,nf,spec-seq",
+        default="pm,sre,rr,nf,sfa,spec-seq",
         help="comma-separated scheme pool",
     )
     p.add_argument(

@@ -102,6 +102,22 @@ class ExecutionBackend(Protocol):
         """Run with an explicit thread→chunk assignment (broken binding)."""
         ...
 
+    def run_mappings(
+        self,
+        chunks: np.ndarray,
+        *,
+        lengths: Optional[np.ndarray] = None,
+        stats: Optional[CostSink] = None,
+        phase: str = "execution",
+        chunk_ids: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Full state→state mapping of every chunk: a ``(n_chunks,
+        n_states)`` matrix whose ``[c, s]`` entry is the end state of
+        running chunk ``c`` from state ``s`` (the SFA construction).
+        Backends must agree on the matrix; only cost accounting differs.
+        """
+        ...
+
 
 def _lane_list(mask: np.ndarray, cap: int = 8) -> str:
     """Render offending lane indices for an error message, capped."""

@@ -181,6 +181,70 @@ class FastBackend:
         return states.astype(STATE_DTYPE)
 
     # ------------------------------------------------------------------
+    def run_mappings(
+        self,
+        chunks: np.ndarray,
+        *,
+        lengths: Optional[np.ndarray] = None,
+        stats=None,
+        phase: str = "execution",
+        chunk_ids: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Full state→state mapping of every chunk (the SFA construction).
+
+        Returns a ``(n_chunks, n_states)`` matrix whose ``[c, s]`` entry is
+        the state reached by running chunk ``c`` from state ``s`` — i.e. the
+        chunk's transition *function*, not one speculated path.  All
+        ``n_states`` columns advance together with one matrix gather per
+        input position, so the construction is vectorized over the full
+        ``(chunks × states)`` plane.  ``stats``/``phase``/``chunk_ids`` are
+        accepted for parity with the sim backend and ignored.
+        """
+        chunks = np.ascontiguousarray(chunks)
+        if chunks.ndim != 2:
+            raise SimulationError(f"chunks must be 2-D, got shape {chunks.shape}")
+        n_chunks, chunk_len = chunks.shape
+        if lengths is None:
+            lens = None
+        else:
+            lens = np.asarray(lengths, dtype=np.int64)
+            if lens.shape != (n_chunks,):
+                raise SimulationError("lengths must match the number of chunks")
+            if (lens < 0).any() or (lens > chunk_len).any():
+                raise SimulationError("lengths out of range")
+            if (lens == chunk_len).all():
+                lens = None
+        validate_batch_inputs(
+            chunks,
+            np.zeros(n_chunks, dtype=np.int64),
+            n_states=self.n_states,
+            n_symbols=self.n_symbols,
+            lengths=lens,
+            backend=self.name,
+        )
+        states = np.broadcast_to(
+            np.arange(self.n_states, dtype=np.int64), (n_chunks, self.n_states)
+        ).copy()
+        if chunk_len == 0 or n_chunks == 0:
+            return states.astype(STATE_DTYPE)
+        flat = self._flat
+        m = self.n_symbols
+        syms = chunks.astype(np.int64, copy=False)
+        if lens is None:
+            for j in range(chunk_len):
+                states = flat[states * m + syms[:, j][:, None]]
+            return states.astype(STATE_DTYPE)
+        max_len = int(lens.max(initial=0))
+        for j in range(max_len):
+            working = j < lens
+            if not working.any():
+                break
+            states[working] = flat[
+                states[working] * m + syms[working, j][:, None]
+            ]
+        return states.astype(STATE_DTYPE)
+
+    # ------------------------------------------------------------------
     def run_gathered(
         self,
         input_chunks: np.ndarray,

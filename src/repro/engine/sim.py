@@ -28,5 +28,39 @@ class SimBackend:
     def run_gathered(self, input_chunks, chunk_ids, starts, **kwargs) -> np.ndarray:
         return self.executor.run_gathered(input_chunks, chunk_ids, starts, **kwargs)
 
+    def run_mappings(
+        self,
+        chunks,
+        *,
+        lengths=None,
+        stats=None,
+        phase: str = "execution",
+        chunk_ids=None,
+    ) -> np.ndarray:
+        """Full state→state mapping of every chunk (the SFA construction).
+
+        Tiles the ``(chunks × states)`` plane onto the lockstep executor —
+        ``n_states`` lanes per chunk, one per start state, sharing the
+        chunk's input fetch (the executor coalesces lanes with equal
+        ``chunk_ids``) — so the ledger honestly charges the S× lane
+        pressure SFA's mapping construction puts on the device.  Returns
+        the same ``(n_chunks, n_states)`` matrix as the fast backend.
+        """
+        chunks = np.ascontiguousarray(chunks)
+        n_chunks = chunks.shape[0]
+        n_states = int(self.executor.table.shape[0])
+        kwargs = {"stats": stats, "phase": phase}
+        if lengths is not None:
+            kwargs["lengths"] = np.repeat(
+                np.asarray(lengths, dtype=np.int64), n_states
+            )
+        ends = self.executor.run_gathered(
+            chunks,
+            np.repeat(np.arange(n_chunks, dtype=np.int64), n_states),
+            np.tile(np.arange(n_states, dtype=np.int64), n_chunks),
+            **kwargs,
+        )
+        return ends.reshape(n_chunks, n_states)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimBackend({self.executor!r})"

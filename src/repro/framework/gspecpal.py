@@ -41,6 +41,7 @@ from repro.schemes import (
     RRScheme,
     SchemeResult,
     SequentialScheme,
+    SFAScheme,
     SpecSequentialScheme,
     SREScheme,
 )
@@ -54,11 +55,12 @@ from repro.errors import SchemeError
 class GSpecPal:
     """Latency-sensitive speculative FSM parallelization framework."""
 
-    #: Schemes the selector may pick (the paper's four).
-    SELECTABLE = ("pm", "sre", "rr", "nf")
+    #: Schemes the selector may pick (the paper's four plus the
+    #: misprediction-free SFA leaf for hopeless speculation).
+    SELECTABLE = ("pm", "sre", "rr", "nf", "sfa")
     #: Every scheme name ``run``/``stream``/``build_scheme`` accept (the
     #: spec-k alias ``pm-spec<k>`` is additionally accepted per config).
-    KNOWN_SCHEMES = ("pm", "sre", "rr", "nf", "seq", "spec-seq")
+    KNOWN_SCHEMES = ("pm", "sre", "rr", "nf", "sfa", "seq", "spec-seq")
 
     def __init__(
         self,
@@ -330,6 +332,8 @@ class GSpecPal:
                 others_capacity=cfg.others_registers,
                 tracer=tracer,
             )
+        if name == "sfa":
+            return SFAScheme(sim, n_threads=cfg.n_threads, tracer=tracer)
         if name == "seq":
             return SequentialScheme(sim, n_threads=1, tracer=tracer)
         if name == "spec-seq":

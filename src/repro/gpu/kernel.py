@@ -33,6 +33,9 @@ class KernelPhase:
     VERIFY_RECOVER = "verify_recover"
     MERGE = "merge"
     LAUNCH = "launch"
+    #: SFA's speculation-free chunk mapping construction (state→state
+    #: transition functions instead of one guessed path per chunk).
+    MAPPING = "mapping"
 
 
 @dataclass

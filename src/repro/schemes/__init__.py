@@ -12,6 +12,8 @@
 * :class:`NFScheme` — Algorithm 5: aggressive recovery, nearest-frontier
   queue draining (``nf``).
 * :class:`EnumerativeScheme` — all-states enumeration baseline (``enum``).
+* :class:`SFAScheme` — simultaneous finite automata: misprediction-free
+  full state→state mapping composition (``sfa``).
 
 Every scheme's :meth:`~repro.schemes.base.Scheme.run` returns a
 :class:`~repro.schemes.base.SchemeResult` whose ``end_state`` provably equals
@@ -26,6 +28,7 @@ from repro.schemes.nf import NFScheme
 from repro.schemes.pm import PMScheme
 from repro.schemes.rr import RRScheme
 from repro.schemes.sequential import SequentialScheme
+from repro.schemes.sfa import SFAScheme
 from repro.schemes.spec_seq import SpecSequentialScheme
 from repro.schemes.sre import SREScheme
 from repro.schemes.sre_ho import SREHOScheme
@@ -39,6 +42,7 @@ SCHEME_REGISTRY: Dict[str, Type[Scheme]] = {
     "rr": RRScheme,
     "nf": NFScheme,
     "enum": EnumerativeScheme,
+    "sfa": SFAScheme,
 }
 
 
@@ -58,6 +62,7 @@ __all__ = [
     "PMScheme",
     "RRScheme",
     "SCHEME_REGISTRY",
+    "SFAScheme",
     "Scheme",
     "SchemeResult",
     "SequentialScheme",

@@ -1,0 +1,235 @@
+"""SFA: misprediction-free parallelization via simultaneous finite automata.
+
+Sin'ya & Matsuzaki's simultaneous finite automata (arXiv:1405.0562) sidestep
+speculation entirely: instead of guessing each chunk's start state, every
+chunk computes its *full* state→state transition function — the end state
+from **every** possible start — as a ``(n_states,)`` mapping row.  The
+mappings then compose left-to-right (function composition is associative,
+so the combine parallelizes into a ``log N`` tree like PM's merge), and the
+answer is exact with **zero** recovery rounds: there is no mispredict path
+because nothing was predicted.
+
+The price is construction cost: each chunk runs ``n_states`` lanes instead
+of one, so SFA only wins where speculation accuracy is so low that the four
+speculative schemes degrade toward their sequential worst case.  Two
+levers keep the cost bounded:
+
+* **Rabin-fingerprint deduplication** (the arXiv:1512.09228 SDFA trick):
+  chunks are grouped by a polynomial rolling fingerprint of their content
+  (with an exact content compare inside each bucket, so hash collisions can
+  never change the answer) and one mapping is built per *unique* chunk —
+  periodic or low-entropy inputs collapse to a handful of constructions.
+* **Reachable-width pruning happens naturally**: after a few symbols the
+  image of the full state set typically collapses to a small set of
+  surviving states, which is why the cost model prices SFA with the
+  profiled ``reachable_width`` feature rather than ``n_states``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.gpu.kernel import KernelPhase
+from repro.schemes.base import Scheme, SchemeResult
+from repro.speculation.chunks import Partition
+
+#: Rabin fingerprint modulus/base.  ``MOD`` is the Mersenne prime 2^31-1 and
+#: ``BASE`` < 2^20, so ``fp * BASE + sym`` stays well inside int64 for byte
+#: alphabets — the rolling update needs no 128-bit arithmetic.
+FINGERPRINT_MOD = (1 << 31) - 1
+FINGERPRINT_BASE = 1_000_003
+
+
+def fingerprint_chunks(
+    chunks: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Rabin polynomial fingerprint of every chunk's live prefix.
+
+    Vectorized across chunks: one rolling-hash update per input position
+    advances all chunk fingerprints together (symbols are offset by one so
+    a chunk of zeros does not hash like an empty chunk).
+    """
+    chunks = np.asarray(chunks)
+    lens = np.asarray(lengths, dtype=np.int64)
+    n, chunk_len = chunks.shape
+    fp = np.zeros(n, dtype=np.int64)
+    if n == 0 or chunk_len == 0:
+        return fp
+    syms = chunks.astype(np.int64, copy=False)
+    max_len = int(lens.max(initial=0))
+    for j in range(max_len):
+        live = j < lens
+        if not live.any():
+            break
+        fp[live] = (
+            fp[live] * FINGERPRINT_BASE + syms[live, j] + 1
+        ) % FINGERPRINT_MOD
+    return fp
+
+
+def dedupe_chunks(
+    chunks: np.ndarray, lengths: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Group identical chunks: ``(representatives, inverse)``.
+
+    ``representatives[g]`` is the chunk index whose content defines group
+    ``g``; ``inverse[i]`` maps every chunk to its group.  Grouping keys on
+    the ``(fingerprint, length)`` pair but membership is decided by an
+    exact content compare against the representative, so a fingerprint
+    collision costs one extra mapping instead of a wrong answer.
+    """
+    chunks = np.asarray(chunks)
+    lens = np.asarray(lengths, dtype=np.int64)
+    fingerprints = fingerprint_chunks(chunks, lens)
+    n = chunks.shape[0]
+    buckets: dict = {}
+    reps: list = []
+    inverse = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        key = (int(fingerprints[i]), int(lens[i]))
+        gid = None
+        for candidate in buckets.get(key, ()):
+            r = reps[candidate]
+            if np.array_equal(chunks[i, : lens[i]], chunks[r, : lens[r]]):
+                gid = candidate
+                break
+        if gid is None:
+            gid = len(reps)
+            reps.append(i)
+            buckets.setdefault(key, []).append(gid)
+        inverse[i] = gid
+    return np.asarray(reps, dtype=np.int64), inverse
+
+
+class SFAScheme(Scheme):
+    """Simultaneous-finite-automata execution: exact, speculation-free.
+
+    Three phases replace the predict/speculate/recover pipeline:
+
+    1. **dedupe** — Rabin-fingerprint the chunks and keep one
+       representative per distinct content;
+    2. **mapping** — build each unique chunk's full state→state mapping on
+       the execution backend (``run_mappings``: ``n_states`` lanes per
+       chunk advance in lockstep);
+    3. **compose** — chain the mappings left-to-right through the carried
+       state, charging the ``log N`` parallel combine the SFA paper's tree
+       reduction would run on the device.
+    """
+
+    name = "sfa"
+
+    def run(self, data, start_state=None) -> SchemeResult:
+        partition: Partition = self._partition(data)
+        n = partition.n_chunks
+        stats = self.sim.new_stats(n_threads=self.n_threads)
+        n_states = self.sim.exec_dfa.n_states
+        with self._scheme_span(stats, n_chunks=n, n_states=n_states):
+            with self._launch_span(stats):
+                pass
+            exec_start = self._exec_start(start_state)
+
+            # --- phase 1: fingerprint dedupe (host-side, cheap) ---------
+            with self._phase_span(
+                KernelPhase.PREDICT, stats, kind="fingerprint"
+            ):
+                reps, inverse = dedupe_chunks(
+                    partition.chunks, partition.lengths
+                )
+                # One rolling-hash pass over the input, pipelined across
+                # chunks: charge it like a predictor replay, not a kernel.
+                stats.charge(
+                    KernelPhase.PREDICT,
+                    2.0 * self.sim.device.transition_compute_cycles,
+                )
+            n_unique = int(reps.size)
+
+            # --- phase 2: mapping construction (the expensive part) -----
+            with self._phase_span(
+                KernelPhase.MAPPING, stats, unique_chunks=n_unique
+            ):
+                mappings = self.engine.run_mappings(
+                    partition.chunks[reps],
+                    lengths=partition.lengths[reps],
+                    stats=stats,
+                    phase=KernelPhase.MAPPING,
+                    chunk_ids=reps,
+                )
+                stats.charge_sync(KernelPhase.MAPPING)
+
+            # --- phase 3: log-depth mapping composition -----------------
+            # The device combine is a PM-style two-level tree (intra-warp
+            # shuffles, then inter-warp rounds through shared memory), but
+            # each merge forwards a full mapping — ``width`` states — not a
+            # scalar.  ``width`` is the realized image size, which the
+            # state-convergence collapse keeps far below ``n_states``.
+            dev = self.sim.device
+            width = (
+                int(
+                    np.mean(
+                        [len(np.unique(mappings[g])) for g in range(n_unique)]
+                    )
+                )
+                if n_unique
+                else 1
+            )
+            width = max(1, width)
+            with self._phase_span(KernelPhase.MERGE, stats, width=width):
+                intra_rounds = (
+                    math.ceil(math.log2(min(n, dev.warp_size))) if n > 1 else 0
+                )
+                n_warps = -(-n // dev.warp_size)
+                inter_rounds = (
+                    math.ceil(math.log2(n_warps)) if n_warps > 1 else 0
+                )
+                for _ in range(intra_rounds):
+                    stats.comm_ops += width * n
+                    stats.charge(
+                        KernelPhase.MERGE, width * dev.shuffle_cycles
+                    )
+                for _ in range(inter_rounds):
+                    stats.comm_ops += width * n_warps
+                    stats.charge(KernelPhase.MERGE, dev.comm_cycles)
+                    stats.charge(
+                        KernelPhase.MERGE, (width - 1) * dev.shuffle_cycles
+                    )
+                    stats.charge_sync(KernelPhase.MERGE)
+
+                # Functional chain through the carried state: exact by
+                # construction, no verification and no recovery ever.
+                chunk_ends = np.empty(n, dtype=np.int64)
+                state = int(exec_start)
+                for i in range(n):
+                    state = int(mappings[inverse[i], state])
+                    chunk_ends[i] = state
+                stats.matches += n
+
+            # Every lane beyond the ground-truth path was insurance work.
+            useful_transitions = int(partition.lengths.sum())
+            stats.redundant_transitions += max(
+                0, stats.transitions - useful_transitions
+            )
+
+            self._stash_audit(
+                partition=partition,
+                exec_start=exec_start,
+                sfa_mappings=mappings,
+                sfa_reps=reps,
+                sfa_inverse=inverse,
+            )
+            self._record_metrics(n, n_unique, n_states, width)
+            result = self._finish(state, stats, chunk_ends_exec=chunk_ends)
+        return result
+
+    def _record_metrics(
+        self, n_chunks: int, n_unique: int, n_states: int, width: int
+    ) -> None:
+        metrics = getattr(self.sim, "metrics", None)
+        if metrics is None:
+            return
+        metrics.counter("sfa.mappings_built").inc(n_unique)
+        metrics.counter("sfa.mappings_deduped").inc(n_chunks - n_unique)
+        metrics.histogram("sfa.mapping_width").observe(width)
+        metrics.histogram("sfa.mapping_lanes").observe(n_unique * n_states)

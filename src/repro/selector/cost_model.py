@@ -87,12 +87,43 @@ class CostModel:
         """The constant C: the lookback-2 replay is two lockstep steps."""
         return 2.0 * (self.device.shared_cycles + self.device.transition_compute_cycles)
 
+    def spec_accuracy_at(self, features: FSMFeatures, k: int) -> float:
+        """Interpolated spec-``k`` accuracy from the profiled anchors.
+
+        The profiler measures the lookback-2 predictor at depths 1, 4 and
+        16; accuracy is roughly linear in queue *depth* (``log2 k``), so
+        any other ``k`` is interpolated piecewise-linearly between the
+        anchors — the same curve :meth:`delta_specs` walks.  Depths beyond
+        16 clamp to the deepest profile, a depth of zero means no
+        speculation and no accuracy.
+        """
+        k = int(k)
+        if k <= 0:
+            return 0.0
+        anchors = [
+            (0.0, features.spec1_accuracy),  # log2(1)
+            (2.0, features.spec4_accuracy),  # log2(4)
+            (4.0, features.spec16_accuracy),  # log2(16)
+        ]
+        x = min(math.log2(k), anchors[-1][0])
+        acc = anchors[-1][1]
+        for (x0, y0), (x1, y1) in zip(anchors, anchors[1:]):
+            if x <= x1:
+                acc = y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+                break
+        return acc
+
     def estimate_pm(self, features: FSMFeatures, inputs: CostModelInputs) -> float:
-        """Eq. 2 with ``P_i^PM = 1 - accu(spec-k)`` and ``α_k = k``."""
+        """Eq. 2 with ``P_i^PM = 1 - accu(spec-k)`` and ``α_k = k``.
+
+        ``P_mismatch`` is the interpolated spec-``k`` accuracy at the
+        *configured* ``k`` — a ``k = 16`` PM config is costed with spec-16
+        accuracy, not stuck at the spec-4 anchor for every ``k >= 4``.
+        """
         n, k = inputs.n_threads, inputs.k
         tp1 = self.t_p1(inputs)
         alpha_k = float(k)
-        p_mismatch = 1.0 - features.spec4_accuracy if k >= 4 else 1.0 - features.spec1_accuracy
+        p_mismatch = 1.0 - self.spec_accuracy_at(features, k)
         tree = math.ceil(math.log2(max(2, n))) * (self.t_comm(k) + self.t_ver(k))
         recovery = (n - 1) * p_mismatch * (self.t_comm(1) + self.t_ver(k) + tp1)
         return self.predict_cost() + tp1 * alpha_k + tree + recovery
@@ -140,18 +171,44 @@ class CostModel:
         cap = int(others_capacity)
         if cap <= 0:
             return 0.0
-        anchors = [
-            (0.0, features.spec1_accuracy),  # log2(1)
-            (2.0, features.spec4_accuracy),  # log2(4)
-            (4.0, features.spec16_accuracy),  # log2(16)
-        ]
-        x = min(math.log2(cap), anchors[-1][0])
-        acc = anchors[-1][1]
-        for (x0, y0), (x1, y1) in zip(anchors, anchors[1:]):
-            if x <= x1:
-                acc = y0 + (y1 - y0) * (x - x0) / (x1 - x0)
-                break
-        return max(0.0, acc - features.spec1_accuracy)
+        return max(
+            0.0, self.spec_accuracy_at(features, cap) - features.spec1_accuracy
+        )
+
+    def estimate_sfa(self, features: FSMFeatures, inputs: CostModelInputs) -> float:
+        """SFA: mapping construction + ``log N`` composition, zero recovery.
+
+        Construction runs ``width`` lanes per chunk (the profiled
+        ``reachable_width`` active-state count, falling back to
+        ``n_states`` when unprofiled), so the spec-1 chunk time scales by
+        the lane oversubscription the lockstep executor would charge:
+        ``total warps / device concurrency``, floored at 1 when the wider
+        launch still fits.  Composition is a ``log N`` tree whose merges
+        forward ``width``-entry mappings; there is no prediction constant,
+        no verification term, and no recovery term at all.
+        """
+        n = inputs.n_threads
+        width = (
+            features.reachable_width
+            if features.reachable_width > 0
+            else float(features.n_states)
+        )
+        width = max(1.0, width)
+        tp1 = self.t_p1(inputs)
+        dev = self.device
+        lane_warps = dev.warps_for_threads(int(math.ceil(n * width)))
+        base_warps = dev.warps_for_threads(n)
+        capacity = float(max(1, dev.max_concurrent_warps))
+        oversubscription = max(
+            1.0,
+            (lane_warps / capacity) / max(1.0, base_warps / capacity),
+        )
+        construction = tp1 * oversubscription
+        rounds = math.ceil(math.log2(max(2, n)))
+        compose = rounds * (
+            float(dev.comm_cycles) + (width - 1.0) * float(dev.shuffle_cycles)
+        )
+        return construction + compose
 
     # ------------------------------------------------------------------
     def estimate_all(self, features: FSMFeatures, inputs: CostModelInputs) -> Dict[str, float]:
@@ -165,6 +222,7 @@ class CostModel:
             "nf": self.estimate_sr(
                 features, inputs, delta_end=d_end, delta_specs=d_specs * 1.05
             ),
+            "sfa": self.estimate_sfa(features, inputs),
         }
 
     def best_scheme(self, features: FSMFeatures, inputs: CostModelInputs) -> str:

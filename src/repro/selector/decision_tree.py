@@ -4,6 +4,15 @@ The tree asks two families of questions, exactly as the figure's color
 coding describes — *speculation quality* (orange nodes) and *FSM convergence*
 (gray nodes):
 
+0. Is speculation *hopeless* — even the deepest profiled enumeration
+   (spec-16, interpolated at the register budget) almost never covers the
+   truth?  The measurement is corroborated by the noise-free
+   ``reachable_width`` ceiling (a 16-deep queue covers at most
+   ``16 / width`` of a width-wide state image) when the sampled accuracy
+   sits borderline above the floor.  → **SFA**: every speculative scheme
+   degrades toward its sequential worst case here, so build full
+   state→state mappings instead and pay a bounded, misprediction-free
+   cost.
 1. Is enumerative speculation (spec-k) accurate enough that recovery is
    generally unnecessary, while spec-1 alone is not?  → **PM**: the spec-k
    redundancy is cheaper than any recovery.
@@ -40,12 +49,13 @@ class SelectorThresholds:
     fast_convergence: float = 4.0  # #uniqStates(10) at or below → SRE
     enumeration_gain: float = 0.25  # spec-16 minus spec-1 below which → SRE
     input_sensitive: float = 0.15  # std of per-portion spec-1 accuracy
+    speculation_floor: float = 0.15  # spec-16 accuracy below which → SFA
 
 
 class DecisionTreeSelector:
     """The GSpecPal scheme selector (Fig. 6)."""
 
-    SCHEMES = ("pm", "sre", "rr", "nf")
+    SCHEMES = ("pm", "sre", "rr", "nf", "sfa")
 
     def __init__(self, thresholds: SelectorThresholds = SelectorThresholds()):
         self.thresholds = thresholds
@@ -72,10 +82,42 @@ class DecisionTreeSelector:
         """
         return self._walk(features)
 
+    #: queue depth of the deepest profiled accuracy anchor (spec-16).
+    ANCHOR_DEPTH = 16.0
+
+    @classmethod
+    def _speculation_hopeless(
+        cls, features: FSMFeatures, t: SelectorThresholds
+    ) -> bool:
+        """Node-0 predicate: measured floor breach, or a width-implied
+        enumeration ceiling below the floor corroborating a borderline
+        measurement."""
+        if features.spec16_accuracy < t.speculation_floor:
+            return True
+        if features.reachable_width <= 0:
+            return False  # unprofiled (legacy plan): trust the measurement
+        ceiling = cls.ANCHOR_DEPTH / features.reachable_width
+        return (
+            ceiling < t.speculation_floor
+            and features.spec16_accuracy < 2.0 * t.speculation_floor
+        )
+
     def _walk(self, features: FSMFeatures):
         """The tree itself: returns ``(scheme, visited-node labels)``."""
         t = self.thresholds
         path = []
+        # Orange node 0: is speculation hopeless?  When even the deepest
+        # enumeration almost never covers the truth, every speculative
+        # scheme pays near-worst-case recovery — switch to SFA's exact
+        # misprediction-free mapping composition instead.  The measured
+        # spec-16 accuracy is sampled from few chunk boundaries, so near
+        # the floor it is noisy; the profiled ``reachable_width`` gives a
+        # noise-free corroboration — a 16-deep queue can cover at most
+        # ``16 / width`` of a width-wide image — and tips the decision
+        # when the measurement alone is borderline (under 2x the floor).
+        path.append("speculation_floor")
+        if self._speculation_hopeless(features, t):
+            return "sfa", path
         # Orange node 1: does enumerative speculation make recovery rare,
         # where plain spec-1 would not?
         path.append("speck_accurate")
@@ -104,6 +146,16 @@ class DecisionTreeSelector:
         """Human-readable trace of the decision path (for reports)."""
         t = self.thresholds
         lines = [f"FSM {features.name!r}:"]
+        lines.append(
+            f"  spec-16 accuracy {features.spec16_accuracy:.2f} "
+            f"(floor {t.speculation_floor}, "
+            f"reachable width {features.reachable_width:.1f})"
+        )
+        if self._speculation_hopeless(features, t):
+            lines.append(
+                "  -> speculation hopeless; misprediction-free mappings: SFA"
+            )
+            return "\n".join(lines)
         lines.append(
             f"  spec-4 accuracy {features.spec4_accuracy:.2f} "
             f"(threshold {t.speck_accurate}) / spec-1 {features.spec1_accuracy:.2f}"

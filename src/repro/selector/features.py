@@ -46,6 +46,11 @@ class FSMFeatures:
     sensitivity: float
     convergence_states: float
     profiling_seconds: float
+    #: mean image size of the *full* state set after running sample windows
+    #: of the training input — the active-state count SFA's mapping
+    #: construction actually pays for (defaults to 0.0 = unprofiled, which
+    #: the cost model reads as "assume all n_states survive").
+    reachable_width: float = 0.0
 
     @property
     def input_sensitive(self) -> bool:
@@ -63,6 +68,7 @@ class FSMFeatures:
             "sensitivity": self.sensitivity,
             "convergence_states": self.convergence_states,
             "profiling_seconds": self.profiling_seconds,
+            "reachable_width": self.reachable_width,
         }
 
 
@@ -78,6 +84,41 @@ def speculation_accuracy(
     prediction = predict_start_states(dfa, partition)
     truth = true_start_states(dfa, partition)
     return prediction.accuracy_against(truth, k=k)
+
+
+def reachable_width(
+    dfa: DFA,
+    training_input,
+    *,
+    window: int = 64,
+    n_windows: int = 4,
+) -> float:
+    """Mean image size of the full state set over sample input windows.
+
+    Runs *every* state through ``n_windows`` evenly spaced windows of the
+    training input (vectorized: one ``table[states, sym]`` gather per
+    position) and averages how many distinct states survive — the number
+    of mapping rows SFA's state→state construction actually has to keep
+    distinct, i.e. the active-state count of Eq. 1's mapping term.
+    """
+    symbols = _as_symbol_array(training_input)
+    if symbols.size == 0:
+        return float(dfa.n_states)
+    table = dfa.table
+    window = max(1, min(int(window), symbols.size))
+    n_windows = max(1, int(n_windows))
+    if symbols.size <= window:
+        offsets = [0]
+    else:
+        step = max(1, (symbols.size - window) // n_windows)
+        offsets = list(range(0, symbols.size - window + 1, step))[:n_windows]
+    widths = []
+    for off in offsets:
+        states = np.arange(dfa.n_states, dtype=np.int64)
+        for sym in symbols[off : off + window]:
+            states = table[states, int(sym)]
+        widths.append(int(np.unique(states).size))
+    return float(np.mean(widths))
 
 
 def profile_features(
@@ -124,6 +165,7 @@ def profile_features(
     sensitivity = float(np.std(portion_accs)) if len(portion_accs) > 1 else 0.0
 
     conv = convergence_profile(dfa, symbols, steps=convergence_steps, seed=seed)
+    width = reachable_width(dfa, symbols)
     elapsed = time.perf_counter() - t0
     return FSMFeatures(
         name=dfa.name,
@@ -134,4 +176,5 @@ def profile_features(
         sensitivity=sensitivity,
         convergence_states=float(conv.mean()),
         profiling_seconds=float(elapsed),
+        reachable_width=width,
     )

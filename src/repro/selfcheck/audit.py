@@ -21,6 +21,10 @@ Invariants audited at the run boundary:
 ``queue_accounting``
     No speculation queue's dequeue cursor ran past its states (nothing was
     dequeued after exhaustion).
+``sfa_mapping_oracle``
+    When the run stashed SFA chunk mappings, a state sample of every unique
+    chunk's state→state mapping equals re-running the chunk from each start
+    state on the executor-space DFA.
 ``ledger_tiling``
     When the backend accounts cycles: the per-phase cycle buckets tile the
     total exactly, and redundant transitions never exceed total transitions.
@@ -151,6 +155,43 @@ def audit_scheme_run(scheme, data, start_state, result) -> None:
                 "speculation queue cursor ran past the queue's states",
                 lanes=bad,
             )
+
+    # --- SFA mappings are the chunks' true transition functions -------
+    mappings = stash.get("sfa_mappings")
+    if mappings is not None:
+        partition = stash.get("partition")
+        reps = stash.get("sfa_reps")
+        if partition is not None and reps is not None:
+            exec_dfa = scheme.sim.exec_dfa
+            mappings = np.asarray(mappings, dtype=np.int64)
+            n_states = exec_dfa.n_states
+            # Re-run a row sample of every unique chunk's mapping against
+            # the executor-space oracle; small automata are checked in
+            # full, large ones on an evenly spaced state sample so the
+            # audit stays O(run cost).
+            if n_states <= 32:
+                rows = np.arange(n_states)
+            else:
+                rows = np.unique(
+                    np.linspace(0, n_states - 1, 32).astype(np.int64)
+                )
+            bad = []
+            for g, rep in enumerate(np.asarray(reps, dtype=np.int64)):
+                chunk = partition.chunk(int(rep))
+                for s in rows:
+                    if int(mappings[g, s]) != int(
+                        exec_dfa.run(chunk, start=int(s))
+                    ):
+                        bad.append(int(rep))
+                        break
+            if bad:
+                _fail(
+                    scheme,
+                    "sfa_mapping_oracle",
+                    "SFA chunk mappings disagree with re-running the chunk "
+                    "from each start state",
+                    lanes=bad,
+                )
 
     # --- ledger tiling (cycle-accounting backends only) ---------------
     if scheme.engine.accounts_cycles and result.stats is not None:

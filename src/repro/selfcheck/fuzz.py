@@ -38,8 +38,9 @@ from repro.errors import ReproError, SelfCheckError
 from repro.framework.config import GSpecPalConfig
 from repro.framework.gspecpal import GSpecPal
 
-#: Schemes the random loop exercises (all speculative paths).
-FUZZ_SCHEMES: Tuple[str, ...] = ("pm", "sre", "rr", "nf", "spec-seq")
+#: Schemes the random loop exercises (every speculative path plus the
+#: misprediction-free SFA composition).
+FUZZ_SCHEMES: Tuple[str, ...] = ("pm", "sre", "rr", "nf", "sfa", "spec-seq")
 FUZZ_BACKENDS: Tuple[str, ...] = ("sim", "fast")
 
 
@@ -406,6 +407,20 @@ def run_probes() -> List[str]:
     if model.estimate_all(feats, small)["rr"] == model.estimate_all(feats, big)["rr"]:
         failures.append(
             "cost model: RR estimate identical for others_capacity 1 and 16"
+        )
+
+    # --- cost model: P_mismatch must track the configured spec depth --
+    acc8 = model.spec_accuracy_at(feats, 8)
+    acc16 = model.spec_accuracy_at(feats, 16)
+    if not (feats.spec4_accuracy < acc8 < acc16):
+        failures.append(
+            f"cost model: spec accuracy is not interpolated over k "
+            f"(k=4→{feats.spec4_accuracy}, k=8→{acc8}, k=16→{acc16}) — "
+            "Eq. 2 anchors every k >= 4 to the spec-4 profile"
+        )
+    if math.isclose(acc16, feats.spec4_accuracy):
+        failures.append(
+            "cost model: estimate_pm's k=16 mismatch uses the spec-4 anchor"
         )
 
     # --- backend error contract: SimulationError, never IndexError ----

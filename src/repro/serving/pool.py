@@ -347,15 +347,33 @@ class MatcherPool:
             self._metric_active()
             return stream_id
 
+    def _missing_stream_error(self, stream_id, next_id: int) -> ServingError:
+        """Classify a miss: an id below the allocation cursor was opened
+        and has since closed (ids are handed out sequentially and never
+        reused), anything else never existed — so the structured code is
+        exact, matching what a feed racing the close itself would get."""
+        try:
+            was_opened = 0 <= int(stream_id) < next_id and int(stream_id) == stream_id
+        except (TypeError, ValueError):
+            was_opened = False
+        if was_opened:
+            return ServingError(
+                f"stream {stream_id} is closed",
+                code="stream_closed",
+                stream_id=stream_id,
+            )
+        return ServingError(
+            f"unknown stream id {stream_id}",
+            code="unknown_stream",
+            stream_id=stream_id,
+        )
+
     def _entry(self, stream_id: int) -> _StreamEntry:
         with self._lock:
             entry = self._entries.get(stream_id)
+            next_id = self._next_id
         if entry is None:
-            raise ServingError(
-                f"unknown or closed stream id {stream_id}",
-                code="unknown_stream",
-                stream_id=stream_id,
-            )
+            raise self._missing_stream_error(stream_id, next_id)
         return entry
 
     def feed(self, stream_id: int, segment) -> SchemeResult:
@@ -440,20 +458,23 @@ class MatcherPool:
 
         Grouping on the canonical key means streams opened with different
         but language-equivalent plans gang into one fused dispatch (their
-        sessions all run the shared matcher's transition table)."""
+        sessions all run the shared matcher's transition table).  The
+        entry table is snapshotted *once* per wave under a single lock
+        acquisition — answer-identical to the per-feed lookups it
+        replaces (a close racing the wave is still caught under the
+        per-stream lock at dispatch time), without hammering the pool
+        lock N times per wave."""
+        with self._lock:
+            entries = dict(self._entries)
+            next_id = self._next_id
         groups: Dict[str, List[Tuple[int, int, _StreamEntry, object]]] = {}
         for idx, stream_id, segment in wave:
-            with self._lock:
-                entry = self._entries.get(stream_id)
+            entry = entries.get(stream_id)
             if entry is None:
                 outcomes[idx] = FeedOutcome(
                     stream_id=stream_id,
                     ok=False,
-                    error=ServingError(
-                        f"unknown or closed stream id {stream_id}",
-                        code="unknown_stream",
-                        stream_id=stream_id,
-                    ),
+                    error=self._missing_stream_error(stream_id, next_id),
                 )
                 continue
             groups.setdefault(entry.canonical, []).append(

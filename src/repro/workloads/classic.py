@@ -93,6 +93,36 @@ def keyword_scanner(keyword: bytes, n_symbols: int = 256) -> DFA:
     )
 
 
+def affine_permutation(
+    n_states: int, n_symbols: int = 16, multiplier: int = 5
+) -> DFA:
+    """Affine permutation automaton: ``state' = (a·state + sym) mod n``.
+
+    With ``a`` coprime to ``n`` every symbol is a *permutation* of the
+    state set, so the image never collapses and the end state is an
+    input-keyed hash of the whole prefix: the lookback-2 predictor's
+    accuracy degrades to ``k / n`` — essentially zero for large ``n``.
+    The canonical workload where every speculative scheme approaches its
+    sequential worst case and only SFA's misprediction-free mapping
+    composition stays parallel.
+    """
+    if n_states < 1:
+        raise AutomatonError("need at least one state")
+    if np.gcd(multiplier, n_states) != 1:
+        raise AutomatonError(
+            f"multiplier {multiplier} must be coprime to n_states {n_states}"
+        )
+    states = np.arange(n_states, dtype=np.int64)[:, None]
+    syms = np.arange(n_symbols, dtype=np.int64)[None, :]
+    table = ((multiplier * states + syms) % n_states).astype(STATE_DTYPE)
+    return DFA(
+        table=table,
+        start=0,
+        accepting=frozenset({0}),
+        name=f"affine{n_states}",
+    )
+
+
 def cyclic_rotator(n_states: int, n_symbols: int = 256) -> DFA:
     """Pure rotation automaton: every symbol advances the state by 1 mod n.
 

@@ -30,8 +30,8 @@ def mini_run(mini_member):
 
 
 def test_run_member_results(mini_run):
-    assert set(mini_run.results) == {"pm", "sre", "rr", "nf"}
-    assert mini_run.selected in ("pm", "sre", "rr", "nf")
+    assert set(mini_run.results) >= {"pm", "sre", "rr", "nf"}
+    assert mini_run.selected in ("pm", "sre", "rr", "nf", "sfa")
     assert mini_run.features.n_states == 6
 
 
@@ -55,7 +55,7 @@ def test_best_scheme_minimizes_cycles(mini_run):
 
 def test_summarize_speedups(mini_run):
     summary = summarize_speedups([mini_run], baseline="pm")
-    assert set(summary) == {"pm", "sre", "rr", "nf"}
+    assert set(summary) >= {"pm", "sre", "rr", "nf"}
     for entries in summary.values():
         assert entries[0][0] == "snort1"
 

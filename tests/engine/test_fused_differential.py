@@ -19,7 +19,7 @@ from repro.framework import GSpecPal, GSpecPalConfig
 from repro.workloads import classic
 
 BACKENDS = ("sim", "fast")
-SCHEMES = ("pm", "sre", "rr", "nf", "seq", "spec-seq")
+SCHEMES = ("pm", "sre", "rr", "nf", "sfa", "seq", "spec-seq")
 
 
 @pytest.fixture(scope="module")

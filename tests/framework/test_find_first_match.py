@@ -15,7 +15,7 @@ from repro.speculation.chunks import partition_input
 from repro.framework import GSpecPal, GSpecPalConfig
 from repro.workloads import classic
 
-ALL_SCHEMES = ("pm", "sre", "rr", "nf", "seq", "spec-seq")
+ALL_SCHEMES = ("pm", "sre", "rr", "nf", "sfa", "seq", "spec-seq")
 N_THREADS = 8
 
 

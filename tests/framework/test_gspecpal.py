@@ -63,11 +63,11 @@ class TestRun:
         pal = GSpecPal(easy_dfa, GSpecPalConfig(n_threads=16), training_input=training)
         result = pal.run(stream)
         assert result.end_state == easy_dfa.run(stream)
-        assert result.scheme in ("pm-spec4", "sre", "rr", "nf")
+        assert result.scheme in ("pm-spec4", "sre", "rr", "nf", "sfa")
 
     def test_forced_scheme(self, easy_dfa, stream, training):
         pal = GSpecPal(easy_dfa, GSpecPalConfig(n_threads=16), training_input=training)
-        for name in ("pm", "sre", "rr", "nf", "seq", "spec-seq"):
+        for name in ("pm", "sre", "rr", "nf", "sfa", "seq", "spec-seq"):
             result = pal.run(stream, scheme=name)
             assert result.end_state == easy_dfa.run(stream), name
 
@@ -103,7 +103,7 @@ class TestRun:
     def test_compare_schemes(self, easy_dfa, stream, training):
         pal = GSpecPal(easy_dfa, GSpecPalConfig(n_threads=16), training_input=training)
         results = pal.compare_schemes(stream)
-        assert set(results) == {"pm", "sre", "rr", "nf"}
+        assert set(results) == {"pm", "sre", "rr", "nf", "sfa"}
         truth = easy_dfa.run(stream)
         assert all(r.end_state == truth for r in results.values())
 

@@ -53,7 +53,7 @@ class TestFindFirstMatch:
         pal = GSpecPal(dfa, GSpecPalConfig(n_threads=16))
         assert pal.find_first_match(data) == naive_first_match(dfa, data)
 
-    @pytest.mark.parametrize("scheme", ["pm", "sre", "rr", "nf", "seq", "spec-seq"])
+    @pytest.mark.parametrize("scheme", ["pm", "sre", "rr", "nf", "sfa", "seq", "spec-seq"])
     def test_every_scheme_agrees(self, scanner, rng, scheme):
         data = bytearray(rng.integers(97, 109, size=640).astype(np.uint8))
         data[300:306] = b"needle"

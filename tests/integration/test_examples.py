@@ -33,4 +33,4 @@ def test_quickstart_core_path():
     result = pal.run(stream)
     assert result.end_state == dfa.run(stream)
     comparison = pal.compare_schemes(stream)
-    assert len(comparison) == 4
+    assert len(comparison) == 5  # pm, sre, rr, nf, sfa

@@ -19,7 +19,7 @@ from repro.framework import GSpecPal, GSpecPalConfig
 from repro.observability import MetricsRegistry, Tracer
 from repro.workloads import classic
 
-ALL_SCHEMES = ("pm", "sre", "rr", "nf", "seq", "spec-seq")
+ALL_SCHEMES = ("pm", "sre", "rr", "nf", "sfa", "seq", "spec-seq")
 #: Schemes running the predict/speculate/verify/merge pipeline.
 SPECULATIVE_SCHEMES = ("pm", "sre", "rr", "nf", "spec-seq")
 

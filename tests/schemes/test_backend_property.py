@@ -19,6 +19,7 @@ from repro.schemes import (
     PMScheme,
     RRScheme,
     SequentialScheme,
+    SFAScheme,
     SpecSequentialScheme,
     SREHOScheme,
     SREScheme,
@@ -33,6 +34,7 @@ ALL_SCHEMES = [
     RRScheme,
     NFScheme,
     EnumerativeScheme,
+    SFAScheme,
 ]
 
 
@@ -114,7 +116,7 @@ def test_untransformed_layouts_agree_too(case):
     layout): the backend split must be orthogonal to the table layout."""
     dfa, symbols, n_threads = case
     truth = dfa.run(symbols)
-    for cls in (SpecSequentialScheme, RRScheme):
+    for cls in (SpecSequentialScheme, RRScheme, SFAScheme):
         for backend in ("sim", "fast"):
             scheme = cls.for_dfa(
                 dfa,

@@ -105,7 +105,7 @@ def test_recovery_schemes_any_capacity(rotator, rng, capacity):
 
 def test_registry_contains_all():
     assert set(SCHEME_REGISTRY) == {
-        "seq", "spec-seq", "pm", "sre", "sre-ho", "rr", "nf", "enum",
+        "seq", "spec-seq", "pm", "sre", "sre-ho", "rr", "nf", "enum", "sfa",
     }
 
 

@@ -1,0 +1,264 @@
+"""SFA scheme: mapping construction, fingerprint dedupe, selection win."""
+
+import numpy as np
+import pytest
+
+from repro.engine.fast import FastBackend
+from repro.framework import GSpecPal, GSpecPalConfig
+from repro.gpu.kernel import KernelPhase
+from repro.observability import MetricsRegistry
+from repro.schemes.sfa import SFAScheme, dedupe_chunks, fingerprint_chunks
+from repro.selector.features import profile_features, reachable_width
+from repro.speculation.chunks import partition_input
+from repro.workloads import classic
+
+
+@pytest.fixture(scope="module")
+def affine():
+    """The speculation-hopeless permutation automaton (accuracy ~ k/n)."""
+    return classic.affine_permutation(128)
+
+
+@pytest.fixture(scope="module")
+def affine_io():
+    rng = np.random.default_rng(9)
+    train = bytes(rng.integers(0, 16, size=4096).astype(np.uint8))
+    data = bytes(rng.integers(0, 16, size=8192).astype(np.uint8))
+    return train, data
+
+
+# ----------------------------------------------------------------------
+# fingerprint dedupe
+# ----------------------------------------------------------------------
+class TestDedupe:
+    def test_identical_chunks_share_one_group(self):
+        partition = partition_input(b"0123" * 300, 12)
+        reps, inverse = dedupe_chunks(partition.chunks, partition.lengths)
+        # 1200/12 = 100 symbols per chunk; 100 % 4 == 0 so every chunk has
+        # identical content: one group serves all twelve.
+        assert reps.size == 1
+        assert (inverse == 0).all()
+
+    def test_distinct_chunks_stay_distinct(self, rng):
+        data = rng.integers(0, 64, size=640).astype(np.uint8)
+        partition = partition_input(data, 8)
+        reps, inverse = dedupe_chunks(partition.chunks, partition.lengths)
+        assert reps.size == 8
+        np.testing.assert_array_equal(inverse, np.arange(8))
+
+    def test_groups_have_equal_content(self, rng):
+        period = rng.integers(0, 8, size=50).astype(np.uint8)
+        data = np.tile(period, 40)  # 2000 symbols, heavy repetition
+        partition = partition_input(data, 16)
+        reps, inverse = dedupe_chunks(partition.chunks, partition.lengths)
+        assert reps.size < 16
+        for i in range(partition.n_chunks):
+            r = int(reps[inverse[i]])
+            np.testing.assert_array_equal(
+                partition.chunk(i), partition.chunk(r)
+            )
+
+    def test_fingerprint_distinguishes_zero_prefixes(self):
+        # The +1 symbol offset: a chunk of zeros must not hash like a
+        # shorter zero chunk padded out.
+        chunks = np.zeros((2, 4), dtype=np.int64)
+        lengths = np.asarray([2, 4])
+        fp = fingerprint_chunks(chunks, lengths)
+        assert fp[0] != fp[1]
+
+    def test_collision_guard_compares_content(self, monkeypatch):
+        # Force every fingerprint to collide: grouping must fall back to
+        # the exact content compare and still keep distinct chunks apart.
+        import repro.schemes.sfa as sfa_mod
+
+        monkeypatch.setattr(
+            sfa_mod,
+            "fingerprint_chunks",
+            lambda chunks, lengths: np.zeros(chunks.shape[0], dtype=np.int64),
+        )
+        chunks = np.asarray([[1, 2, 3], [1, 2, 4], [1, 2, 3]], dtype=np.int64)
+        lengths = np.asarray([3, 3, 3])
+        reps, inverse = sfa_mod.dedupe_chunks(chunks, lengths)
+        assert reps.size == 2
+        assert inverse[0] == inverse[2] != inverse[1]
+
+
+# ----------------------------------------------------------------------
+# mapping construction
+# ----------------------------------------------------------------------
+class TestMappings:
+    @pytest.mark.parametrize("backend", ["sim", "fast"])
+    def test_mapping_rows_match_oracle(self, div7, backend, rng):
+        data = rng.integers(0, 2, size=200).astype(np.uint8)
+        scheme = SFAScheme.for_dfa(
+            div7, n_threads=5, use_transformation=False, backend=backend
+        )
+        partition = partition_input(data, 5)
+        mappings = scheme.engine.run_mappings(
+            partition.chunks, lengths=partition.lengths
+        )
+        assert mappings.shape == (5, div7.n_states)
+        for c in range(5):
+            for s in range(div7.n_states):
+                assert int(mappings[c, s]) == int(
+                    div7.run(partition.chunk(c), start=s)
+                )
+
+    def test_backends_agree_on_mappings(self, scanner_dfa, rng):
+        data = rng.integers(0, 128, size=700).astype(np.uint8)
+        partition = partition_input(data, 7)
+        fast = FastBackend(scanner_dfa.table)
+        sim_scheme = SFAScheme.for_dfa(
+            scanner_dfa, n_threads=7, use_transformation=False, backend="sim"
+        )
+        np.testing.assert_array_equal(
+            np.asarray(
+                sim_scheme.engine.run_mappings(
+                    partition.chunks, lengths=partition.lengths
+                )
+            ),
+            np.asarray(
+                fast.run_mappings(partition.chunks, lengths=partition.lengths)
+            ),
+        )
+
+    def test_sim_backend_charges_mapping_phase(self, div7):
+        scheme = SFAScheme.for_dfa(
+            div7, n_threads=4, use_transformation=False, backend="sim"
+        )
+        result = scheme.run(b"0110" * 100)
+        assert result.stats.phase_cycles.get(KernelPhase.MAPPING, 0.0) > 0
+        # 400 symbols over 4 threads dedupe to ONE unique 100-symbol chunk
+        # (periodic input), and that chunk runs all n_states lanes.
+        assert result.stats.transitions == 100 * div7.n_states
+
+    def test_dedupe_caps_construction_cost(self, div7):
+        periodic = SFAScheme.for_dfa(
+            div7, n_threads=8, use_transformation=False, backend="sim"
+        ).run(b"01" * 400)
+        rng = np.random.default_rng(0)
+        random_run = SFAScheme.for_dfa(
+            div7, n_threads=8, use_transformation=False, backend="sim"
+        ).run(bytes(rng.integers(0, 2, size=800).astype(np.uint8)))
+        # The periodic input collapses to one unique chunk; its mapping
+        # construction (and thus total cycles) must be far cheaper.
+        assert periodic.stats.transitions < random_run.stats.transitions
+        assert periodic.stats.cycles < random_run.stats.cycles
+
+
+# ----------------------------------------------------------------------
+# scheme contract
+# ----------------------------------------------------------------------
+class TestSchemeContract:
+    @pytest.mark.parametrize("backend", ["sim", "fast"])
+    @pytest.mark.parametrize("n_threads", [1, 3, 8, 17])
+    def test_exact_answer_all_segmentations(
+        self, scanner_dfa, backend, n_threads, rng
+    ):
+        data = rng.integers(0, 128, size=901).astype(np.uint8)
+        scheme = SFAScheme.for_dfa(
+            scanner_dfa,
+            n_threads=n_threads,
+            training_input=bytes(
+                rng.integers(0, 128, size=256).astype(np.uint8)
+            ),
+            backend=backend,
+        )
+        result = scheme.run(data)
+        assert result.end_state == scanner_dfa.run(data)
+        assert result.chunk_ends is not None
+        assert result.chunk_ends.size == n_threads
+
+    def test_zero_recovery_rounds(self, affine, affine_io):
+        train, data = affine_io
+        scheme = SFAScheme.for_dfa(
+            affine, n_threads=16, training_input=train, backend="sim"
+        )
+        result = scheme.run(data)
+        assert result.stats.recovery_rounds == 0
+        assert result.stats.mismatches == 0
+        assert result.stats.runtime_speculation_accuracy == 1.0
+
+    def test_carried_start_state(self, div7):
+        scheme = SFAScheme.for_dfa(
+            div7, n_threads=4, use_transformation=False
+        )
+        data = b"011010" * 50
+        for start in range(div7.n_states):
+            assert scheme.run(data, start_state=start).end_state == div7.run(
+                data, start=start
+            )
+
+    def test_selfcheck_audits_pass(self, affine, affine_io):
+        train, data = affine_io
+        scheme = SFAScheme.for_dfa(
+            affine, n_threads=8, training_input=train, backend="sim"
+        )
+        scheme.selfcheck = True
+        result = scheme.run(data)  # audit raises SelfCheckError on violation
+        assert result.end_state == affine.run(data)
+
+    def test_metrics_recorded(self, div7):
+        registry = MetricsRegistry()
+        scheme = SFAScheme.for_dfa(
+            div7, n_threads=8, use_transformation=False, metrics=registry
+        )
+        scheme.run(b"01" * 400)
+        snap = registry.as_dict()
+        assert snap["sfa.mappings_built"] >= 1
+        assert snap["sfa.mappings_deduped"] >= 1
+
+
+# ----------------------------------------------------------------------
+# features + selection
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_reachable_width_collapses_for_converging_fsm(self, rng):
+        scanner = classic.keyword_scanner(b"needle", n_symbols=64)
+        data = bytes(rng.integers(0, 64, size=2048).astype(np.uint8))
+        width = reachable_width(scanner, data)
+        assert width < scanner.n_states / 2
+
+    def test_reachable_width_stays_full_for_permutation(self, affine, rng):
+        data = bytes(rng.integers(0, 16, size=2048).astype(np.uint8))
+        assert reachable_width(affine, data) == affine.n_states
+
+    def test_profile_populates_reachable_width(self, affine, affine_io):
+        train, _data = affine_io
+        features = profile_features(affine, train)
+        assert features.reachable_width == affine.n_states
+        assert features.as_dict()["reachable_width"] == affine.n_states
+
+    def test_selector_picks_sfa_and_it_wins(self, affine, affine_io):
+        """The acceptance case: on a speculation-hopeless FSM the tree's
+        new orange node routes to SFA, and SFA beats every speculative
+        scheme's simulated wall-clock."""
+        train, data = affine_io
+        pal = GSpecPal(
+            affine,
+            GSpecPalConfig(n_threads=64, backend="sim"),
+            training_input=train,
+        )
+        assert pal.select_scheme() == "sfa"
+        sfa_cycles = pal.run(data, scheme="sfa").stats.cycles
+        for rival in ("pm", "sre", "rr", "nf"):
+            rival_cycles = pal.run(data, scheme=rival).stats.cycles
+            assert sfa_cycles < rival_cycles, rival
+
+    def test_selector_avoids_sfa_when_speculation_works(self, div7, rng):
+        train = bytes(rng.integers(ord("0"), ord("2"), size=2048))
+        pal = GSpecPal(
+            div7, GSpecPalConfig(n_threads=64), training_input=train
+        )
+        assert pal.select_scheme() != "sfa"
+
+    def test_estimate_costs_includes_sfa(self, affine, affine_io):
+        train, data = affine_io
+        pal = GSpecPal(
+            affine,
+            GSpecPalConfig(n_threads=64, backend="sim"),
+            training_input=train,
+        )
+        est = pal.estimate_costs(data)
+        assert "sfa" in est
+        assert est["sfa"] < min(est[s] for s in ("pm", "sre", "rr", "nf"))

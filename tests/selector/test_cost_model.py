@@ -54,7 +54,7 @@ def test_delta_specs_is_queue_depth_gain(model):
 
 def test_estimate_all_keys(model, inputs):
     est = model.estimate_all(features(), inputs)
-    assert set(est) == {"pm", "sre", "rr", "nf"}
+    assert set(est) == {"pm", "sre", "rr", "nf", "sfa"}
     assert all(v > 0 for v in est.values())
 
 
@@ -69,8 +69,13 @@ def test_best_scheme_pm_regime(model, inputs):
 
 def test_best_scheme_sre_regime(model, inputs):
     f = features(convergence_states=1.0, spec1_accuracy=0.3, spec4_accuracy=0.4)
-    best = model.best_scheme(f, inputs)
-    assert best in ("sre", "rr", "nf")  # delta_end saturates recovery for all
+    est = model.estimate_all(f, inputs)
+    # Among the speculative schemes, delta_end saturates recovery for the
+    # SR family.  (SFA may still rank cheapest overall: 256 threads x 100
+    # mapping lanes fits device residency, so its construction costs one
+    # chunk-time with zero verify/recovery terms.)
+    best_speculative = min(("pm", "sre", "rr", "nf"), key=est.get)
+    assert best_speculative in ("sre", "rr", "nf")
 
 
 def test_p_recover_clamped_non_negative(model, inputs):
@@ -130,6 +135,67 @@ def test_estimate_all_sensitive_to_capacity(model):
     assert est_deep["pm"] == pytest.approx(est_shallow["pm"])
 
 
+def test_spec_accuracy_interpolates_anchor_curve(model):
+    """Regression: estimate_pm used spec4_accuracy for *every* k >= 4, so a
+    k=16 PM config was costed with the (much worse) spec-4 anchor. The
+    accuracy curve now interpolates the measured spec-1/4/16 anchors."""
+    f = features(spec1_accuracy=0.1, spec4_accuracy=0.5, spec16_accuracy=0.9)
+    # Anchors reproduce exactly.
+    assert model.spec_accuracy_at(f, 1) == pytest.approx(f.spec1_accuracy)
+    assert model.spec_accuracy_at(f, 4) == pytest.approx(f.spec4_accuracy)
+    assert model.spec_accuracy_at(f, 16) == pytest.approx(f.spec16_accuracy)
+    # Between anchors the curve is strictly between the endpoints.
+    assert f.spec1_accuracy < model.spec_accuracy_at(f, 2) < f.spec4_accuracy
+    assert f.spec4_accuracy < model.spec_accuracy_at(f, 8) < f.spec16_accuracy
+    # Beyond the deepest anchor the curve saturates (no extrapolation).
+    assert model.spec_accuracy_at(f, 32) == pytest.approx(f.spec16_accuracy)
+
+
+def test_pm_mismatch_monotone_over_k_sweep(model):
+    """Cost-monotonicity regression for the k sweep: with accuracy anchors
+    increasing in k, the implied mismatch probability must be
+    non-increasing — and strictly decreasing across anchor intervals."""
+    f = features(spec1_accuracy=0.1, spec4_accuracy=0.5, spec16_accuracy=0.9)
+    mismatch = [1.0 - model.spec_accuracy_at(f, k) for k in (1, 2, 4, 8, 16, 32)]
+    for lo, hi in zip(mismatch[1:], mismatch[:-1]):
+        assert lo <= hi + 1e-12
+    assert mismatch[4] < mismatch[2] < mismatch[0]
+
+
+def test_pm_k16_costed_with_spec16_anchor(model):
+    """A k=16 PM estimate must be driven by the spec-16 anchor, not stuck
+    at spec-4 the way the old ``k >= 4 -> spec4_accuracy`` branch was."""
+    improving = features(spec1_accuracy=0.1, spec4_accuracy=0.3,
+                         spec16_accuracy=0.95)
+    flat = features(spec1_accuracy=0.1, spec4_accuracy=0.3,
+                    spec16_accuracy=0.3)
+    inp4 = CostModelInputs(input_length=65536, n_threads=256, k=4)
+    inp16 = CostModelInputs(input_length=65536, n_threads=256, k=16)
+    # At k=4 the deeper anchor is out of scope: both cost identically.
+    assert model.estimate_pm(improving, inp4) == pytest.approx(
+        model.estimate_pm(flat, inp4)
+    )
+    # At k=16 the old formula also costed these identically; the fixed
+    # model rewards the accurate deep anchor.
+    assert model.estimate_pm(improving, inp16) < model.estimate_pm(flat, inp16)
+
+
+def test_sfa_estimate_scales_with_reachable_width(model, inputs):
+    narrow = features(reachable_width=2.0)
+    wide = features(reachable_width=80.0)
+    assert model.estimate_sfa(narrow, inputs) < model.estimate_sfa(wide, inputs)
+
+
+def test_sfa_estimate_falls_back_to_n_states(model, inputs):
+    # Plans profiled before the feature existed carry the 0.0 default; the
+    # model must assume the conservative full-width lane count.
+    legacy = features(reachable_width=0.0)
+    full = features(reachable_width=100.0)  # == n_states
+    assert model.estimate_sfa(legacy, inputs) == pytest.approx(
+        model.estimate_sfa(full, inputs)
+    )
+
+
 def test_gspecpal_threads_capacity_into_estimates(rng):
     """GSpecPal.estimate_costs feeds the configured others_registers into
     the cost model instead of a hard-coded default."""
@@ -150,5 +216,5 @@ def test_gspecpal_threads_capacity_into_estimates(rng):
         GSpecPalConfig(n_threads=32, others_registers=16),
         training_input=training,
     ).estimate_costs(input_length=65536)
-    assert set(shallow) == {"pm", "sre", "rr", "nf"}
+    assert set(shallow) == {"pm", "sre", "rr", "nf", "sfa"}
     assert deep["rr"] <= shallow["rr"]

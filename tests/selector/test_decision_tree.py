@@ -74,4 +74,55 @@ def test_explain_mentions_decision(sel):
 
 
 def test_schemes_constant():
-    assert set(DecisionTreeSelector.SCHEMES) == {"pm", "sre", "rr", "nf"}
+    assert set(DecisionTreeSelector.SCHEMES) == {"pm", "sre", "rr", "nf", "sfa"}
+
+
+def test_speculation_floor_selects_sfa(sel):
+    # Even deep queues can't predict a permutation automaton: the orange
+    # node fires before every speculative branch.
+    f = features(spec1_accuracy=0.0, spec4_accuracy=0.03, spec16_accuracy=0.1)
+    scheme, path = sel.decide(f)
+    assert scheme == "sfa"
+    assert path == ["speculation_floor"]
+
+
+def test_speculation_floor_beats_other_branches(sel):
+    # The floor check has priority: hopeless spec-16 routes to SFA even
+    # when convergence/sensitivity would otherwise pick SRE or NF.
+    f = features(spec16_accuracy=0.05, convergence_states=1.0, sensitivity=0.9)
+    assert sel.select(f) == "sfa"
+
+
+def test_speculation_floor_threshold_is_tunable():
+    strict = DecisionTreeSelector(SelectorThresholds(speculation_floor=0.9))
+    assert strict.select(features(spec16_accuracy=0.8)) == "sfa"
+    lenient = DecisionTreeSelector(SelectorThresholds(speculation_floor=0.0))
+    assert lenient.select(features(spec16_accuracy=0.05)) != "sfa"
+
+
+def test_width_ceiling_corroborates_noisy_floor(sel):
+    # True spec-16 accuracy on a 128-state permutation is 16/128 = 0.125,
+    # but a few dozen sampled boundaries can measure 0.15..0.3: the
+    # noise-free width ceiling must still route the FSM to SFA.
+    f = features(spec16_accuracy=0.18, reachable_width=128.0, n_states=128)
+    assert sel.select(f) == "sfa"
+
+
+def test_width_ceiling_defers_to_confident_measurement(sel):
+    # A wide image with a *confidently* accurate predictor (concentrated
+    # boundary distribution) must not be misrouted to SFA's wide launch.
+    f = features(spec4_accuracy=0.95, spec16_accuracy=0.95,
+                 reachable_width=500.0, n_states=500)
+    assert sel.select(f) == "pm"
+
+
+def test_unprofiled_width_trusts_measurement_alone(sel):
+    # Legacy plans carry reachable_width == 0.0: only the measured floor
+    # can fire.
+    assert sel.select(features(spec16_accuracy=0.18)) != "sfa"
+    assert sel.select(features(spec16_accuracy=0.05)) == "sfa"
+
+
+def test_explain_mentions_sfa(sel):
+    f = features(spec16_accuracy=0.05)
+    assert "SFA" in sel.explain(f)

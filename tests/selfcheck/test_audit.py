@@ -16,7 +16,7 @@ from repro.schemes.base import Scheme
 from repro.selfcheck import SELFCHECK_ENV_VAR, audit_scheme_run, selfcheck_enabled
 from tests.conftest import random_stream
 
-ALL_SCHEMES = ("pm", "sre", "rr", "nf", "seq", "spec-seq")
+ALL_SCHEMES = ("pm", "sre", "rr", "nf", "sfa", "seq", "spec-seq")
 
 
 # ----------------------------------------------------------------------

@@ -244,6 +244,32 @@ def test_unknown_stream_error_is_structured(config):
     assert excinfo.value.stream_id == 1234
 
 
+def test_closed_stream_classified_exactly(fsms, training, config):
+    """A just-closed id reports stream_closed everywhere — the lone feed
+    path, feed_many outcomes, and a second close — while a never-opened id
+    stays unknown_stream; ids are never reused, so the classification is
+    exact, not a race-dependent guess."""
+    pool = MatcherPool(config=config)
+    sid = pool.open(fsms[0], training_input=training)
+    pool.feed(sid, b"abc" * 64)
+    pool.close(sid)
+
+    with pytest.raises(ServingError) as excinfo:
+        pool.feed(sid, b"xyz" * 64)
+    assert excinfo.value.code == "stream_closed"
+    assert excinfo.value.stream_id == sid
+
+    with pytest.raises(ServingError) as excinfo:
+        pool.close(sid)
+    assert excinfo.value.code == "stream_closed"
+
+    outcomes = pool.feed_many([(sid, b"xyz" * 64), (sid + 999, b"xyz" * 64)])
+    assert not outcomes[0].ok
+    assert outcomes[0].error.code == "stream_closed"
+    assert not outcomes[1].ok
+    assert outcomes[1].error.code == "unknown_stream"
+
+
 def test_concurrent_feeds_to_one_stream_never_interleave(
     fsms, training, config
 ):
@@ -476,10 +502,10 @@ def test_close_during_fused_batch_is_serialized(fsms, training, config):
                 assert outcomes[0].ok  # batchmate never poisoned
                 survivor_fed.extend(b"alpha" * 8)
                 if not outcomes[1].ok:
-                    assert outcomes[1].error.code in (
-                        "stream_closed",
-                        "unknown_stream",
-                    )
+                    # A once-open id is always classified as closed, never
+                    # collapsed into unknown_stream — whether the dispatch
+                    # lost the race before or after the entry was released.
+                    assert outcomes[1].error.code == "stream_closed"
                     closed_seen += 1
                     if closed_seen >= 3:
                         break

@@ -95,14 +95,16 @@ def test_default_scheme_is_the_plans(fsms, training, config):
 
 
 def test_unknown_and_closed_stream_ids_rejected(fsms, training, config):
+    # Ids are allocated sequentially and never reused, so the pool can
+    # tell "never existed" from "existed and closed" exactly.
     pool = MatcherPool(config=config)
-    with pytest.raises(ServingError, match="unknown or closed"):
+    with pytest.raises(ServingError, match="unknown stream"):
         pool.feed(99, b"x")
     sid = pool.open(fsms[0], training_input=training)
     pool.close(sid)
-    with pytest.raises(ServingError, match="unknown or closed"):
+    with pytest.raises(ServingError, match="closed"):
         pool.feed(sid, b"x")
-    with pytest.raises(ServingError, match="unknown or closed"):
+    with pytest.raises(ServingError, match="closed"):
         pool.close(sid)
 
 
