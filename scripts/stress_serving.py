@@ -61,6 +61,12 @@ def main(argv=None) -> int:
         "compile (and one spill file) per language class",
     )
     parser.add_argument(
+        "--drift",
+        action="store_true",
+        help="two-phase traffic that collapses live speculation accuracy "
+        "mid-run; audits the background revise + hot-swap path",
+    )
+    parser.add_argument(
         "--variants",
         type=int,
         default=3,
@@ -87,6 +93,7 @@ def main(argv=None) -> int:
         capacity=args.capacity,
         max_streams=args.max_streams,
         equivalent_mix=args.equivalent_mix,
+        drift=args.drift,
         variants=args.variants,
         spill_dir=args.spill_dir,
         log=print,

@@ -311,6 +311,7 @@ def cmd_stress(args) -> int:
         max_streams=args.max_streams,
         fused=args.fused,
         equivalent_mix=args.equivalent_mix,
+        drift=args.drift,
         variants=args.variants,
         spill_dir=args.spill_dir,
         log=print,
@@ -495,6 +496,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="tenants submit language-equivalent DFA variants; audits one "
         "compile (and one spill file) per language class",
+    )
+    p.add_argument(
+        "--drift",
+        action="store_true",
+        help="two-phase traffic that collapses live speculation accuracy "
+        "mid-run; audits the background revise + hot-swap path",
     )
     p.add_argument(
         "--variants",

@@ -49,7 +49,7 @@ from repro.schemes.base import Scheme
 from repro.selector.decision_tree import DecisionTreeSelector
 from repro.selector.features import FSMFeatures, profile_features
 from repro.framework.config import GSpecPalConfig
-from repro.errors import SchemeError
+from repro.errors import PlanError, SchemeError
 
 
 class GSpecPal:
@@ -145,6 +145,50 @@ class GSpecPal:
     def plan(self):
         """The backing :class:`~repro.plan.CompiledPlan`, if any."""
         return self._plan
+
+    def adopt_plan(self, plan) -> None:
+        """Atomically swap in a *revision* of the current backing plan.
+
+        The online-adaptation hot-swap hook: the drift monitor revises a
+        plan from live observations (``revise_plan``) and installs it here.
+        Only revisions are accepted — same content fingerprint and same
+        config hash — which guarantees the frequency/transformation
+        artifacts are byte-identical, so the warmed simulator and fused
+        engine stay valid and only the *selection* changes.  Open stream
+        sessions re-consult ``select_scheme`` on their next segment and
+        rebuild their runner on the name change, i.e. the swap lands
+        exactly at segment boundaries and never mid-segment.
+        """
+        if self._plan is None:
+            raise PlanError(
+                "adopt_plan requires a plan-backed framework (GSpecPal.from_plan)"
+            )
+        if plan.fingerprint != self._plan.fingerprint:
+            raise PlanError(
+                f"adopt_plan: revision is for fingerprint {plan.fingerprint[:12]}…, "
+                f"this framework serves {self._plan.fingerprint[:12]}…"
+            )
+        if plan.config_hash != self._plan.config_hash:
+            raise PlanError(
+                "adopt_plan: revision was compiled under a different config "
+                f"({plan.config_hash[:12]}… vs {self._plan.config_hash[:12]}…)"
+            )
+        self._plan = plan
+        self._features = plan.features
+
+    def current_decision_path(self) -> tuple:
+        """The Fig. 6 node path behind the current selection.
+
+        Plan-backed frameworks replay the compiled (possibly revised)
+        walk; profiled ones re-walk the tree over the cached features — a
+        pure arithmetic pass, no re-profiling.  Empty when nothing has
+        been profiled yet.
+        """
+        if self._plan is not None:
+            return tuple(self._plan.decision_path)
+        if self._features is not None:
+            return tuple(self.selector.decide(self._features)[1])
+        return ()
 
     def compile_plan(self, data=None):
         """Compile this framework's (FSM, training, config) into a plan.
@@ -505,6 +549,14 @@ class StreamSession:
         #: state, so per-segment re-instantiation was pure waste).
         self._runner = None
         self._runner_name: Optional[str] = None
+        #: how many times the serving scheme changed between segments —
+        #: each increment is one segment-boundary hot-swap (drift-driven
+        #: plan revision, or a live selector changing its mind).
+        self.scheme_switches: int = 0
+        #: the Fig. 6 node path behind the most recent selection
+        #: (``("forced",)`` for sessions opened with an explicit scheme,
+        #: set immediately so even a never-fed forced session reports it).
+        self.decision_path: tuple = ("forced",) if scheme is not None else ()
 
     @property
     def accepts(self) -> bool:
@@ -524,8 +576,16 @@ class StreamSession:
         return self._scheme
 
     def _scheme_runner(self, name: str):
-        """The cached scheme instance for ``name`` (rebuild on change)."""
+        """The cached scheme instance for ``name`` (rebuild on change).
+
+        The rebuild-on-name-change branch is the segment-boundary hot-swap
+        point: when a drift revision (``GSpecPal.adopt_plan``) changes the
+        selection between two feeds, the next segment rebuilds here and
+        ``scheme_switches`` records that the stream was swapped.
+        """
         if self._runner is None or self._runner_name != name:
+            if self._runner is not None:
+                self.scheme_switches += 1
             self._runner = self._pal.build_scheme(name)
             self._runner_name = name
         return self._runner
@@ -545,6 +605,11 @@ class StreamSession:
                 self._scheme
                 if self._scheme is not None
                 else self._pal.select_scheme(symbols)
+            )
+            self.decision_path = (
+                ("forced",)
+                if self._scheme is not None
+                else self._pal.current_decision_path()
             )
             runner = self._scheme_runner(name)
             result = runner.run(symbols, start_state=self.state)

@@ -9,19 +9,22 @@ disk with fingerprint verification; ``GSpecPal.from_plan`` and
 
 from repro.plan.artifact import (
     PLAN_FORMAT_VERSION,
+    SUPPORTED_PLAN_VERSIONS,
     CompiledPlan,
     config_fingerprint,
     config_snapshot,
 )
-from repro.plan.compile import compile_plan
+from repro.plan.compile import compile_plan, revise_plan
 from repro.plan.serialize import load_plan, save_plan
 
 __all__ = [
     "PLAN_FORMAT_VERSION",
+    "SUPPORTED_PLAN_VERSIONS",
     "CompiledPlan",
     "compile_plan",
     "config_fingerprint",
     "config_snapshot",
     "load_plan",
+    "revise_plan",
     "save_plan",
 ]

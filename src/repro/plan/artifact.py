@@ -42,7 +42,14 @@ from repro.selector.features import FSMFeatures
 #: Bump when the artifact layout changes incompatibly.
 #: v2: adds the canonical (language-level) fingerprint and per-stage
 #: compile timings.
-PLAN_FORMAT_VERSION = 2
+#: v3: online adaptation — ``revision`` counter and ``live_provenance``
+#: (the live-feature evidence behind a revised selection).  v2 artifacts
+#: still load: the new fields default (see ``SUPPORTED_PLAN_VERSIONS``).
+PLAN_FORMAT_VERSION = 3
+
+#: Artifact versions ``load_plan`` accepts.  Older-but-supported versions
+#: are upgraded on load by defaulting the fields they predate.
+SUPPORTED_PLAN_VERSIONS = (2, 3)
 
 #: GSpecPalConfig fields frozen into a plan.  Runtime-only knobs —
 #: ``backend`` (execution engine) and ``selfcheck`` (audits) — are
@@ -131,9 +138,19 @@ class CompiledPlan:
     stage_timings_ms:
         Wall-clock milliseconds per compile-pipeline stage
         (``normalize``/``canonicalize``/``profile``/``select``/
-        ``transform``/``train``), as measured when this plan was built.
-        Observability metadata only — excluded from plan equality so
-        compiling the same inputs still yields value-equal plans.
+        ``transform``/``train``, plus ``revise`` on revised plans), as
+        measured when this plan was built.  Observability metadata only —
+        excluded from plan equality so compiling the same inputs still
+        yields value-equal plans.
+    revision:
+        How many times this plan has been revised from live observations
+        (0 = the offline compile).  ``revise_plan`` increments it; the
+        serving cache never lets a lower revision overwrite a higher one.
+    live_provenance:
+        Scalar summary of the live evidence the latest revision was made
+        from (live accuracy, boundary samples, traffic volume, the scheme
+        that gathered it, and the prior scheme/revision) — empty on
+        offline compiles and on loaded v2 artifacts.
     """
 
     dfa: DFA
@@ -152,6 +169,8 @@ class CompiledPlan:
     hot_state_count: int
     predictor_stats: Dict[str, float] = field(default_factory=dict)
     stage_timings_ms: Dict[str, float] = field(default_factory=dict, compare=False)
+    revision: int = 0
+    live_provenance: Dict[str, Any] = field(default_factory=dict)
     version: int = PLAN_FORMAT_VERSION
 
     def __post_init__(self) -> None:
@@ -252,7 +271,8 @@ class CompiledPlan:
             f"(n_threads={self.config['n_threads']}, "
             f"spec_k={self.config['spec_k']}, "
             f"device={self.config['device']['name']})",
-            f"scheme     : {self.scheme}  (path: {' -> '.join(self.decision_path)})",
+            f"scheme     : {self.scheme}  (path: {' -> '.join(self.decision_path)})"
+            + (f"  [revision {self.revision}]" if self.revision else ""),
             f"hot states : {self.hot_state_count}"
             + (
                 " (RANK layout)"

@@ -29,6 +29,14 @@ stored alongside the content fingerprint so the serving tier can dedupe
 language-equivalent submissions.  Compile spans carry no cycle source
 (this is host-side work, not simulated kernel time), so the scheme-run
 cycle tiling is untouched.
+
+``revise_plan`` is the *online* counterpart: it re-runs the cheap back
+half of the pipeline (select → train) from live
+:class:`~repro.speculation.observations.LiveObservations` folded into the
+plan's feature vector — no DFA re-profiling, no frequency re-counting —
+inside one traced ``compile.revise`` stage.  The serving tier's drift
+monitor calls it when production accuracy diverges from the profiled
+anchors (see ``docs/architecture.md``, *Online adaptation*).
 """
 
 from __future__ import annotations
@@ -45,7 +53,12 @@ from repro.automata.properties import profile_state_frequencies
 from repro.automata.transform import frequency_transform
 from repro.errors import PlanError
 from repro.observability import NULL_TRACER
-from repro.plan.artifact import CompiledPlan, config_fingerprint, config_snapshot
+from repro.plan.artifact import (
+    PLAN_FORMAT_VERSION,
+    CompiledPlan,
+    config_fingerprint,
+    config_snapshot,
+)
 from repro.selector.cost_model import CostModel, CostModelInputs
 from repro.selector.decision_tree import DecisionTreeSelector
 from repro.selector.features import profile_features
@@ -62,6 +75,9 @@ COMPILE_STAGES = (
     "transform",
     "train",
 )
+
+#: The one stage online revision adds on top of :data:`COMPILE_STAGES`.
+REVISE_STAGE = "revise"
 
 
 def _predictor_stats(dfa: DFA, symbols: np.ndarray, n_chunks: int, features) -> dict:
@@ -214,3 +230,93 @@ def compile_plan(
             cspan.set_attr("canonical_fingerprint", plan.canonical_fingerprint)
             cspan.set_attr("scheme", plan.scheme)
     return plan
+
+
+def revise_plan(
+    plan: CompiledPlan,
+    observations,
+    *,
+    tracer=None,
+    metrics=None,
+) -> CompiledPlan:
+    """Re-select and re-train ``plan`` from live observations, no re-profiling.
+
+    The expensive compile stages — canonicalize, profile, transform,
+    predictor training — are carried over verbatim (the FSM and its
+    frequency structure have not changed; only the input distribution
+    has), so a revision costs one decision-tree walk plus one cost-model
+    evaluation.  The revised plan keeps both fingerprints and the config
+    hash, bumps ``revision``, and records the evidence in
+    ``live_provenance``.
+
+    Parameters
+    ----------
+    plan:
+        The artifact to revise (any revision; offline or already revised).
+    observations:
+        Aggregated :class:`~repro.speculation.observations.LiveObservations`.
+        With zero boundary samples the plan is returned unchanged — there
+        is no accuracy evidence to revise from.
+    tracer / metrics:
+        Same sinks as :func:`compile_plan`; the work lands in one traced
+        ``compile.revise`` stage and a ``compile.stage.revise_ms``
+        histogram.
+    """
+    import dataclasses
+
+    if observations is None or observations.boundary_samples == 0:
+        return plan
+    tracer = tracer if tracer is not None else NULL_TRACER
+
+    t0 = time.perf_counter()
+    with tracer.span(
+        f"compile.{REVISE_STAGE}",
+        fsm=plan.dfa.name,
+        fingerprint=plan.fingerprint[:16],
+        revision=plan.revision + 1,
+    ) as rspan:
+        config = plan.build_config()
+        features = plan.features.update_from_observations(observations)
+
+        with tracer.span("select") as sspan:
+            scheme, path = DecisionTreeSelector(config.thresholds).decide(features)
+            if sspan:
+                sspan.set_attr("decision", scheme)
+                sspan.set_attr("path", path)
+
+        with tracer.span("train"):
+            estimates = CostModel(config.device).estimate_all(
+                features,
+                CostModelInputs(
+                    input_length=int(plan.training_symbols),
+                    n_threads=config.n_threads,
+                    k=config.spec_k,
+                    others_capacity=config.others_registers,
+                ),
+            )
+
+        if rspan:
+            rspan.set_attr("scheme", scheme)
+            rspan.set_attr("prior_scheme", plan.scheme)
+            rspan.set_attr("live_accuracy", float(observations.spec_accuracy))
+
+    elapsed_ms = (time.perf_counter() - t0) * 1e3
+    if metrics is not None:
+        metrics.histogram(f"compile.stage.{REVISE_STAGE}_ms").observe(elapsed_ms)
+    timings = dict(plan.stage_timings_ms)
+    timings[REVISE_STAGE] = elapsed_ms
+
+    provenance = dict(observations.summary())
+    provenance["prior_scheme"] = plan.scheme
+    provenance["prior_revision"] = int(plan.revision)
+    return dataclasses.replace(
+        plan,
+        features=features,
+        scheme=scheme,
+        decision_path=tuple(path),
+        cost_estimates={k: float(v) for k, v in estimates.items()},
+        stage_timings_ms=timings,
+        revision=plan.revision + 1,
+        live_provenance=provenance,
+        version=PLAN_FORMAT_VERSION,
+    )

@@ -22,7 +22,11 @@ import numpy as np
 
 from repro.automata.dfa import DFA, STATE_DTYPE
 from repro.errors import PlanError
-from repro.plan.artifact import PLAN_FORMAT_VERSION, CompiledPlan
+from repro.plan.artifact import (
+    PLAN_FORMAT_VERSION,
+    SUPPORTED_PLAN_VERSIONS,
+    CompiledPlan,
+)
 from repro.selector.features import FSMFeatures
 
 
@@ -46,6 +50,8 @@ def save_plan(plan: CompiledPlan, path: Union[str, Path]) -> Path:
             "training_symbols": plan.training_symbols,
             "hot_state_count": plan.hot_state_count,
             "has_permutation": plan.permutation is not None,
+            "revision": plan.revision,
+            "live_provenance": plan.live_provenance,
             "dfa": {"name": plan.dfa.name, "start": plan.dfa.start},
         },
         sort_keys=True,
@@ -85,10 +91,10 @@ def load_plan(path: Union[str, Path]) -> CompiledPlan:
             meta = json.loads(str(data["meta"]))
         except (KeyError, json.JSONDecodeError) as exc:
             raise PlanError(f"malformed plan metadata in {path}: {exc}") from exc
-        if meta.get("version") != PLAN_FORMAT_VERSION:
+        if meta.get("version") not in SUPPORTED_PLAN_VERSIONS:
             raise PlanError(
                 f"unsupported plan version {meta.get('version')!r} in {path} "
-                f"(this build reads version {PLAN_FORMAT_VERSION})"
+                f"(this build reads versions {SUPPORTED_PLAN_VERSIONS})"
             )
         dfa = DFA(
             table=data["table"].astype(STATE_DTYPE),
@@ -115,6 +121,10 @@ def load_plan(path: Union[str, Path]) -> CompiledPlan:
             stage_timings_ms={
                 k: float(v) for k, v in meta.get("stage_timings_ms", {}).items()
             },
+            # v2 artifacts predate online adaptation: default the revision
+            # counter and provenance (upgrade-on-load; saved back as v3).
+            revision=int(meta.get("revision", 0)),
+            live_provenance=meta.get("live_provenance", {}) or {},
         )
     # Fingerprint verification on load: a plan whose embedded automaton no
     # longer hashes to what the compiler recorded must never serve.

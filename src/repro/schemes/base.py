@@ -26,6 +26,7 @@ from repro.gpu.kernel import GpuSimulator, KernelPhase
 from repro.gpu.stats import KernelStats
 from repro.observability import NULL_TRACER
 from repro.speculation.chunks import Partition, partition_input
+from repro.speculation.observations import LiveObservations
 from repro.speculation.predictor import Prediction, predict_start_states
 from repro.speculation.records import VRStore
 from repro.selfcheck.audit import selfcheck_enabled
@@ -52,6 +53,11 @@ class SchemeResult:
         Optional ``(n_chunks,)`` array of *verified* end states per chunk
         (original numbering).  Filled by schemes that materialize the chain;
         enables post-hoc queries like first-match offsets without a rescan.
+    observations:
+        :class:`~repro.speculation.observations.LiveObservations` for this
+        run — predictor hits/misses at the scheme's spec-k, recovery effort
+        and a symbol-histogram sketch.  Attached universally by the run
+        wrapper; the serving tier feeds it to the drift monitor.
     """
 
     end_state: int
@@ -60,6 +66,7 @@ class SchemeResult:
     scheme: str
     n_chunks: int
     chunk_ends: Optional[np.ndarray] = None
+    observations: Optional[LiveObservations] = None
 
     @property
     def cycles(self) -> float:
@@ -71,16 +78,21 @@ class SchemeResult:
 
 
 def _wrap_run_with_audit(run):
-    """Wrap a scheme's ``run`` so the selfcheck audit fires after it.
+    """Wrap a scheme's ``run`` so the selfcheck audit fires after it and
+    the run's :class:`LiveObservations` are attached to the result.
 
-    Applied once per class by ``Scheme.__init_subclass__``; when
-    :attr:`Scheme.selfcheck` is off the wrapper is a plain passthrough.
+    Applied once per class by ``Scheme.__init_subclass__``; the audit half
+    is skipped when :attr:`Scheme.selfcheck` is off, but the observation
+    record is attached on every path — it is the serving tier's drift
+    signal, not a debugging aid.
     """
 
     @functools.wraps(run)
     def audited_run(self, data, start_state=None):
         if not self.selfcheck:
-            return run(self, data, start_state)
+            result = run(self, data, start_state)
+            _attach_observations(self, data, result)
+            return result
         from repro.selfcheck.audit import audit_scheme_run
 
         self._audit_stash = {}
@@ -89,10 +101,33 @@ def _wrap_run_with_audit(run):
             audit_scheme_run(self, data, start_state, result)
         finally:
             self._audit_stash = None
+        _attach_observations(self, data, result)
         return result
 
     audited_run._selfcheck_wrapped = True
     return audited_run
+
+
+def _attach_observations(scheme, data, result) -> None:
+    """Fill ``result.observations`` from the run's ledger and input.
+
+    The spec-k of the evidence is the depth the scheme actually verified
+    at: PM exposes its configured ``k``; every other speculative scheme
+    checks the front-of-queue candidate first, i.e. spec-1.  Schemes
+    without boundary verification (sfa, seq) naturally carry zero samples.
+    """
+    if result is None or getattr(result, "observations", None) is not None:
+        return
+    from repro.automata.dfa import _as_symbol_array
+
+    result.observations = LiveObservations.from_run(
+        result.stats,
+        _as_symbol_array(data),
+        scheme=scheme.name,
+        spec_k=getattr(scheme, "k", 1),
+        n_symbols=scheme.sim.dfa.n_symbols,
+        boundary_evidence=scheme.boundary_evidence,
+    )
 
 
 class Scheme(abc.ABC):
@@ -108,6 +143,13 @@ class Scheme(abc.ABC):
     """
 
     name: str = "abstract"
+    #: whether this scheme's ledger ``matches``/``mismatches`` count
+    #: *verified speculation boundaries*.  Misprediction-free schemes
+    #: whose matches are exact by construction (SFA's mapping
+    #: compositions) set this False so their runs carry traffic shape
+    #: but zero accuracy evidence — the drift monitor's dormancy
+    #: contract depends on it.
+    boundary_evidence: bool = True
 
     def __init__(
         self, sim: GpuSimulator, n_threads: int = 256, predictor=None, tracer=None

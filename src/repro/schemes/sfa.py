@@ -120,6 +120,9 @@ class SFAScheme(Scheme):
     """
 
     name = "sfa"
+    #: the ledger's ``matches`` are exact mapping compositions, not
+    #: verified speculation boundaries — never accuracy evidence.
+    boundary_evidence = False
 
     def run(self, data, start_state=None) -> SchemeResult:
         partition: Partition = self._partition(data)

@@ -16,6 +16,7 @@ The paper's selector consumes (Fig. 6, Table II):
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 
@@ -51,6 +52,12 @@ class FSMFeatures:
     #: construction actually pays for (defaults to 0.0 = unprofiled, which
     #: the cost model reads as "assume all n_states survive").
     reachable_width: float = 0.0
+    #: live speculation accuracy the vector was last revised from
+    #: (-1.0 = never revised; profiled anchors are untouched), and the
+    #: number of verified chunk boundaries behind that measurement.  Both
+    #: default so v2 plan artifacts load unchanged.
+    live_accuracy: float = -1.0
+    live_samples: int = 0
 
     @property
     def input_sensitive(self) -> bool:
@@ -69,7 +76,47 @@ class FSMFeatures:
             "convergence_states": self.convergence_states,
             "profiling_seconds": self.profiling_seconds,
             "reachable_width": self.reachable_width,
+            "live_accuracy": self.live_accuracy,
+            "live_samples": self.live_samples,
         }
+
+    def anchor_accuracy(self, k: int) -> float:
+        """The profiled accuracy anchor nearest to queue depth ``k`` — what
+        live spec-``k`` measurements are compared against."""
+        if k <= 1:
+            return self.spec1_accuracy
+        if k <= 4:
+            return self.spec4_accuracy
+        return self.spec16_accuracy
+
+    def update_from_observations(self, observations, *, spec_k=None) -> "FSMFeatures":
+        """Fold live evidence into the vector: re-anchor the accuracy family.
+
+        The live measurement fixes the accuracy at one queue depth; the
+        other depths are scaled by the same live/anchor ratio (clipped to
+        ``[0, 1]``) — the lookback-2 image structure is a property of the
+        FSM, so when the truth's *rank* distribution shifts, all depths
+        shift together.  Convergence, sensitivity and reachable width are
+        structural and stay profiled.  Returns ``self`` unchanged when the
+        observations carry no boundary evidence (e.g. an SFA-only window).
+        """
+        if observations is None or observations.boundary_samples == 0:
+            return self
+        k = int(spec_k if spec_k is not None else observations.spec_k)
+        live = float(observations.spec_accuracy)
+        ratio = live / max(self.anchor_accuracy(k), 1e-9)
+
+        def scaled(value: float) -> float:
+            return float(min(1.0, max(0.0, value * ratio)))
+
+        return dataclasses.replace(
+            self,
+            spec1_accuracy=scaled(self.spec1_accuracy),
+            spec4_accuracy=scaled(self.spec4_accuracy),
+            spec16_accuracy=scaled(self.spec16_accuracy),
+            live_accuracy=live,
+            live_samples=int(observations.boundary_samples),
+        )
 
 
 def speculation_accuracy(

@@ -12,10 +12,13 @@ harness auditing the whole tier against the sequential oracle
 """
 
 from repro.serving.cache import PlanCache
+from repro.serving.drift import DriftConfig, DriftMonitor
 from repro.serving.pool import FeedOutcome, MatcherPool, StreamStats
 from repro.serving.stress import StressReport, run_stress
 
 __all__ = [
+    "DriftConfig",
+    "DriftMonitor",
     "FeedOutcome",
     "MatcherPool",
     "PlanCache",

@@ -227,7 +227,17 @@ class PlanCache:
     def _put_locked(self, plan: CompiledPlan) -> None:
         canonical = plan.canonical_fingerprint
         self._alias[plan.fingerprint] = canonical
-        self._plans[canonical] = plan
+        resident = self._plans.get(canonical)
+        # Revisions are monotonic: once a drift revise has landed, a
+        # tenant re-submitting the stale offline artifact must not roll
+        # the class back (the re-submit still refreshes recency).
+        if (
+            resident is None
+            or resident.fingerprint != plan.fingerprint
+            or resident.config_hash != plan.config_hash
+            or resident.revision <= plan.revision
+        ):
+            self._plans[canonical] = plan
         self._plans.move_to_end(canonical)
         while len(self._plans) > self.capacity:
             self._plans.popitem(last=False)

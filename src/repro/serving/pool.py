@@ -38,11 +38,15 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.automata.dfa import _as_symbol_array
 from repro.errors import ServingError
 from repro.framework.gspecpal import GSpecPal, StreamSession
 from repro.schemes import SchemeResult
 from repro.serving.cache import PlanCache
+from repro.serving.drift import DriftConfig, DriftMonitor
+from repro.speculation.observations import LiveObservations
 
 
 @dataclass(frozen=True)
@@ -52,6 +56,11 @@ class StreamStats:
     ``fingerprint`` is the content fingerprint of the plan the stream was
     opened with; ``canonical_fingerprint`` identifies its language class
     (shared across aliased tenants served by one matcher).
+    ``scheme_switches`` counts segment-boundary scheme changes over the
+    stream's lifetime (drift hot-swaps land here), and ``decision_path``
+    is the Fig. 6 node path behind the selection the stream last served
+    (``("forced",)`` when a scheme was forced at open) — together they let
+    close-time audits assert when and why a stream was swapped.
     """
 
     stream_id: int
@@ -63,6 +72,8 @@ class StreamStats:
     end_state: int
     accepts: bool
     canonical_fingerprint: str = ""
+    scheme_switches: int = 0
+    decision_path: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -153,6 +164,16 @@ class MatcherPool:
         at capacity (``None`` — the default — rejects immediately).  Both
         paths raise a retryable ``ServingError(code="capacity")`` when no
         slot frees up.
+    drift:
+        Opt into online adaptation: a :class:`~repro.serving.DriftConfig`
+        attaches one :class:`~repro.serving.DriftMonitor` per matcher.
+        Every feed's :class:`LiveObservations` are aggregated under the
+        pool lock; when live speculation accuracy diverges from the plan's
+        profiled anchors past the configured threshold, the pool runs one
+        single-flight ``revise_plan`` (in a background thread, or inline
+        with ``synchronous=True``), installs the revision into the cache
+        and the matcher, and open sessions pick up the new scheme at their
+        next segment boundary.  Off (``None``) by default.
     tracer / metrics:
         Observability sinks.  Serving metrics (``serving.pool.*``) are
         recorded under the pool's locks and are exact under concurrency; a
@@ -171,6 +192,7 @@ class MatcherPool:
         fused: bool = False,
         fused_min_streams: int = 2,
         open_timeout: Optional[float] = None,
+        drift: Optional[DriftConfig] = None,
         tracer=None,
         metrics=None,
     ):
@@ -200,8 +222,15 @@ class MatcherPool:
         self.metrics = metrics
         if metrics is not None and self.cache.metrics is None:
             self.cache.metrics = metrics
+        self.drift = drift
         self._matchers: Dict[str, GSpecPal] = {}
         self._entries: Dict[int, _StreamEntry] = {}
+        #: one drift monitor per matcher (canonical fingerprint), only
+        #: when drift detection is enabled.
+        self._monitors: Dict[str, DriftMonitor] = {}
+        #: canonical fingerprints with a revise in flight (single-flight
+        #: guard) → the worker thread, or None while launching/inline.
+        self._revising: Dict[str, Optional[threading.Thread]] = {}
         self._next_id = 0
         self._opened = 0
         self._closed = 0
@@ -245,6 +274,7 @@ class MatcherPool:
                 "closed": self._closed,
                 "rejected": self._rejected,
                 "matchers": len(self._matchers),
+                "revising": len(self._revising),
                 "cache": self.cache.stats(),
             }
 
@@ -269,6 +299,16 @@ class MatcherPool:
                 metrics=self.metrics,
             )
             self._matchers[plan.canonical_fingerprint] = matcher
+            if self.drift is not None:
+                # Anchor (or re-anchor) the class's drift monitor to the
+                # plan this fresh matcher serves.
+                self._monitors[plan.canonical_fingerprint] = DriftMonitor(
+                    matcher.plan, self.drift
+                )
+        elif self.drift is not None and plan.canonical_fingerprint not in self._monitors:
+            self._monitors[plan.canonical_fingerprint] = DriftMonitor(
+                matcher.plan, self.drift
+            )
         return matcher
 
     def _spec_k(self, plan=None) -> int:
@@ -405,7 +445,112 @@ class MatcherPool:
             self._metric_observe(
                 "serving.pool.feed_ms", (perf_counter() - started) * 1e3
             )
+            fire = self._observe_locked(entry.canonical, result.observations)
+        if fire:
+            self._launch_revise(entry.canonical)
         return result
+
+    # ------------------------------------------------------------------
+    # online adaptation (drift detection + plan hot-swap)
+    # ------------------------------------------------------------------
+    def _observe_locked(self, canonical: str, observations) -> bool:
+        """Feed one run's evidence to the class's drift monitor.
+
+        Called with the pool lock held (like every other serving metric).
+        Returns True when the monitor just fired and a revise should be
+        launched (after releasing the lock).
+        """
+        if self.drift is None or observations is None:
+            return False
+        monitor = self._monitors.get(canonical)
+        if monitor is None:
+            return False
+        fired = monitor.observe(observations)
+        self._metric_inc("drift.observations")
+        if self.metrics is not None:
+            self.metrics.gauge("drift.divergence").set(monitor.divergence)
+        if fired:
+            self._metric_inc("drift.triggers")
+        return fired
+
+    def _launch_revise(self, canonical: str) -> None:
+        """Kick the single-flight background revise for one language class."""
+        with self._lock:
+            if canonical in self._revising:
+                return
+            self._revising[canonical] = None
+        if self.drift is not None and self.drift.synchronous:
+            self._run_revise(canonical)
+            return
+        thread = threading.Thread(
+            target=self._run_revise,
+            args=(canonical,),
+            name=f"drift-revise-{canonical[:8]}",
+            daemon=True,
+        )
+        with self._lock:
+            self._revising[canonical] = thread
+        thread.start()
+
+    def _run_revise(self, canonical: str) -> None:
+        """Revise one matcher's plan from its monitor's evidence.
+
+        The expensive step (``revise_plan`` — one selector walk plus one
+        cost-model evaluation) runs outside the pool lock; the snapshot
+        before it and the install after it each take the lock briefly.
+        The revision is installed into both the shared cache (so future
+        opens get it) and the live matcher (so open sessions swap at
+        their next segment boundary).
+        """
+        from repro.plan import revise_plan
+
+        try:
+            with self._lock:
+                matcher = self._matchers.get(canonical)
+                monitor = self._monitors.get(canonical)
+                if matcher is None or monitor is None:
+                    return
+                stale = matcher.plan
+                observations = monitor.snapshot()
+            revised = revise_plan(stale, observations, tracer=None, metrics=None)
+            self.cache.put(revised)
+            with self._lock:
+                matcher = self._matchers.get(canonical)
+                monitor = self._monitors.get(canonical)
+                if (
+                    matcher is not None
+                    and matcher.plan.fingerprint == revised.fingerprint
+                    and matcher.plan.config_hash == revised.config_hash
+                ):
+                    matcher.adopt_plan(revised)
+                self._metric_inc("drift.revises")
+                if revised.scheme != stale.scheme:
+                    self._metric_inc("drift.swaps")
+                if monitor is not None:
+                    lag = monitor.rearm(revised)
+                    self._metric_observe("drift.observation_lag_segments", lag)
+        except Exception:
+            # A failed revise must not poison the feed path (synchronous
+            # mode) or kill the worker silently: the stale plan keeps
+            # serving — it is still correct, just slow — the monitor stays
+            # latched so the failure cannot refire in a loop, and the
+            # error is visible in the counter.
+            with self._lock:
+                self._metric_inc("drift.revise_errors")
+        finally:
+            with self._lock:
+                self._revising.pop(canonical, None)
+
+    def drain_revisions(self, timeout: Optional[float] = None) -> None:
+        """Block until in-flight background revises finish (tests, shutdown).
+
+        ``timeout`` bounds the wait per thread; synchronous-mode pools have
+        nothing to drain.
+        """
+        with self._lock:
+            threads = [t for t in self._revising.values() if t is not None]
+        for thread in threads:
+            thread.join(timeout)
 
     # ------------------------------------------------------------------
     # gang scheduling (fused cross-stream dispatch)
@@ -568,6 +713,29 @@ class MatcherPool:
             self._metric_observe(
                 "serving.pool.fused_ms", (perf_counter() - started) * 1e3
             )
+            # Fused execution bypasses the scheme layer, so it verifies no
+            # chunk boundaries — stash a sample-free observation (traffic
+            # volume + symbol sketch) so the drift aggregate still sees
+            # the distribution this class is serving.
+            if self.drift is not None and fingerprint in self._monitors:
+                matcher = self._matchers.get(fingerprint)
+                if matcher is not None:
+                    sketch = np.zeros(matcher.dfa.n_symbols, dtype=np.int64)
+                    for seg in segments:
+                        sketch += np.bincount(
+                            seg.astype(np.int64, copy=False),
+                            minlength=matcher.dfa.n_symbols,
+                        )
+                    self._observe_locked(
+                        fingerprint,
+                        LiveObservations(
+                            scheme="fused",
+                            spec_k=1,
+                            segments=len(live),
+                            symbols=int(dispatch.total_symbols),
+                            symbol_sketch=sketch,
+                        ),
+                    )
 
     def close(self, stream_id: int) -> StreamStats:
         """Close a stream and return its final summary.
@@ -593,9 +761,12 @@ class MatcherPool:
                 del self._entries[stream_id]
                 self._closed += 1
                 scheme = session.scheme
+                decision_path = tuple(session.decision_path)
                 if scheme is None:
                     # Never fed: report what a segment would have run.
-                    scheme = self._matchers[entry.canonical].plan.scheme
+                    matcher = self._matchers[entry.canonical]
+                    scheme = matcher.plan.scheme
+                    decision_path = tuple(matcher.plan.decision_path)
                 stats = StreamStats(
                     stream_id=stream_id,
                     fingerprint=entry.fingerprint,
@@ -606,6 +777,8 @@ class MatcherPool:
                     end_state=session.state,
                     accepts=session.accepts,
                     canonical_fingerprint=entry.canonical,
+                    scheme_switches=session.scheme_switches,
+                    decision_path=decision_path,
                 )
                 self._metric_inc("serving.pool.closed")
                 self._metric_active()

@@ -28,6 +28,7 @@ Entry points: :func:`run_stress` (used by the soak tests), the
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -39,6 +40,7 @@ from repro.automata.dfa import DFA
 from repro.framework.config import GSpecPalConfig
 from repro.observability import MetricsRegistry
 from repro.serving.cache import PlanCache
+from repro.serving.drift import DriftConfig
 from repro.serving.pool import MatcherPool
 from repro.workloads import classic
 
@@ -54,6 +56,7 @@ class StressReport:
     seed: int
     fused: bool = False
     equivalent_mix: bool = False
+    drift: bool = False
     variants: int = 1
     elapsed_s: float = 0.0
     streams_opened: int = 0
@@ -67,6 +70,11 @@ class StressReport:
     alias_hits: int = 0
     dedupes: int = 0
     spill_files: int = 0
+    drift_triggers: int = 0
+    drift_revises: int = 0
+    drift_swaps: int = 0
+    drift_revise_errors: int = 0
+    scheme_switches: int = 0
     oracle_failures: List[str] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
     pool_stats: Dict[str, object] = field(default_factory=dict)
@@ -76,12 +84,18 @@ class StressReport:
     def ok(self) -> bool:
         """True when every audit held: correct oracle states, exactly one
         compile per touched fingerprint (per *language class* in the
-        equivalent mix), no lost summaries, no errors."""
+        equivalent mix), no lost summaries, no errors.  Drift mode adds:
+        no revise errors, and the drifting traffic actually provoked at
+        least one background revise (revises go through
+        :func:`~repro.plan.revise_plan`, never the compiler, so the
+        one-compile-per-class audit still holds verbatim)."""
         return (
             not self.errors
             and not self.oracle_failures
             and self.compiles == self.fingerprints_used
             and self.streams_opened == self.streams_closed
+            and self.drift_revise_errors == 0
+            and (not self.drift or self.drift_revises >= 1)
         )
 
     def summary(self) -> str:
@@ -90,6 +104,7 @@ class StressReport:
             f"{self.fingerprints} fingerprints x {self.operations} ops "
             f"(backend={self.backend}, seed={self.seed}"
             + (", fused" if self.fused else "")
+            + (", drift" if self.drift else "")
             + ")",
             f"  elapsed    : {self.elapsed_s:.2f}s",
             f"  streams    : {self.streams_opened} opened / "
@@ -112,6 +127,13 @@ class StressReport:
                 f"  aliasing   : {self.variants} variants/class, "
                 f"{self.alias_hits} alias hits / {self.dedupes} dedupes, "
                 f"{self.spill_files} spill files"
+            )
+        if self.drift:
+            lines.append(
+                f"  drift      : {self.drift_triggers} triggers / "
+                f"{self.drift_revises} revises / {self.drift_swaps} swaps "
+                f"({self.scheme_switches} in-stream scheme switches, "
+                f"{self.drift_revise_errors} revise errors)"
             )
         lines += [
             f"  oracle     : {len(self.oracle_failures)} mismatches",
@@ -195,9 +217,45 @@ def build_variant_fleet(
     return base, tuple(grid)
 
 
+def build_drift_fleet(fingerprints: int) -> Tuple:
+    """``fingerprints`` distinct two-phase automata for the drift mix.
+
+    Every class is a :func:`~repro.workloads.classic.drifting_phase`
+    variant — calm traffic collapses into a tiny predictable cycle (PM
+    territory), hot traffic scatters across the whole state space — with
+    a different state count and a stride multiplier kept coprime so the
+    hot permutation stays a permutation.
+    """
+    fleet = []
+    for i in range(fingerprints):
+        n_states = 128 + 16 * i
+        multiplier = next(
+            m for m in (5, 3, 7, 11, 13) if math.gcd(m, n_states) == 1
+        )
+        fleet.append(
+            classic.drifting_phase(n_states=n_states, multiplier=multiplier)
+        )
+    return tuple(fleet)
+
+
 def _random_segment(rng: np.random.Generator, max_len: int = 160) -> bytes:
     length = int(rng.integers(16, max_len + 1))
     return bytes(rng.integers(97, 123, size=length).astype(np.uint8))
+
+
+def _drift_segment(rng: np.random.Generator, drifted: bool) -> bytes:
+    """One drift-mode segment: pure calm or pure drifted-hot traffic.
+
+    Long enough (vs :func:`_random_segment`) that each run verifies a few
+    chunk boundaries, so the monitors accumulate accuracy evidence at a
+    useful rate.
+    """
+    length = int(rng.integers(96, 193))
+    return classic.drifting_phase_input(
+        length,
+        drift_at=0.0 if drifted else 1.0,
+        seed=int(rng.integers(0, 2**31)),
+    )
 
 
 def run_stress(
@@ -213,6 +271,8 @@ def run_stress(
     n_threads: int = 8,
     fused: bool = False,
     equivalent_mix: bool = False,
+    drift: bool = False,
+    drift_config: Optional[DriftConfig] = None,
     variants: int = 3,
     spill_dir: Optional[str] = None,
     log=None,
@@ -257,6 +317,21 @@ def run_stress(
         oracle audits ``accepts`` (exact across a class) plus the
         symbol/segment accounting; ``end_state`` is skipped because it is
         reported in the first submitter's state numbering.
+    drift:
+        Online-adaptation mode: the fleet becomes two-phase
+        :func:`build_drift_fleet` automata trained (and initially fed) on
+        calm traffic, and every worker switches to drifted-hot segments
+        for the second half of its operation budget.  The pool runs with
+        drift detection enabled, so the live accuracy collapse must
+        trigger background revises and segment-boundary hot-swaps *while*
+        other workers keep feeding, opening and closing streams of the
+        same classes.  All in-flight revises are drained before the
+        audits; the oracle audit is unchanged (swaps must be invisible in
+        the answers), and the report additionally requires at least one
+        revise and zero revise errors.
+    drift_config:
+        Override the drift-mode :class:`~repro.serving.DriftConfig`
+        (default: thresholds sized for the harness's short segments).
     variants:
         Language-equivalent variants per class in the equivalent mix.
     spill_dir:
@@ -269,19 +344,34 @@ def run_stress(
         raise ValueError(f"fingerprints must be >= 1, got {fingerprints}")
     if equivalent_mix and variants < 2:
         raise ValueError(f"equivalent_mix needs variants >= 2, got {variants}")
+    if drift and equivalent_mix:
+        raise ValueError("drift mode and equivalent_mix are mutually exclusive")
     if equivalent_mix:
         dfas, variant_grid = build_variant_fleet(fingerprints, variants, seed)
+    elif drift:
+        dfas, variant_grid = build_drift_fleet(fingerprints), None
     else:
         dfas, variant_grid = build_fleet(fingerprints), None
     config = GSpecPalConfig(n_threads=n_threads)
-    trainings = tuple(
-        bytes(
-            np.random.default_rng(seed * 31 + i)
-            .integers(97, 123, size=1024)
-            .astype(np.uint8)
+    if drift:
+        # Train on pure calm traffic so the compiled plans anchor to the
+        # pre-drift distribution — the whole point is that live hot
+        # traffic then contradicts those anchors.
+        trainings = tuple(
+            classic.drifting_phase_input(
+                2048, drift_at=1.0, seed=seed * 31 + i
+            )
+            for i in range(fingerprints)
         )
-        for i in range(fingerprints)
-    )
+    else:
+        trainings = tuple(
+            bytes(
+                np.random.default_rng(seed * 31 + i)
+                .integers(97, 123, size=1024)
+                .astype(np.uint8)
+            )
+            for i in range(fingerprints)
+        )
     metrics = MetricsRegistry()
     cache = PlanCache(
         capacity=capacity if capacity is not None else max(fingerprints, 2),
@@ -292,6 +382,15 @@ def run_stress(
     # Per-worker stream cap of 4 ⇒ a max_streams default that can never
     # reject this schedule.
     local_cap = 4
+    if drift and drift_config is None:
+        # Sized for ~100-190 byte segments at n_threads simulated lanes:
+        # a heavier newest-sample weight so a handful of collapsed
+        # segments drags the EWMA through the threshold, two consecutive
+        # breaches to fire, and a warm-up that a few calm segments per
+        # class already satisfy.
+        drift_config = DriftConfig(
+            threshold=0.3, min_samples=32, ewma_alpha=0.5, hysteresis=2
+        )
     pool = MatcherPool(
         cache,
         config=config,
@@ -300,6 +399,7 @@ def run_stress(
         max_streams=max_streams if max_streams is not None else threads * local_cap,
         fused=fused,
         metrics=metrics,
+        drift=drift_config if drift else None,
     )
 
     per_worker = max(1, operations // threads)
@@ -342,7 +442,16 @@ def run_stress(
             # threads >= fingerprints every automaton races its cold
             # compile from several workers at the barrier.
             do_open(widx % fingerprints)
-            for _ in range(per_worker - 1):
+            for op in range(1, per_worker):
+                # Drift mode: calm traffic for the first half of the
+                # budget, drifted-hot for the second — every worker flips
+                # at the same op count, so the whole fleet's distribution
+                # shifts mid-run.
+                if drift:
+                    drifted = op >= per_worker // 2
+                    segment_of = lambda: _drift_segment(rng, drifted)  # noqa: E731
+                else:
+                    segment_of = lambda: _random_segment(rng)  # noqa: E731
                 roll = float(rng.random())
                 if not open_streams or (
                     roll < 0.2 and len(open_streams) < local_cap
@@ -354,7 +463,7 @@ def run_stress(
                         # stream, coalesced into a single feed_many call
                         # (same-fingerprint streams fuse into one batch).
                         feeds = [
-                            (entry[0], _random_segment(rng))
+                            (entry[0], segment_of())
                             for entry in open_streams
                         ]
                         outcomes = pool.feed_many(feeds)
@@ -367,7 +476,7 @@ def run_stress(
                     else:
                         slot = int(rng.integers(0, len(open_streams)))
                         sid, _, segments = open_streams[slot]
-                        segment = _random_segment(rng)
+                        segment = segment_of()
                         pool.feed(sid, segment)
                         segments.append(segment)
                 else:
@@ -387,6 +496,9 @@ def run_stress(
         t.start()
     for t in pool_threads:
         t.join()
+    # Let in-flight background revises land before auditing — the swaps
+    # themselves raced live traffic; only the bookkeeping waits here.
+    pool.drain_revisions(timeout=60.0)
     elapsed = perf_counter() - started
 
     # ------------------------------------------------------------------
@@ -461,6 +573,7 @@ def run_stress(
         seed=seed,
         fused=fused,
         equivalent_mix=equivalent_mix,
+        drift=drift,
         variants=variants if equivalent_mix else 1,
         elapsed_s=elapsed,
         streams_opened=int(pool_stats["opened"]),
@@ -477,6 +590,14 @@ def run_stress(
             len(tuple(cache.directory.glob("*.npz")))
             if cache.directory is not None
             else 0
+        ),
+        drift_triggers=int(exported.get("drift.triggers", 0)),
+        drift_revises=int(exported.get("drift.revises", 0)),
+        drift_swaps=int(exported.get("drift.swaps", 0)),
+        drift_revise_errors=int(exported.get("drift.revise_errors", 0)),
+        scheme_switches=sum(
+            int(getattr(stats, "scheme_switches", 0))
+            for stats, _, _, _ in closed_records
         ),
         oracle_failures=oracle_failures,
         errors=errors,

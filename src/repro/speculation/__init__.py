@@ -8,6 +8,7 @@ are stored in the bounded register/shared-memory hierarchy of Fig. 5
 """
 
 from repro.speculation.chunks import Partition, partition_input
+from repro.speculation.observations import LiveObservations
 from repro.speculation.predictor import (
     LOOKBACK,
     Prediction,
@@ -35,6 +36,7 @@ __all__ = [
     "DEFAULT_OTHERS_CAPACITY",
     "DEFAULT_OWN_CAPACITY",
     "LOOKBACK",
+    "LiveObservations",
     "LookbackPredictor",
     "OraclePredictor",
     "PREDICTOR_REGISTRY",

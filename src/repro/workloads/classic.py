@@ -134,3 +134,86 @@ def cyclic_rotator(n_states: int, n_symbols: int = 256) -> DFA:
     col = (np.arange(n_states, dtype=np.int64) + 1) % n_states
     table = np.tile(col[:, None], (1, n_symbols)).astype(STATE_DTYPE)
     return DFA(table=table, start=0, accepting=frozenset({0}), name=f"rot{n_states}")
+
+
+def drifting_phase(
+    n_states: int = 128,
+    n_symbols: int = 256,
+    hot_symbols: int = 16,
+    multiplier: int = 5,
+) -> DFA:
+    """Two-regime FSM for online-adaptation workloads.
+
+    The alphabet splits into a *calm* region (every symbol below
+    ``n_symbols - hot_symbols``) and a *hot* region (the top
+    ``hot_symbols`` symbol values):
+
+    * calm symbols collapse the state into a 4-state orbit
+      (``state' = (state mod 4 + 1) mod 4``) — any window containing one
+      calm symbol has an image of at most 4 states, so spec-4 speculation
+      covers the truth and the Fig. 6 selector picks **PM** on
+      calm-dominated training input;
+    * hot symbols apply an affine permutation
+      (``state' = (multiplier·state + sym) mod n_states``) — the image
+      never shrinks, so on hot-dominated traffic lookback-2 accuracy
+      degrades to ``k / n_states`` and speculation becomes hopeless.
+
+    Which regime an input exercises is purely a property of its symbol
+    *distribution* (see :func:`drifting_phase_input`): shift the hot
+    density mid-stream and the compiled PM choice silently decays — the
+    workload the serving tier's drift monitor exists to catch.
+    """
+    if n_states < 8:
+        raise AutomatonError(f"need at least 8 states, got {n_states}")
+    if not (0 < hot_symbols < n_symbols):
+        raise AutomatonError(
+            f"hot_symbols must be in (0, {n_symbols}), got {hot_symbols}"
+        )
+    if np.gcd(multiplier, n_states) != 1:
+        raise AutomatonError(
+            f"multiplier {multiplier} must be coprime to n_states {n_states}"
+        )
+    states = np.arange(n_states, dtype=np.int64)
+    calm = (states % 4 + 1) % 4
+    table = np.tile(calm[:, None], (1, n_symbols))
+    hot_lo = n_symbols - hot_symbols
+    syms = np.arange(hot_lo, n_symbols, dtype=np.int64)[None, :]
+    table[:, hot_lo:] = (multiplier * states[:, None] + syms) % n_states
+    return DFA(
+        table=table.astype(STATE_DTYPE),
+        start=0,
+        accepting=frozenset({0}),
+        name=f"drifting_phase{n_states}",
+    )
+
+
+def drifting_phase_input(
+    length: int,
+    *,
+    drift_at: float = 0.5,
+    calm_hot_density: float = 0.05,
+    drifted_hot_density: float = 0.97,
+    seed: int = 0,
+    n_symbols: int = 256,
+    hot_symbols: int = 16,
+) -> bytes:
+    """An input whose symbol distribution shifts at ``drift_at``.
+
+    Positions before ``drift_at * length`` draw a hot symbol with
+    probability ``calm_hot_density`` (calm phase: PM is the right call);
+    positions after draw hot with ``drifted_hot_density`` (drifted phase:
+    speculation collapses).  Calm draws are lowercase ASCII so the stream
+    looks like ordinary text between hot bursts.  ``drift_at=1.0`` yields
+    a pure calm-phase stream (e.g. for training), ``drift_at=0.0`` a pure
+    drifted one.
+    """
+    rng = np.random.default_rng(seed)
+    hot_lo = n_symbols - hot_symbols
+    split = int(round(max(0.0, min(1.0, drift_at)) * length))
+    density = np.where(
+        np.arange(length) < split, calm_hot_density, drifted_hot_density
+    )
+    hot = rng.random(length) < density
+    calm_draws = rng.integers(ord("a"), ord("z") + 1, size=length)
+    hot_draws = rng.integers(hot_lo, n_symbols, size=length)
+    return bytes(np.where(hot, hot_draws, calm_draws).astype(np.uint8))

@@ -1,0 +1,174 @@
+"""Live plan revision: re-selection from drift evidence without re-profiling.
+
+``revise_plan`` re-runs the Fig. 6 selector walk and the cost model over a
+feature vector re-anchored by live observations — the expensive profiling
+stage is never repeated, the automaton/fingerprint/transformation artifacts
+are untouched, and the output is a new immutable artifact one revision up
+with the evidence recorded as provenance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.framework import GSpecPalConfig
+from repro.observability import MetricsRegistry
+from repro.plan import (
+    PLAN_FORMAT_VERSION,
+    compile_plan,
+    load_plan,
+    revise_plan,
+    save_plan,
+)
+from repro.selector.features import FSMFeatures
+from repro.speculation import LiveObservations
+from repro.workloads import classic
+
+
+@pytest.fixture(scope="module")
+def plan():
+    dfa = classic.drifting_phase(128)
+    training = classic.drifting_phase_input(4096, drift_at=1.0, seed=7)
+    return compile_plan(dfa, training, GSpecPalConfig(n_threads=32))
+
+
+def _hot_observations():
+    """Evidence shaped like the drifted phase: spec-4 accuracy ~0.10."""
+    return LiveObservations(
+        scheme="pm-spec4",
+        spec_k=4,
+        segments=2,
+        symbols=4096,
+        spec_hits=6,
+        spec_misses=56,
+        recovery_rounds=55,
+        recoveries_executed=55,
+    )
+
+
+def test_calm_training_selects_pm(plan):
+    assert plan.scheme == "pm"
+    assert plan.revision == 0
+    assert plan.live_provenance == {}
+
+
+def test_revise_reselects_from_live_evidence(plan):
+    metrics = MetricsRegistry()
+    revised = revise_plan(plan, _hot_observations(), metrics=metrics)
+
+    # Live accuracy collapse drives the walk to the speculation floor.
+    assert revised.scheme == "sfa"
+    assert revised.decision_path == ("speculation_floor",)
+    assert revised.revision == plan.revision + 1
+    assert revised.version == PLAN_FORMAT_VERSION
+
+    # Identity and transformation artifacts are untouched — that is what
+    # makes the hot-swap free of simulator/engine rebuild work.
+    assert revised.fingerprint == plan.fingerprint
+    assert revised.canonical_fingerprint == plan.canonical_fingerprint
+    assert revised.config_hash == plan.config_hash
+    assert np.array_equal(revised.frequency_order, plan.frequency_order)
+
+    # The evidence is recorded as provenance.
+    assert revised.live_provenance["prior_scheme"] == "pm"
+    assert revised.live_provenance["prior_revision"] == 0
+    assert revised.live_provenance["boundary_samples"] == 62
+    assert revised.live_provenance["spec_accuracy"] == pytest.approx(6 / 62)
+
+    # The feature vector carries the live anchors.
+    assert revised.features.live_accuracy == pytest.approx(6 / 62)
+    assert revised.features.live_samples == 62
+    assert revised.features.spec16_accuracy < 0.15
+
+    # Cost estimates are re-trained and the stage is timed + metered.
+    assert "sfa" in revised.cost_estimates
+    assert "revise" in revised.stage_timings_ms
+    assert metrics.as_dict()["compile.stage.revise_ms.count"] == 1.0
+
+
+def test_revise_without_evidence_is_identity(plan):
+    assert revise_plan(plan, None) is plan
+    sample_free = LiveObservations(scheme="sfa", spec_k=1, segments=3, symbols=999)
+    assert revise_plan(plan, sample_free) is plan
+
+
+def test_revised_plan_roundtrips(plan, tmp_path):
+    revised = revise_plan(plan, _hot_observations())
+    path = save_plan(revised, tmp_path / "revised.npz")
+    loaded = load_plan(path)
+    assert loaded.revision == revised.revision
+    assert loaded.scheme == revised.scheme
+    assert loaded.decision_path == revised.decision_path
+    assert loaded.live_provenance == revised.live_provenance
+    assert loaded.features.live_accuracy == pytest.approx(
+        revised.features.live_accuracy
+    )
+    assert loaded.features.live_samples == revised.features.live_samples
+
+
+def test_summary_reports_revision(plan):
+    assert "[revision" not in plan.summary()
+    revised = revise_plan(plan, _hot_observations())
+    assert "[revision 1]" in revised.summary()
+
+
+# ----------------------------------------------------------------------
+# FSMFeatures.update_from_observations units
+# ----------------------------------------------------------------------
+def _features(spec1=0.2, spec4=0.8, spec16=1.0):
+    return FSMFeatures(
+        name="unit",
+        n_states=64,
+        spec1_accuracy=spec1,
+        spec4_accuracy=spec4,
+        spec16_accuracy=spec16,
+        sensitivity=0.05,
+        convergence_states=4.0,
+        profiling_seconds=0.1,
+        reachable_width=4.0,
+    )
+
+
+def test_update_scales_the_whole_accuracy_family():
+    features = _features()
+    obs = LiveObservations(
+        scheme="pm-spec4", spec_k=4, segments=1, symbols=512,
+        spec_hits=4, spec_misses=6,
+    )
+    updated = features.update_from_observations(obs)
+    ratio = 0.4 / 0.8  # live spec-4 over the spec-4 anchor
+    assert updated.spec4_accuracy == pytest.approx(0.4)
+    assert updated.spec1_accuracy == pytest.approx(0.2 * ratio)
+    assert updated.spec16_accuracy == pytest.approx(1.0 * ratio)
+    assert updated.live_accuracy == pytest.approx(0.4)
+    assert updated.live_samples == 10
+    # Structural features stay profiled.
+    assert updated.convergence_states == features.convergence_states
+    assert updated.reachable_width == features.reachable_width
+    assert updated.sensitivity == features.sensitivity
+
+
+def test_update_clips_to_valid_accuracy():
+    features = _features(spec1=0.5, spec4=0.5, spec16=0.9)
+    obs = LiveObservations(
+        scheme="pm-spec4", spec_k=4, segments=1, symbols=512,
+        spec_hits=10, spec_misses=0,
+    )
+    updated = features.update_from_observations(obs)
+    # Ratio 2.0 would push spec16 to 1.8 — clipped to 1.0.
+    assert updated.spec16_accuracy == 1.0
+    assert updated.spec4_accuracy == 1.0
+
+
+def test_update_without_evidence_is_identity():
+    features = _features()
+    assert features.update_from_observations(None) is features
+    empty = LiveObservations(scheme="sfa", spec_k=1, segments=2, symbols=64)
+    assert features.update_from_observations(empty) is features
+
+
+def test_as_dict_round_trips_live_fields():
+    features = _features()
+    rebuilt = FSMFeatures(**features.as_dict())
+    assert rebuilt == features
+    assert rebuilt.live_accuracy == -1.0
+    assert rebuilt.live_samples == 0

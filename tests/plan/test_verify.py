@@ -73,6 +73,31 @@ def test_unsupported_version_rejected(plan, tmp_path):
         load_plan(path)
 
 
+def test_v2_plan_loads_with_adaptation_defaults(plan, tmp_path):
+    """A pre-adaptation (v2) artifact loads unchanged: no revision, no
+    provenance, pristine profiled anchors — upgrade-on-load, not reject."""
+    path = save_plan(plan, tmp_path / "p.npz")
+
+    def downgrade(arrays):
+        meta = json.loads(str(arrays["meta"]))
+        meta["version"] = 2
+        meta.pop("revision")
+        meta.pop("live_provenance")
+        for key in ("live_accuracy", "live_samples"):
+            meta["features"].pop(key)
+        arrays["meta"] = np.asarray(json.dumps(meta))
+
+    _rewrite(path, downgrade)
+    loaded = load_plan(path)
+    assert loaded.version == PLAN_FORMAT_VERSION  # saved back as v3
+    assert loaded.revision == 0
+    assert loaded.live_provenance == {}
+    assert loaded.features.live_accuracy == -1.0
+    assert loaded.features.live_samples == 0
+    loaded.verify(plan.dfa)  # still serves the same automaton
+    assert loaded.scheme == plan.scheme
+
+
 def test_verify_against_wrong_dfa(plan):
     other = classic.div7()
     with pytest.raises(PlanError, match="recompile"):

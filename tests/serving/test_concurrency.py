@@ -63,6 +63,31 @@ def test_soak_eight_threads_four_fingerprints(backend):
     assert report.pool_stats["active_streams"] == 0
 
 
+@pytest.mark.parametrize("backend", ["sim", "fast"])
+def test_drift_soak_revises_under_contention(backend):
+    """Drift mode: live traffic collapses mid-run, background revises and
+    segment-boundary hot-swaps race the worker threads, and every closed
+    stream still matches the oracle bit-for-bit."""
+    report = run_stress(
+        threads=8,
+        fingerprints=2,
+        operations=300,
+        seed=3,
+        backend=backend,
+        drift=True,
+    )
+    assert report.ok, report.summary()
+    assert report.drift_revise_errors == 0
+    # The distribution shift provoked at least one background revise, and
+    # streams open across the swap were switched at a segment boundary.
+    assert report.drift_revises >= 1
+    assert report.drift_swaps >= 1
+    assert report.scheme_switches >= 1
+    # Revises never touch the compiler: still one compile per class.
+    assert report.compiles == report.fingerprints_used
+    assert report.pool_stats["revising"] == 0
+
+
 def test_soak_is_deterministic_per_stream():
     a = run_stress(threads=4, fingerprints=2, operations=80, seed=5)
     b = run_stress(threads=4, fingerprints=2, operations=80, seed=5)

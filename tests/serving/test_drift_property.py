@@ -1,0 +1,114 @@
+"""Property-based online-adaptation audit: drifting serving vs the oracle.
+
+Hypothesis drives a random serving schedule — interleaved opens (selected
+and forced-sequential streams), calm feeds, drifted-hot feeds, and closes
+— over a drift-enabled :class:`MatcherPool` with a hair-trigger
+synchronous :class:`DriftConfig`, so revises and segment-boundary
+hot-swaps fire *inside* the schedule whenever the traffic happens to
+collapse accuracy.  Whatever the schedule and however many swaps land,
+every stream's final state at close must equal ``dfa.run`` over exactly
+the bytes that stream was fed, in order — on both backends.
+
+Plans are compiled once into a module-shared cache; revises mutate the
+resident plan (that is the point), so later examples also exercise
+serving from an already-revised artifact.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.framework import GSpecPalConfig
+from repro.serving import DriftConfig, MatcherPool, PlanCache
+from repro.workloads import classic
+
+CONFIG = GSpecPalConfig(n_threads=8)
+DFA = classic.drifting_phase(64)
+TRAINING = classic.drifting_phase_input(1024, drift_at=1.0, seed=3)
+#: Warm, shared across examples: the fingerprint compiles exactly once
+#: for the whole module, not once per shrink attempt.
+SHARED_CACHE = PlanCache(capacity=2, config=CONFIG)
+#: Hair-trigger so random schedules actually revise: one breaching
+#: observation past an 8-boundary warm-up fires, inline.
+DRIFT = DriftConfig(
+    threshold=0.2,
+    min_samples=8,
+    ewma_alpha=0.8,
+    hysteresis=1,
+    synchronous=True,
+)
+
+seed = st.integers(min_value=0, max_value=2**31 - 1)
+# Per-stream feeds partition each segment into n_threads chunks, so a
+# segment must carry at least n_threads symbols (pre-existing contract —
+# the fused path is the one that accepts ragged/empty segments).
+length = st.integers(min_value=8, max_value=96)
+
+op = st.one_of(
+    st.tuples(st.just("open"), st.booleans()),
+    st.tuples(st.just("calm"), st.integers(0, 63), length, seed),
+    st.tuples(st.just("hot"), st.integers(0, 63), length, seed),
+    st.tuples(st.just("close"), st.integers(0, 63)),
+)
+
+
+@pytest.mark.parametrize("backend", ["fast", "sim"])
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(schedule=st.lists(op, min_size=1, max_size=24))
+def test_drifting_schedule_matches_oracle(backend, schedule):
+    pool = MatcherPool(
+        SHARED_CACHE,
+        config=CONFIG,
+        backend=backend,
+        max_streams=16,
+        drift=DRIFT,
+    )
+    #: [stream_id, bytearray of everything fed, forced?]
+    open_streams = []
+
+    def check_close(slot):
+        sid, fed, forced = open_streams.pop(slot)
+        stats = pool.close(sid)
+        expected = int(DFA.run(bytes(fed)))
+        assert stats.end_state == expected
+        assert stats.accepts == (expected in DFA.accepting)
+        assert stats.total_symbols == len(fed)
+        if forced:
+            assert stats.decision_path == ("forced",)
+            assert stats.scheme_switches == 0
+
+    for action in schedule:
+        if action[0] == "open":
+            if len(open_streams) >= 16:
+                continue
+            forced = action[1]
+            sid = pool.open(
+                DFA,
+                training_input=TRAINING,
+                scheme="seq" if forced else None,
+            )
+            open_streams.append([sid, bytearray(), forced])
+        elif action[0] in ("calm", "hot"):
+            if not open_streams:
+                continue
+            _, slot, n, s = action
+            entry = open_streams[slot % len(open_streams)]
+            segment = classic.drifting_phase_input(
+                n, drift_at=1.0 if action[0] == "calm" else 0.0, seed=s
+            )
+            result = pool.feed(entry[0], segment)
+            entry[1] += segment
+            assert result.end_state == int(DFA.run(bytes(entry[1])))
+        else:  # close
+            if not open_streams:
+                continue
+            check_close(action[1] % len(open_streams))
+
+    while open_streams:
+        check_close(len(open_streams) - 1)
+    assert pool.active == 0
+    assert pool.stats()["revising"] == 0  # synchronous revises never linger

@@ -1,0 +1,76 @@
+"""The two-regime online-adaptation workload: calm collapse, hot scatter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AutomatonError
+from repro.workloads import classic
+
+
+def _visited(dfa, data):
+    state = dfa.start
+    seen = set()
+    for b in data:
+        state = int(dfa.table[state, b])
+        seen.add(state)
+    return seen, state
+
+
+def test_validations():
+    with pytest.raises(AutomatonError, match="8 states"):
+        classic.drifting_phase(n_states=4)
+    with pytest.raises(AutomatonError, match="hot_symbols"):
+        classic.drifting_phase(hot_symbols=256)
+    with pytest.raises(AutomatonError, match="coprime"):
+        classic.drifting_phase(n_states=125, multiplier=5)
+
+
+def test_calm_traffic_collapses_to_the_orbit():
+    dfa = classic.drifting_phase(128)
+    calm = classic.drifting_phase_input(
+        512, drift_at=1.0, calm_hot_density=0.0, seed=1
+    )
+    seen, end = _visited(dfa, calm)
+    # One calm symbol collapses any state into the 4-state orbit: spec-4
+    # speculation covers the truth exactly.
+    assert seen <= {0, 1, 2, 3}
+    assert end == int(dfa.run(calm))
+
+
+def test_hot_traffic_scatters_across_the_state_space():
+    dfa = classic.drifting_phase(128)
+    hot = classic.drifting_phase_input(512, drift_at=0.0, seed=1)
+    seen, _ = _visited(dfa, hot)
+    # The affine permutation keeps the image wide — top-k speculation at
+    # any small k is hopeless here.
+    assert len(seen) > 32
+
+
+def test_hot_step_is_a_permutation():
+    dfa = classic.drifting_phase(64, multiplier=5)
+    for sym in range(256 - 16, 256):
+        column = dfa.table[:, sym]
+        assert len(set(int(s) for s in column)) == dfa.n_states
+
+
+def test_input_densities_and_determinism():
+    hot_lo = 256 - 16
+    calm = classic.drifting_phase_input(8192, drift_at=1.0, seed=9)
+    drifted = classic.drifting_phase_input(8192, drift_at=0.0, seed=9)
+    calm_frac = np.mean(np.frombuffer(calm, dtype=np.uint8) >= hot_lo)
+    hot_frac = np.mean(np.frombuffer(drifted, dtype=np.uint8) >= hot_lo)
+    assert calm_frac == pytest.approx(0.05, abs=0.02)
+    assert hot_frac == pytest.approx(0.97, abs=0.02)
+    # Deterministic per seed.
+    assert calm == classic.drifting_phase_input(8192, drift_at=1.0, seed=9)
+    assert calm != classic.drifting_phase_input(8192, drift_at=1.0, seed=10)
+
+
+def test_split_point_shifts_the_distribution():
+    data = np.frombuffer(
+        classic.drifting_phase_input(4096, drift_at=0.5, seed=2), dtype=np.uint8
+    )
+    hot_lo = 256 - 16
+    first, second = data[:2048], data[2048:]
+    assert np.mean(first >= hot_lo) < 0.15
+    assert np.mean(second >= hot_lo) > 0.85
