@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Run a seeded traffic scenario through the TCP gateway, gated for CI.
+
+Loads a builtin scenario (``smoke`` / ``capacity`` / ``bursty-mix``) or a
+YAML/JSON scenario file, drives it over real localhost sockets with a
+fleet of asyncio clients, audits every closed stream against the
+``dfa.run`` oracle, writes one JSONL line per request, and holds the run
+to the scenario's regression gates (p99 open/feed latency, throughput,
+reject rate).  Exits non-zero on any oracle mismatch, worker error,
+revise-thread straggler, or gate violation.  Same engine as
+``repro scenario`` (`repro.scenarios.run_scenario`).
+
+CI runs the builtins seeded on both backends with ``REPRO_SELFCHECK=1``
+so every segment additionally passes the runtime invariant audits::
+
+    PYTHONPATH=src REPRO_SELFCHECK=1 python scripts/run_scenario.py \\
+        smoke --backend fast --out results/smoke-fast.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "scenario",
+        help="builtin scenario name or a YAML/JSON scenario file",
+    )
+    parser.add_argument(
+        "--host",
+        default=None,
+        help="target an already-running gateway instead of an embedded one",
+    )
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument(
+        "--backend",
+        choices=("sim", "fast"),
+        default=None,
+        help="override the scenario's execution backend",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's seed"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="JSONL",
+        help="write one JSON line per request",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.scenarios import (
+        BUILTIN_SCENARIOS,
+        builtin_scenario,
+        load_scenario,
+        run_scenario,
+    )
+
+    if args.scenario in BUILTIN_SCENARIOS:
+        scenario = builtin_scenario(args.scenario)
+    else:
+        scenario = load_scenario(args.scenario)
+    overrides = {}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        scenario = scenario.replace(**overrides)
+
+    report = run_scenario(
+        scenario,
+        host=args.host,
+        port=args.port,
+        out_path=args.out,
+        log=print,
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

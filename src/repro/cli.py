@@ -319,6 +319,90 @@ def cmd_stress(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.framework.config import GSpecPalConfig
+    from repro.gateway import GatewayServer
+    from repro.observability import MetricsRegistry
+    from repro.serving.cache import PlanCache
+    from repro.serving.pool import MatcherPool
+
+    registry = MetricsRegistry()
+    config = GSpecPalConfig(n_threads=args.threads)
+    pool = MatcherPool(
+        PlanCache(capacity=args.capacity, config=config, metrics=registry),
+        config=config,
+        backend=args.backend,
+        max_streams=args.max_streams,
+        open_timeout=args.open_timeout,
+        fused=args.fused,
+        metrics=registry,
+    )
+    server = GatewayServer(
+        pool,
+        host=args.host,
+        port=args.port,
+        metrics=registry,
+        drain_timeout=args.drain_timeout,
+        log=print,
+    )
+
+    async def serve() -> int:
+        await server.start()
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            stragglers = await server.stop()
+            if stragglers:
+                print(f"WARNING: {stragglers} revise threads outlived drain")
+                return 1
+        return 0
+
+    try:
+        return asyncio.run(serve())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_scenario(args) -> int:
+    from repro.scenarios import (
+        BUILTIN_SCENARIOS,
+        builtin_scenario,
+        load_scenario,
+        run_scenario,
+    )
+
+    if args.list:
+        for name, doc in BUILTIN_SCENARIOS.items():
+            print(f"{name:12s} {doc.get('label', '')}")
+        return 0
+    if args.scenario is None:
+        print("error: a scenario name or file is required (or --list)")
+        return 2
+    if args.scenario in BUILTIN_SCENARIOS:
+        scenario = builtin_scenario(args.scenario)
+    else:
+        scenario = load_scenario(args.scenario)
+    overrides = {}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        scenario = scenario.replace(**overrides)
+    report = run_scenario(
+        scenario,
+        host=args.host,
+        port=args.port,
+        out_path=args.out,
+        log=print,
+    )
+    return 0 if report.ok else 1
+
+
 def cmd_compare(args) -> int:
     member, pal, data = _build(args)
     results = pal.compare_schemes(data)
@@ -516,6 +600,79 @@ def main(argv=None) -> int:
         help="plan-cache spill directory (audited in the equivalent mix)",
     )
     p.set_defaults(func=cmd_stress)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the TCP gateway over a shared serving pool",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=7770, help="0 picks a free port"
+    )
+    p.add_argument(
+        "--backend",
+        choices=("sim", "fast"),
+        default=None,
+        help="execution backend for every matcher ($REPRO_BACKEND default)",
+    )
+    p.add_argument("--threads", type=int, default=8, help="lanes per matcher")
+    p.add_argument("--max-streams", type=int, default=64)
+    p.add_argument(
+        "--open-timeout",
+        type=float,
+        default=None,
+        help="seconds an open waits for a slot before a capacity reject "
+        "(default: reject immediately)",
+    )
+    p.add_argument("--capacity", type=int, default=16, help="plan-cache size")
+    p.add_argument(
+        "--fused",
+        action="store_true",
+        help="gang-schedule same-fingerprint feeds into fused batches",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="shared deadline for background revise threads at shutdown",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "scenario",
+        help="drive a seeded traffic scenario through the gateway",
+    )
+    p.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="builtin name (see --list) or a YAML/JSON scenario file",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list builtin scenarios"
+    )
+    p.add_argument(
+        "--host",
+        default=None,
+        help="target an already-running gateway instead of an embedded one",
+    )
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument(
+        "--backend",
+        choices=("sim", "fast"),
+        default=None,
+        help="override the scenario's execution backend",
+    )
+    p.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's seed"
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="JSONL",
+        help="write one JSON line per request",
+    )
+    p.set_defaults(func=cmd_scenario)
 
     args = parser.parse_args(argv)
     return args.func(args)

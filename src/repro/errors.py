@@ -107,6 +107,17 @@ class ServingError(ReproError):
           compile from;
         - ``"invalid_argument"`` — structurally bad call (missing dfa/plan,
           non-positive capacity, ...).
+
+        The network gateway (:mod:`repro.gateway`) passes these codes
+        through the wire verbatim and adds its own:
+
+        - ``"bad_request"`` — malformed JSON line, unknown op, or a
+          missing/ill-typed request field;
+        - ``"not_owner"`` — a connection addressed a stream id that a
+          different connection opened;
+        - ``"connection_closed"`` / ``"protocol_error"`` — client-side
+          codes for a torn connection or a response that does not match
+          its request.
     retryable:
         Whether the same call can sensibly be retried later (true for
         ``"capacity"``: close a stream or wait, then reopen).
@@ -135,6 +146,16 @@ class ServingError(ReproError):
         if context:
             message = f"{message} [{', '.join(context)}]"
         super().__init__(message)
+
+
+class ScenarioError(ReproError):
+    """A traffic scenario document is invalid (:mod:`repro.scenarios`).
+
+    Raised when a YAML/JSON scenario fails schema validation — unknown
+    arrival kind, weights that do not sum to a distribution, a tenant FSM
+    spec naming an unknown workload — or when a scenario file cannot be
+    parsed.  The message always names the offending field.
+    """
 
 
 class SelfCheckError(ReproError):

@@ -1,0 +1,21 @@
+"""Network-facing serving: TCP gateway over a shared MatcherPool.
+
+The gateway is the serving tier's first step out of the process:
+
+* :mod:`repro.gateway.protocol` — the newline-delimited-JSON wire
+  protocol (``open`` / ``feed`` / ``feed_many`` / ``close`` / ``stats``)
+  with structured :class:`~repro.errors.ServingError` passthrough;
+* :mod:`repro.gateway.server` — :class:`GatewayServer`, the asyncio TCP
+  front-end with per-connection stream ownership, orphan reaping,
+  capacity backpressure and graceful drain;
+* :mod:`repro.gateway.client` — :class:`GatewayClient`, the reference
+  asyncio client the scenario runner and the integration tests use.
+
+See ``docs/architecture.md`` ("Network gateway & scenarios") for the
+full wire contract.
+"""
+
+from repro.gateway.client import GatewayClient
+from repro.gateway.server import GatewayServer
+
+__all__ = ["GatewayClient", "GatewayServer"]

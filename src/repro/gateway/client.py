@@ -1,0 +1,150 @@
+"""Asyncio client for the gateway's newline-delimited-JSON protocol.
+
+:class:`GatewayClient` is the reference client: the scenario runner and
+the integration tests drive the server with it over real sockets.  One
+client is one connection; requests on it are strictly sequential (send,
+await response, send the next) which mirrors the server's per-connection
+contract — open several clients for concurrency.
+
+Wire errors are re-raised as the structured
+:class:`~repro.errors.ServingError` they encode, so a caller retrying a
+``capacity`` reject writes exactly the same ``except`` clause it would
+against an in-process :class:`~repro.serving.MatcherPool`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServingError
+from repro.gateway import protocol
+
+
+class GatewayClient:
+    """One TCP connection speaking the gateway protocol.
+
+    Build with :meth:`connect`; close with :meth:`aclose` (or use as an
+    async context manager).
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        #: serializes request/response pairs on this connection.
+        self._turn = asyncio.Lock()
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, timeout: float = 10.0
+    ) -> "GatewayClient":
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(
+                host, port, limit=protocol.MAX_LINE_BYTES
+            ),
+            timeout,
+        )
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "GatewayClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Close the connection (orphaned streams are the server's to reap)."""
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    # ------------------------------------------------------------------
+    async def _request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        async with self._turn:
+            request_id = self._next_id
+            self._next_id += 1
+            message = {"op": op, "id": request_id, **fields}
+            self._writer.write(protocol.encode_line(message))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ServingError(
+                f"gateway closed the connection during {op!r}",
+                code="connection_closed",
+            )
+        response = protocol.decode_line(line)
+        if response.get("id") != request_id:
+            raise ServingError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id} (op {op!r})",
+                code="protocol_error",
+            )
+        if not response.get("ok"):
+            raise protocol.error_from_wire(response.get("error") or {})
+        return response
+
+    # ------------------------------------------------------------------
+    async def open(
+        self,
+        dfa,
+        *,
+        training: Optional[bytes] = None,
+        scheme: Optional[str] = None,
+    ) -> int:
+        """Open a stream for ``dfa``; returns the server's stream id."""
+        response = await self._request(
+            "open",
+            dfa=protocol.dfa_to_wire(dfa),
+            training_b64=(
+                protocol.segment_to_wire(training)
+                if training is not None
+                else None
+            ),
+            scheme=scheme,
+        )
+        return int(response["stream"])
+
+    async def feed(self, stream: int, segment) -> Dict[str, Any]:
+        """Feed one segment; returns ``end_state`` / ``accepts`` / ``symbols``."""
+        response = await self._request(
+            "feed",
+            stream=int(stream),
+            segment_b64=protocol.segment_to_wire(segment),
+        )
+        return {
+            "end_state": response["end_state"],
+            "accepts": response["accepts"],
+            "symbols": response["symbols"],
+        }
+
+    async def feed_many(
+        self, feeds: Sequence[Tuple[int, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Gang-feed many ``(stream, segment)`` pairs in one request."""
+        response = await self._request(
+            "feed_many",
+            feeds=[
+                {
+                    "stream": int(sid),
+                    "segment_b64": protocol.segment_to_wire(segment),
+                }
+                for sid, segment in feeds
+            ],
+        )
+        return list(response["outcomes"])
+
+    async def close_stream(self, stream: int) -> Dict[str, Any]:
+        """Close a stream; returns its wire-form close summary."""
+        response = await self._request("close", stream=int(stream))
+        return dict(response["stats"])
+
+    async def stats(self) -> Dict[str, Any]:
+        """Gateway + pool stats snapshot."""
+        response = await self._request("stats")
+        return dict(response["stats"])
+
+
+__all__ = ["GatewayClient"]

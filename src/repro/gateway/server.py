@@ -1,0 +1,443 @@
+"""Asyncio TCP front-end serving a :class:`~repro.serving.MatcherPool`.
+
+:class:`GatewayServer` is the first layer of the system that leaves the
+process: remote tenants speak the newline-delimited-JSON protocol of
+:mod:`repro.gateway.protocol` over a plain TCP socket, and every verb
+lands on one shared, thread-safe :class:`~repro.serving.MatcherPool` —
+so N connections multiplex over the same plan cache, warmed matchers,
+admission control, and drift monitors the in-process serving tier
+already provides.
+
+Design contract
+---------------
+* **One event loop, pool work off-loop.**  The asyncio loop only parses
+  and frames; every pool call (``open`` compiles, ``feed`` runs a
+  scheme — both CPU-bound and blocking) runs in a worker thread via
+  :func:`asyncio.to_thread`.  The pool is thread-safe by construction
+  (PR 5), so concurrent connections genuinely execute concurrently.
+* **Per-connection stream ownership.**  A stream id belongs to the
+  connection that opened it; feeds/closes from any other connection get
+  a structured ``code="not_owner"`` error.  When a connection drops —
+  mid-feed included — its orphaned streams are closed server-side
+  (counted by ``gateway.orphans_closed``), so a flaky client can never
+  leak pool capacity.
+* **Requests are sequential per connection**, pipelined across
+  connections: the handler awaits each response before reading the next
+  line, which preserves per-stream feed order with zero extra locking.
+  Clients that want parallelism open more connections.
+* **Backpressure is the pool's admission control.**  An ``open`` beyond
+  ``max_streams`` waits up to the pool's ``open_timeout`` for a slot and
+  then fails with the retryable ``code="capacity"`` error — which the
+  admission-before-compile ordering guarantees cost no compile work —
+  so the wire-level reject is cheap and honest.
+* **Graceful drain.**  :meth:`stop` stops accepting, closes client
+  connections, closes every remaining stream (``close_all``), then
+  drains in-flight background revises under one shared deadline
+  (``drain_revisions``); revise threads still alive afterwards are
+  reported via ``gateway.drain_stragglers`` and the return value.
+
+Metrics (the ``gateway.*`` family, see ``docs/observability.md``) are
+recorded under a dedicated lock, so attaching the same registry as the
+pool keeps every serving + gateway counter in one export.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from time import perf_counter
+from typing import Dict, Optional, Set
+
+from repro.errors import ServingError
+from repro.gateway import protocol
+from repro.serving.pool import MatcherPool
+
+
+class GatewayServer:
+    """Serve a :class:`MatcherPool` over TCP (newline-delimited JSON).
+
+    Parameters
+    ----------
+    pool:
+        The shared pool to serve.  When omitted, a private one is built
+        from ``pool_kwargs`` (forwarded verbatim to
+        :class:`~repro.serving.MatcherPool` — ``config``, ``backend``,
+        ``max_streams``, ``open_timeout``, ``fused``, ``drift``, ...).
+    host / port:
+        Bind address; ``port=0`` picks a free port (``self.port`` holds
+        the bound one after :meth:`start` — the tests and the embedded
+        scenario runner rely on this).
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry` receiving
+        the ``gateway.*`` family.  Defaults to the pool's registry so one
+        export covers both tiers.
+    drain_timeout:
+        Shared deadline (seconds) for :meth:`stop`'s revise drain.
+    max_line_bytes:
+        Reader limit per request line (a rogue client cannot balloon
+        memory; overruns answer ``bad_request`` and drop the connection).
+    log:
+        Optional ``print``-like callable for lifecycle messages.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[MatcherPool] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics=None,
+        drain_timeout: float = 10.0,
+        max_line_bytes: int = protocol.MAX_LINE_BYTES,
+        log=None,
+        **pool_kwargs,
+    ):
+        if pool is None:
+            pool = MatcherPool(metrics=metrics, **pool_kwargs)
+        elif pool_kwargs:
+            raise ValueError(
+                "pass pool kwargs or a prebuilt pool, not both: "
+                f"{sorted(pool_kwargs)}"
+            )
+        self.pool = pool
+        self.host = host
+        self._requested_port = int(port)
+        self.metrics = metrics if metrics is not None else pool.metrics
+        self.drain_timeout = float(drain_timeout)
+        self.max_line_bytes = int(max_line_bytes)
+        self.log = log
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handlers: Set[asyncio.Task] = set()
+        #: stream id → connection id (ownership map; gateway-level state).
+        self._owners: Dict[int, int] = {}
+        self._next_conn_id = 0
+        self._stopping = False
+        #: guards gateway metric records + the ownership map (pool calls
+        #: run in worker threads; bookkeeping must stay exact).
+        self._glock = threading.Lock()
+        self._connections_total = 0
+        self._requests_total = 0
+        self._rejects_total = 0
+        self._orphans_closed = 0
+        self._drained_streams = 0
+        self._drain_stragglers = 0
+
+    # ------------------------------------------------------------------
+    # metrics (called with self._glock held)
+    # ------------------------------------------------------------------
+    def _metric_inc(self, name: str, amount: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _metric_observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value)
+
+    def _metric_gauge(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(name).set(value)
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    def stats(self) -> Dict[str, object]:
+        """Gateway-level counters + the wrapped pool's stats."""
+        with self._glock:
+            return {
+                "protocol_version": protocol.PROTOCOL_VERSION,
+                "connections": self._connections_total,
+                "active_connections": len(self._handlers),
+                "requests": self._requests_total,
+                "rejects": self._rejects_total,
+                "orphans_closed": self._orphans_closed,
+                "drained_streams": self._drained_streams,
+                "drain_stragglers": self._drain_stragglers,
+                "pool": self.pool.stats(),
+            }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self._requested_port,
+            limit=self.max_line_bytes,
+        )
+        if self.log is not None:
+            self.log(f"gateway listening on {self.host}:{self.port}")
+
+    async def serve_forever(self) -> None:
+        """Block serving until cancelled (``repro serve`` runs this)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> int:
+        """Graceful drain: stop accepting, close streams, drain revises.
+
+        Returns the number of revise threads still running when the
+        shared drain deadline expired (0 on a clean shutdown; also
+        recorded as ``gateway.drain_stragglers``).
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in tuple(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        closed = await asyncio.to_thread(self.pool.close_all)
+        stragglers = await asyncio.to_thread(
+            self.pool.drain_revisions, self.drain_timeout
+        )
+        with self._glock:
+            self._drained_streams += len(closed)
+            self._metric_inc("gateway.drained_streams", len(closed))
+            self._drain_stragglers = stragglers
+            self._metric_gauge("gateway.drain_stragglers", stragglers)
+            self._owners.clear()
+        if self.log is not None:
+            self.log(
+                f"gateway drained: {len(closed)} streams closed, "
+                f"{stragglers} revise stragglers"
+            )
+        return stragglers
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        with self._glock:
+            conn_id = self._next_conn_id
+            self._next_conn_id += 1
+            self._connections_total += 1
+            self._metric_inc("gateway.connections")
+            self._metric_gauge("gateway.active_connections", len(self._handlers))
+        try:
+            while not self._stopping:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                    ConnectionError,
+                ):
+                    # Oversized line or torn connection: the framing is
+                    # unrecoverable, drop the client.
+                    break
+                if not line:
+                    break  # EOF: client hung up
+                if not line.strip():
+                    continue
+                response = await self._handle_line(conn_id, line)
+                try:
+                    writer.write(protocol.encode_line(response))
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    break
+        except asyncio.CancelledError:
+            pass  # server stopping; fall through to cleanup
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            try:
+                writer.close()
+            except Exception:
+                pass
+            await self._cleanup_connection(conn_id)
+            with self._glock:
+                self._metric_gauge(
+                    "gateway.active_connections", len(self._handlers)
+                )
+
+    async def _cleanup_connection(self, conn_id: int) -> None:
+        """Close every stream the dropped connection still owned."""
+        with self._glock:
+            orphaned = [
+                sid for sid, owner in self._owners.items() if owner == conn_id
+            ]
+            for sid in orphaned:
+                del self._owners[sid]
+            if self._stopping:
+                # Graceful shutdown: the drain's close_all closes these
+                # (counted as drained, not orphaned).
+                return
+        for sid in orphaned:
+            try:
+                await asyncio.to_thread(self.pool.close, sid)
+            except ServingError:
+                pass  # already closed (e.g. the drain got there first)
+            else:
+                with self._glock:
+                    self._orphans_closed += 1
+                    self._metric_inc("gateway.orphans_closed")
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+    async def _handle_line(self, conn_id: int, line: bytes) -> Dict:
+        request_id = None
+        started = perf_counter()
+        try:
+            message = protocol.decode_line(line)
+            request_id = message.get("id")
+            op = message.get("op")
+            if op not in protocol.KNOWN_OPS:
+                raise protocol.bad_request(
+                    f"unknown op {op!r} (expected one of "
+                    f"{', '.join(protocol.KNOWN_OPS)})"
+                )
+            with self._glock:
+                self._requests_total += 1
+                self._metric_inc("gateway.requests")
+                self._metric_inc(f"gateway.requests.{op}")
+            handler = getattr(self, f"_op_{op}")
+            body = await handler(conn_id, message)
+        except ServingError as exc:
+            if exc.code == "capacity":
+                with self._glock:
+                    self._rejects_total += 1
+                    self._metric_inc("gateway.rejects")
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": protocol.error_to_wire(exc),
+            }
+        except Exception as exc:  # noqa: BLE001 - fault barrier per request
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": {
+                    "code": "internal",
+                    "retryable": False,
+                    "message": f"{type(exc).__name__}: {exc}",
+                },
+            }
+        finally:
+            with self._glock:
+                self._metric_observe(
+                    "gateway.request_ms", (perf_counter() - started) * 1e3
+                )
+        body["id"] = request_id
+        body["ok"] = True
+        return body
+
+    def _owned_stream(self, conn_id: int, message) -> int:
+        """The request's stream id, verified against the ownership map."""
+        sid = protocol.require_int(message, "stream")
+        with self._glock:
+            owner = self._owners.get(sid)
+        if owner is not None and owner != conn_id:
+            raise ServingError(
+                f"stream {sid} belongs to another connection",
+                code="not_owner",
+                stream_id=sid,
+            )
+        # Unknown ids fall through: the pool classifies them exactly
+        # (unknown_stream vs stream_closed).
+        return sid
+
+    # -- verbs ----------------------------------------------------------
+    async def _op_open(self, conn_id: int, message) -> Dict:
+        dfa = protocol.dfa_from_wire(message.get("dfa"))
+        training = None
+        if message.get("training_b64") is not None:
+            training = protocol.segment_from_wire(
+                message["training_b64"], "training_b64"
+            )
+        scheme = message.get("scheme")
+        if scheme is not None and not isinstance(scheme, str):
+            raise protocol.bad_request("scheme must be a string or null")
+        started = perf_counter()
+        sid = await asyncio.to_thread(
+            lambda: self.pool.open(
+                dfa, training_input=training, scheme=scheme
+            )
+        )
+        with self._glock:
+            self._owners[sid] = conn_id
+            self._metric_observe(
+                "gateway.open_ms", (perf_counter() - started) * 1e3
+            )
+        return {"stream": sid}
+
+    async def _op_feed(self, conn_id: int, message) -> Dict:
+        sid = self._owned_stream(conn_id, message)
+        segment = protocol.segment_from_wire(message.get("segment_b64"))
+        started = perf_counter()
+        result = await asyncio.to_thread(self.pool.feed, sid, segment)
+        with self._glock:
+            self._metric_observe(
+                "gateway.feed_ms", (perf_counter() - started) * 1e3
+            )
+        return {
+            "end_state": int(result.end_state),
+            "accepts": bool(result.accepts),
+            "symbols": len(segment),
+        }
+
+    async def _op_feed_many(self, conn_id: int, message) -> Dict:
+        feeds = message.get("feeds")
+        if not isinstance(feeds, list):
+            raise protocol.bad_request("feeds must be a list of objects")
+        batch = []
+        for i, item in enumerate(feeds):
+            if not isinstance(item, dict):
+                raise protocol.bad_request(f"feeds[{i}] must be an object")
+            sid = self._owned_stream(conn_id, item)
+            batch.append(
+                (sid, protocol.segment_from_wire(item.get("segment_b64")))
+            )
+        started = perf_counter()
+        outcomes = await asyncio.to_thread(self.pool.feed_many, batch)
+        with self._glock:
+            self._metric_observe(
+                "gateway.feed_ms", (perf_counter() - started) * 1e3
+            )
+        return {
+            "outcomes": [
+                {
+                    "stream": outcome.stream_id,
+                    "ok": outcome.ok,
+                    "end_state": outcome.end_state,
+                    "accepts": outcome.accepts,
+                    "symbols": outcome.symbols,
+                    "fused": outcome.fused,
+                    "error": (
+                        protocol.error_to_wire(outcome.error)
+                        if outcome.error is not None
+                        else None
+                    ),
+                }
+                for outcome in outcomes
+            ]
+        }
+
+    async def _op_close(self, conn_id: int, message) -> Dict:
+        sid = self._owned_stream(conn_id, message)
+        stats = await asyncio.to_thread(self.pool.close, sid)
+        with self._glock:
+            self._owners.pop(sid, None)
+        return {"stats": protocol.stream_stats_to_wire(stats)}
+
+    async def _op_stats(self, conn_id: int, message) -> Dict:
+        return {"stats": self.stats()}
+
+
+__all__ = ["GatewayServer"]

@@ -1,0 +1,540 @@
+"""Drive a traffic scenario through the TCP gateway over real sockets.
+
+:func:`run_scenario` turns a validated :class:`~repro.scenarios.Scenario`
+into live wire traffic: an open-loop arrival process releases stream
+lifecycles (open → N feeds → close) into a fleet of concurrent
+:class:`~repro.gateway.GatewayClient` connections, against either an
+embedded :class:`~repro.gateway.GatewayServer` on localhost (the
+default — one process, but every byte still crosses a real socket) or an
+external gateway at ``host:port``.
+
+Every lifecycle is audited client-side against the ``dfa.run`` oracle —
+the runner knows exactly which bytes it sent, so a closed stream's
+``end_state``/``accepts`` must match the sequential truth regardless of
+how the server interleaved, fused, or hot-swapped execution.  Rejected
+opens (the retryable ``capacity`` backpressure signal) are retried with
+backoff per the scenario's retry policy and counted.
+
+Results follow the JSONL pattern of the animica harness: one structured
+line per request (``out_path``), plus a :class:`ScenarioReport` summary
+with p50/p99 open/feed latency, throughput over the measure window, and
+the scenario's CI gate verdicts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.framework.config import GSpecPalConfig
+from repro.gateway.client import GatewayClient
+from repro.gateway.server import GatewayServer
+from repro.observability import MetricsRegistry
+from repro.scenarios.schema import Scenario
+from repro.serving.cache import PlanCache
+from repro.serving.pool import MatcherPool
+
+
+@dataclass
+class _RequestSpec:
+    """One precomputed stream lifecycle (fully seeded, socket-free)."""
+
+    index: int
+    phase: str  # "warmup" | "measure"
+    tenant_index: int
+    segments: Tuple[bytes, ...]
+    gap_s: float  # inter-arrival gap *before* this request
+
+
+@dataclass
+class RequestRecord:
+    """Outcome of one stream lifecycle (one JSONL line)."""
+
+    index: int
+    phase: str
+    tenant: str
+    stream: Optional[int] = None
+    ok: bool = False
+    rejects: int = 0
+    segments: int = 0
+    symbols: int = 0
+    open_ms: float = 0.0
+    feed_ms: List[float] = field(default_factory=list)
+    end_state: Optional[int] = None
+    accepts: Optional[bool] = None
+    oracle_ok: Optional[bool] = None
+    t_start_s: float = 0.0
+    t_end_s: float = 0.0
+    error: Optional[str] = None
+
+    def to_json(self, scenario_id: str) -> Dict[str, Any]:
+        return {
+            "scenario": scenario_id,
+            "request": self.index,
+            "phase": self.phase,
+            "tenant": self.tenant,
+            "stream": self.stream,
+            "ok": self.ok,
+            "rejects": self.rejects,
+            "segments": self.segments,
+            "symbols": self.symbols,
+            "open_ms": round(self.open_ms, 3),
+            "feed_ms_mean": (
+                round(float(np.mean(self.feed_ms)), 3) if self.feed_ms else 0.0
+            ),
+            "feed_ms_max": (
+                round(float(np.max(self.feed_ms)), 3) if self.feed_ms else 0.0
+            ),
+            "end_state": self.end_state,
+            "accepts": self.accepts,
+            "oracle_ok": self.oracle_ok,
+            "t_start_s": round(self.t_start_s, 6),
+            "t_end_s": round(self.t_end_s, 6),
+            "error": self.error,
+        }
+
+
+@dataclass
+class ScenarioReport:
+    """Summary of one :func:`run_scenario` invocation."""
+
+    scenario_id: str
+    backend: str
+    seed: int
+    requests: int
+    total_requests: int
+    completed: int = 0
+    failed: int = 0
+    reject_attempts: int = 0
+    reject_rate: float = 0.0
+    oracle_failures: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    gate_failures: List[str] = field(default_factory=list)
+    p50_open_ms: float = 0.0
+    p99_open_ms: float = 0.0
+    p50_feed_ms: float = 0.0
+    p99_feed_ms: float = 0.0
+    throughput_req_per_s: float = 0.0
+    throughput_sym_per_s: float = 0.0
+    elapsed_s: float = 0.0
+    measure_elapsed_s: float = 0.0
+    drain_stragglers: int = 0
+    require_all_completed: bool = True
+    gateway_stats: Dict[str, Any] = field(default_factory=dict)
+    out_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the run is answer-exact and inside every gate: no
+        worker errors, every closed stream oracle-identical, no revise
+        stragglers after the drain, all gates green — and, unless the
+        scenario opted out, every request completed."""
+        return (
+            not self.errors
+            and not self.oracle_failures
+            and not self.gate_failures
+            and self.drain_stragglers == 0
+            and (not self.require_all_completed or self.failed == 0)
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"scenario {self.scenario_id}: {self.total_requests} requests "
+            f"({self.requests} measured) over backend={self.backend}, "
+            f"seed={self.seed}",
+            f"  completed  : {self.completed} ({self.failed} failed, "
+            f"{self.reject_attempts} capacity rejects, "
+            f"reject rate {self.reject_rate:.1%})",
+            f"  open       : p50 {self.p50_open_ms:.2f} ms / "
+            f"p99 {self.p99_open_ms:.2f} ms",
+            f"  feed       : p50 {self.p50_feed_ms:.2f} ms / "
+            f"p99 {self.p99_feed_ms:.2f} ms",
+            f"  throughput : {self.throughput_req_per_s:.1f} req/s, "
+            f"{self.throughput_sym_per_s:.0f} sym/s "
+            f"(measure window {self.measure_elapsed_s:.2f}s of "
+            f"{self.elapsed_s:.2f}s)",
+            f"  oracle     : {len(self.oracle_failures)} mismatches",
+            f"  errors     : {len(self.errors)}",
+        ]
+        if self.gate_failures:
+            for failure in self.gate_failures:
+                lines.append(f"    gate!   {failure}")
+        else:
+            lines.append("  gates      : all green")
+        for failure in self.oracle_failures[:5]:
+            lines.append(f"    oracle! {failure}")
+        for error in self.errors[:5]:
+            lines.append(f"    error!  {error}")
+        if self.out_path:
+            lines.append(f"  results    : {self.out_path}")
+        lines.append("  verdict    : " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# schedule generation (pure, seeded — no sockets)
+# ----------------------------------------------------------------------
+def build_schedule(scenario: Scenario) -> List[_RequestSpec]:
+    """The scenario's full request schedule, derived from its seed.
+
+    Same scenario document ⇒ same tenants, segment bytes and arrival
+    gaps, whatever the network does at run time — which is what makes
+    the oracle audit and the JSONL results comparable across runs.
+    """
+    rng = np.random.default_rng(scenario.seed)
+    weights = scenario.tenant_weights()
+    seg = scenario.segments
+    arrival = scenario.arrival
+    specs: List[_RequestSpec] = []
+    for index in range(scenario.total_requests):
+        tenant_index = int(rng.choice(len(weights), p=weights))
+        n_segments = int(
+            rng.integers(seg.per_stream_min, seg.per_stream_max + 1)
+        )
+        segments = tuple(
+            bytes(
+                rng.integers(
+                    97,
+                    123,
+                    size=int(rng.integers(seg.min_len, seg.max_len + 1)),
+                ).astype(np.uint8)
+            )
+            for _ in range(n_segments)
+        )
+        if arrival.kind == "poisson":
+            gap = float(rng.exponential(1.0 / arrival.rate_per_s))
+        elif arrival.kind == "uniform":
+            gap = 1.0 / arrival.rate_per_s
+        else:  # bursty: burst_size back-to-back, then a pause
+            gap = (
+                arrival.burst_pause_s
+                if index % arrival.burst_size == 0 and index > 0
+                else 0.0
+            )
+        if arrival.jitter > 0:
+            gap *= float(
+                rng.uniform(1.0 - arrival.jitter, 1.0 + arrival.jitter)
+            )
+        specs.append(
+            _RequestSpec(
+                index=index,
+                phase=(
+                    "warmup"
+                    if index < scenario.warmup_requests
+                    else "measure"
+                ),
+                tenant_index=tenant_index,
+                segments=segments,
+                gap_s=gap,
+            )
+        )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# the async drive
+# ----------------------------------------------------------------------
+async def _lifecycle(
+    scenario: Scenario,
+    client: GatewayClient,
+    spec: _RequestSpec,
+    dfas,
+    trainings,
+    epoch: float,
+) -> RequestRecord:
+    """One stream lifecycle: open (with capacity retries) → feeds → close."""
+    tenant = scenario.tenants[spec.tenant_index]
+    record = RequestRecord(
+        index=spec.index,
+        phase=spec.phase,
+        tenant=tenant.name,
+        t_start_s=perf_counter() - epoch,
+    )
+    dfa = dfas[spec.tenant_index]
+    # -- open, honoring the wire backpressure contract ------------------
+    sid = None
+    attempt = 0
+    while True:
+        started = perf_counter()
+        try:
+            sid = await client.open(
+                dfa,
+                training=trainings[spec.tenant_index],
+                scheme=tenant.scheme,
+            )
+            record.open_ms = (perf_counter() - started) * 1e3
+            break
+        except ServingError as exc:
+            if exc.code == "capacity" and exc.retryable:
+                record.rejects += 1
+                attempt += 1
+                if attempt < scenario.retry.max_attempts:
+                    await asyncio.sleep(scenario.retry.backoff_s * attempt)
+                    continue
+                record.error = "capacity retries exhausted"
+            else:
+                record.error = f"open failed: {exc}"
+            record.t_end_s = perf_counter() - epoch
+            return record
+    record.stream = sid
+    # -- feeds ----------------------------------------------------------
+    fed = bytearray()
+    try:
+        for segment in spec.segments:
+            started = perf_counter()
+            await client.feed(sid, segment)
+            record.feed_ms.append((perf_counter() - started) * 1e3)
+            fed.extend(segment)
+            record.segments += 1
+            record.symbols += len(segment)
+        summary = await client.close_stream(sid)
+    except ServingError as exc:
+        record.error = f"{type(exc).__name__}: {exc}"
+        record.t_end_s = perf_counter() - epoch
+        return record
+    # -- client-side oracle audit --------------------------------------
+    record.end_state = int(summary["end_state"])
+    record.accepts = bool(summary["accepts"])
+    expected = int(dfa.run(bytes(fed)))
+    record.oracle_ok = (
+        record.end_state == expected
+        and record.accepts == (expected in dfa.accepting)
+        and int(summary["total_symbols"]) == len(fed)
+        and int(summary["segments"]) == record.segments
+    )
+    record.ok = True
+    record.t_end_s = perf_counter() - epoch
+    return record
+
+
+async def _drive(
+    scenario: Scenario, host: str, port: int, epoch: float
+) -> Tuple[List[RequestRecord], List[str]]:
+    """Arrival producer + client-fleet consumers over real sockets."""
+    schedule = build_schedule(scenario)
+    dfas, trainings = scenario.build_fleet()
+    records: List[RequestRecord] = []
+    errors: List[str] = []
+    queue: "asyncio.Queue[Optional[_RequestSpec]]" = asyncio.Queue()
+
+    async def producer() -> None:
+        for spec in schedule:
+            if spec.gap_s > 0:
+                await asyncio.sleep(spec.gap_s)
+            await queue.put(spec)
+        for _ in range(scenario.clients):
+            await queue.put(None)
+
+    async def consumer(worker_index: int) -> None:
+        try:
+            client = await GatewayClient.connect(host, port)
+        except OSError as exc:
+            errors.append(f"client {worker_index}: connect failed: {exc}")
+            # Drain my share of the queue so the producer can finish.
+            while await queue.get() is not None:
+                pass
+            return
+        try:
+            while True:
+                spec = await queue.get()
+                if spec is None:
+                    return
+                try:
+                    record = await _lifecycle(
+                        scenario, client, spec, dfas, trainings, epoch
+                    )
+                except Exception as exc:  # noqa: BLE001 - audit collects
+                    errors.append(
+                        f"request {spec.index}: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                else:
+                    records.append(record)
+        finally:
+            await client.aclose()
+
+    await asyncio.gather(
+        producer(), *(consumer(i) for i in range(scenario.clients))
+    )
+    return records, errors
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def _percentile(values: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q)) if values else 0.0
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    out_path: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    log=None,
+) -> ScenarioReport:
+    """Run ``scenario`` and return its audited report.
+
+    With ``host``/``port`` unset an embedded gateway is started on a free
+    localhost port (pool built from the scenario's ``pool`` / ``backend``
+    / ``n_threads`` fields) and gracefully drained afterwards; otherwise
+    the traffic targets an already-running external gateway and the
+    scenario's pool knobs are ignored.  ``out_path`` writes one JSONL
+    line per request.
+    """
+    from repro.engine import resolve_backend_name
+
+    async def main() -> Tuple[List[RequestRecord], List[str], Dict, int]:
+        server = None
+        target_host, target_port = host, port
+        if target_host is None:
+            registry = metrics if metrics is not None else MetricsRegistry()
+            config = GSpecPalConfig(n_threads=scenario.n_threads)
+            pool = MatcherPool(
+                PlanCache(
+                    capacity=scenario.pool.cache_capacity,
+                    config=config,
+                    metrics=registry,
+                ),
+                config=config,
+                backend=scenario.backend,
+                max_streams=scenario.pool.max_streams,
+                open_timeout=scenario.pool.open_timeout,
+                fused=scenario.pool.fused,
+                metrics=registry,
+            )
+            server = GatewayServer(pool, metrics=registry, log=log)
+            await server.start()
+            target_host, target_port = server.host, server.port
+        elif target_port is None:
+            raise ValueError("an external gateway needs both host and port")
+        epoch = perf_counter()
+        try:
+            records, errors = await _drive(
+                scenario, target_host, target_port, epoch
+            )
+        finally:
+            gateway_stats: Dict[str, Any] = {}
+            stragglers = 0
+            if server is not None:
+                gateway_stats = server.stats()
+                stragglers = await server.stop()
+        return records, errors, gateway_stats, stragglers
+
+    started = perf_counter()
+    records, errors, gateway_stats, stragglers = asyncio.run(main())
+    elapsed = perf_counter() - started
+    records.sort(key=lambda r: r.index)
+
+    # -- audits ---------------------------------------------------------
+    oracle_failures = [
+        f"request {r.index} ({r.tenant}): end_state {r.end_state} / "
+        f"accepts {r.accepts} does not match dfa.run oracle"
+        for r in records
+        if r.ok and r.oracle_ok is False
+    ]
+    if len(records) != scenario.total_requests:
+        errors = errors + [
+            f"lost records: {len(records)} of {scenario.total_requests}"
+        ]
+
+    measured = [r for r in records if r.phase == "measure"]
+    completed = [r for r in measured if r.ok]
+    failed = [r for r in measured if not r.ok]
+    open_latencies = [r.open_ms for r in completed]
+    feed_latencies = [ms for r in completed for ms in r.feed_ms]
+    reject_attempts = sum(r.rejects for r in records)
+    open_attempts = reject_attempts + sum(1 for r in records if r.stream is not None)
+    window = (
+        max(r.t_end_s for r in measured) - min(r.t_start_s for r in measured)
+        if measured
+        else 0.0
+    )
+    symbols = sum(r.symbols for r in completed)
+
+    report = ScenarioReport(
+        scenario_id=scenario.id,
+        backend=resolve_backend_name(scenario.backend),
+        seed=scenario.seed,
+        requests=scenario.requests,
+        total_requests=scenario.total_requests,
+        completed=len(completed),
+        failed=len(failed),
+        reject_attempts=reject_attempts,
+        reject_rate=(
+            reject_attempts / open_attempts if open_attempts else 0.0
+        ),
+        oracle_failures=oracle_failures,
+        errors=errors,
+        p50_open_ms=_percentile(open_latencies, 50),
+        p99_open_ms=_percentile(open_latencies, 99),
+        p50_feed_ms=_percentile(feed_latencies, 50),
+        p99_feed_ms=_percentile(feed_latencies, 99),
+        throughput_req_per_s=(len(completed) / window if window > 0 else 0.0),
+        throughput_sym_per_s=(symbols / window if window > 0 else 0.0),
+        elapsed_s=elapsed,
+        measure_elapsed_s=window,
+        drain_stragglers=stragglers,
+        require_all_completed=scenario.require_all_completed,
+        gateway_stats=gateway_stats,
+        out_path=out_path,
+    )
+
+    # -- gates ----------------------------------------------------------
+    gates = scenario.gates
+    checks = (
+        ("p99_open_ms", gates.p99_open_ms, report.p99_open_ms, "<="),
+        ("p99_feed_ms", gates.p99_feed_ms, report.p99_feed_ms, "<="),
+        (
+            "min_throughput_sym_per_s",
+            gates.min_throughput_sym_per_s,
+            report.throughput_sym_per_s,
+            ">=",
+        ),
+        (
+            "min_throughput_req_per_s",
+            gates.min_throughput_req_per_s,
+            report.throughput_req_per_s,
+            ">=",
+        ),
+        ("max_reject_rate", gates.max_reject_rate, report.reject_rate, "<="),
+    )
+    for name, bound, actual, op in checks:
+        if bound is None:
+            continue
+        passed = actual <= bound if op == "<=" else actual >= bound
+        if not passed:
+            report.gate_failures.append(
+                f"{name}: {actual:.3f} violates {op} {bound:.3f}"
+            )
+
+    # -- JSONL export ---------------------------------------------------
+    if out_path is not None:
+        path = Path(out_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for record in records:
+                handle.write(
+                    json.dumps(record.to_json(scenario.id)) + "\n"
+                )
+
+    if log is not None:
+        log(report.summary())
+    return report
+
+
+__all__ = [
+    "RequestRecord",
+    "ScenarioReport",
+    "build_schedule",
+    "run_scenario",
+]

@@ -1,0 +1,622 @@
+"""Declarative traffic scenarios: seeded YAML/JSON documents.
+
+A scenario describes one repeatable burst of multi-tenant serving
+traffic — who connects, which automata they submit, how fast streams
+arrive, how long they live — plus the regression gates CI holds the run
+to.  The schema follows the seeded-workload / JSONL-results pattern of
+the animica benchmark harness (SNIPPETS.md snippet 2): a small document,
+a ``seed`` making the whole workload reproducible, and structured
+per-request results suitable for time-series tracking.
+
+Example (YAML and JSON are interchangeable; YAML needs PyYAML)::
+
+    id: smoke
+    label: "2-tenant poisson mix over the TCP gateway"
+    seed: 42
+    clients: 4                 # concurrent client connections
+    requests: 48               # measured stream lifecycles
+    warmup_requests: 8         # excluded from latency/throughput stats
+    arrival:
+      kind: poisson            # poisson | uniform | bursty
+      rate_per_s: 200
+    tenants:
+      - name: kw-token
+        weight: 0.6
+        fsm: {kind: keyword, keyword: token}
+      - name: div7
+        weight: 0.4
+        fsm: {kind: divisibility, modulus: 7}
+    segments: {min_len: 32, max_len: 160,
+               per_stream_min: 1, per_stream_max: 4}
+    pool: {max_streams: 32, open_timeout: 0.5}
+    gates: {p99_feed_ms: 500.0, min_throughput_sym_per_s: 1000.0}
+
+Tenant ``fsm`` specs name :mod:`repro.workloads.classic` generators
+(``keyword`` / ``divisibility`` / ``parity`` / ``cyclic_rotator`` /
+``drifting_phase``), so a scenario file fully determines every automaton
+without shipping transition tables.  Validation failures raise
+:class:`~repro.errors.ScenarioError` naming the offending field.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace as _dc_replace
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+from repro.errors import ScenarioError
+from repro.workloads import classic
+
+ARRIVAL_KINDS = ("poisson", "uniform", "bursty")
+FSM_KINDS = (
+    "keyword",
+    "divisibility",
+    "parity",
+    "cyclic_rotator",
+    "drifting_phase",
+)
+
+
+def _require(mapping: Mapping, key: str, context: str) -> Any:
+    if key not in mapping:
+        raise ScenarioError(f"{context}: missing required field {key!r}")
+    return mapping[key]
+
+
+def _reject_unknown(mapping: Mapping, allowed, context: str) -> None:
+    unknown = sorted(set(mapping) - set(allowed))
+    if unknown:
+        raise ScenarioError(
+            f"{context}: unknown field(s) {', '.join(map(repr, unknown))} "
+            f"(allowed: {', '.join(sorted(allowed))})"
+        )
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Open-loop request arrival process.
+
+    ``poisson`` draws exponential inter-arrival gaps at ``rate_per_s``;
+    ``uniform`` spaces arrivals evenly; ``bursty`` releases
+    ``burst_size`` back-to-back arrivals then pauses ``burst_pause_s``.
+    ``jitter`` multiplies every gap by ``U(1-j, 1+j)``.
+    """
+
+    kind: str = "poisson"
+    rate_per_s: float = 100.0
+    jitter: float = 0.0
+    burst_size: int = 8
+    burst_pause_s: float = 0.05
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ArrivalSpec":
+        _reject_unknown(
+            data,
+            ("kind", "rate_per_s", "jitter", "burst_size", "burst_pause_s"),
+            "arrival",
+        )
+        kind = str(data.get("kind", "poisson"))
+        if kind not in ARRIVAL_KINDS:
+            raise ScenarioError(
+                f"arrival.kind must be one of {ARRIVAL_KINDS}, got {kind!r}"
+            )
+        spec = cls(
+            kind=kind,
+            rate_per_s=float(data.get("rate_per_s", 100.0)),
+            jitter=float(data.get("jitter", 0.0)),
+            burst_size=int(data.get("burst_size", 8)),
+            burst_pause_s=float(data.get("burst_pause_s", 0.05)),
+        )
+        if spec.rate_per_s <= 0:
+            raise ScenarioError(
+                f"arrival.rate_per_s must be > 0, got {spec.rate_per_s}"
+            )
+        if not (0.0 <= spec.jitter < 1.0):
+            raise ScenarioError(
+                f"arrival.jitter must be in [0, 1), got {spec.jitter}"
+            )
+        if spec.kind == "bursty" and spec.burst_size < 1:
+            raise ScenarioError(
+                f"arrival.burst_size must be >= 1, got {spec.burst_size}"
+            )
+        return spec
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant class: an FSM spec, a traffic weight, an optional
+    forced scheme."""
+
+    name: str
+    fsm: Mapping[str, Any]
+    weight: float = 1.0
+    scheme: Optional[str] = None
+
+    @classmethod
+    def from_dict(cls, data: Mapping, index: int) -> "TenantSpec":
+        context = f"tenants[{index}]"
+        _reject_unknown(data, ("name", "fsm", "weight", "scheme"), context)
+        fsm = _require(data, "fsm", context)
+        if not isinstance(fsm, Mapping):
+            raise ScenarioError(f"{context}.fsm must be an object")
+        kind = fsm.get("kind")
+        if kind not in FSM_KINDS:
+            raise ScenarioError(
+                f"{context}.fsm.kind must be one of {FSM_KINDS}, got {kind!r}"
+            )
+        spec = cls(
+            name=str(data.get("name", f"tenant-{index}")),
+            fsm=dict(fsm),
+            weight=float(data.get("weight", 1.0)),
+            scheme=data.get("scheme"),
+        )
+        if spec.weight <= 0:
+            raise ScenarioError(
+                f"{context}.weight must be > 0, got {spec.weight}"
+            )
+        return spec
+
+    def build_dfa(self) -> DFA:
+        """Instantiate the tenant's automaton from its FSM spec."""
+        fsm = dict(self.fsm)
+        kind = fsm.pop("kind")
+        try:
+            if kind == "keyword":
+                keyword = fsm.pop("keyword")
+                if isinstance(keyword, str):
+                    keyword = keyword.encode("utf-8")
+                return classic.keyword_scanner(bytes(keyword), **fsm)
+            if kind == "divisibility":
+                return classic.divisibility(int(fsm.pop("modulus")), **fsm)
+            if kind == "parity":
+                return classic.parity(**fsm)
+            if kind == "cyclic_rotator":
+                return classic.cyclic_rotator(int(fsm.pop("n_states")), **fsm)
+            if kind == "drifting_phase":
+                return classic.drifting_phase(**fsm)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScenarioError(
+                f"tenant {self.name!r}: invalid fsm spec for kind "
+                f"{kind!r}: {exc}"
+            ) from exc
+        raise ScenarioError(f"tenant {self.name!r}: unknown fsm kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class SegmentsSpec:
+    """Per-stream segmentation: how many segments, how long each."""
+
+    min_len: int = 32
+    max_len: int = 160
+    per_stream_min: int = 1
+    per_stream_max: int = 4
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SegmentsSpec":
+        _reject_unknown(
+            data,
+            ("min_len", "max_len", "per_stream_min", "per_stream_max"),
+            "segments",
+        )
+        spec = cls(
+            min_len=int(data.get("min_len", 32)),
+            max_len=int(data.get("max_len", 160)),
+            per_stream_min=int(data.get("per_stream_min", 1)),
+            per_stream_max=int(data.get("per_stream_max", 4)),
+        )
+        if not (1 <= spec.min_len <= spec.max_len):
+            raise ScenarioError(
+                "segments: need 1 <= min_len <= max_len, got "
+                f"{spec.min_len}..{spec.max_len}"
+            )
+        if not (1 <= spec.per_stream_min <= spec.per_stream_max):
+            raise ScenarioError(
+                "segments: need 1 <= per_stream_min <= per_stream_max, got "
+                f"{spec.per_stream_min}..{spec.per_stream_max}"
+            )
+        return spec
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Serving-pool knobs for the embedded gateway."""
+
+    max_streams: int = 32
+    open_timeout: Optional[float] = 0.5
+    fused: bool = False
+    cache_capacity: int = 16
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PoolSpec":
+        _reject_unknown(
+            data,
+            ("max_streams", "open_timeout", "fused", "cache_capacity"),
+            "pool",
+        )
+        spec = cls(
+            max_streams=int(data.get("max_streams", 32)),
+            open_timeout=(
+                None
+                if data.get("open_timeout", 0.5) is None
+                else float(data.get("open_timeout", 0.5))
+            ),
+            fused=bool(data.get("fused", False)),
+            cache_capacity=int(data.get("cache_capacity", 16)),
+        )
+        if spec.max_streams < 1:
+            raise ScenarioError(
+                f"pool.max_streams must be >= 1, got {spec.max_streams}"
+            )
+        return spec
+
+
+@dataclass(frozen=True)
+class RetrySpec:
+    """Client reaction to retryable ``capacity`` rejects."""
+
+    max_attempts: int = 4
+    backoff_s: float = 0.02
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RetrySpec":
+        _reject_unknown(data, ("max_attempts", "backoff_s"), "retry")
+        spec = cls(
+            max_attempts=int(data.get("max_attempts", 4)),
+            backoff_s=float(data.get("backoff_s", 0.02)),
+        )
+        if spec.max_attempts < 1:
+            raise ScenarioError(
+                f"retry.max_attempts must be >= 1, got {spec.max_attempts}"
+            )
+        return spec
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """CI regression gates evaluated over the measure window.
+
+    ``None`` disables a gate.  Oracle exactness and error-freedom are
+    always enforced — gates only bound the performance envelope.
+    """
+
+    p99_open_ms: Optional[float] = None
+    p99_feed_ms: Optional[float] = None
+    min_throughput_sym_per_s: Optional[float] = None
+    min_throughput_req_per_s: Optional[float] = None
+    max_reject_rate: Optional[float] = None
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GateSpec":
+        allowed = (
+            "p99_open_ms",
+            "p99_feed_ms",
+            "min_throughput_sym_per_s",
+            "min_throughput_req_per_s",
+            "max_reject_rate",
+        )
+        _reject_unknown(data, allowed, "gates")
+        values = {
+            key: (None if data.get(key) is None else float(data[key]))
+            for key in allowed
+        }
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One validated traffic scenario (see module docstring)."""
+
+    id: str
+    label: str = ""
+    seed: int = 0
+    clients: int = 4
+    requests: int = 32
+    warmup_requests: int = 0
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    tenants: Tuple[TenantSpec, ...] = ()
+    segments: SegmentsSpec = field(default_factory=SegmentsSpec)
+    pool: PoolSpec = field(default_factory=PoolSpec)
+    retry: RetrySpec = field(default_factory=RetrySpec)
+    gates: GateSpec = field(default_factory=GateSpec)
+    backend: Optional[str] = None
+    n_threads: int = 8
+    training_len: int = 512
+    require_all_completed: bool = True
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Scenario":
+        if not isinstance(data, Mapping):
+            raise ScenarioError("a scenario must be a mapping/object")
+        allowed = (
+            "id",
+            "label",
+            "seed",
+            "clients",
+            "requests",
+            "warmup_requests",
+            "arrival",
+            "tenants",
+            "segments",
+            "pool",
+            "retry",
+            "gates",
+            "backend",
+            "n_threads",
+            "training_len",
+            "require_all_completed",
+        )
+        _reject_unknown(data, allowed, "scenario")
+        tenants_data = _require(data, "tenants", "scenario")
+        if not isinstance(tenants_data, (list, tuple)) or not tenants_data:
+            raise ScenarioError("scenario.tenants must be a non-empty list")
+        backend = data.get("backend")
+        if backend is not None and backend not in ("sim", "fast"):
+            raise ScenarioError(
+                f"scenario.backend must be 'sim', 'fast' or null, got "
+                f"{backend!r}"
+            )
+        scenario = cls(
+            id=str(_require(data, "id", "scenario")),
+            label=str(data.get("label", "")),
+            seed=int(data.get("seed", 0)),
+            clients=int(data.get("clients", 4)),
+            requests=int(data.get("requests", 32)),
+            warmup_requests=int(data.get("warmup_requests", 0)),
+            arrival=ArrivalSpec.from_dict(data.get("arrival", {})),
+            tenants=tuple(
+                TenantSpec.from_dict(t, i)
+                for i, t in enumerate(tenants_data)
+            ),
+            segments=SegmentsSpec.from_dict(data.get("segments", {})),
+            pool=PoolSpec.from_dict(data.get("pool", {})),
+            retry=RetrySpec.from_dict(data.get("retry", {})),
+            gates=GateSpec.from_dict(data.get("gates", {})),
+            backend=backend,
+            n_threads=int(data.get("n_threads", 8)),
+            training_len=int(data.get("training_len", 512)),
+            require_all_completed=bool(data.get("require_all_completed", True)),
+        )
+        if scenario.clients < 1:
+            raise ScenarioError(
+                f"scenario.clients must be >= 1, got {scenario.clients}"
+            )
+        if scenario.requests < 1:
+            raise ScenarioError(
+                f"scenario.requests must be >= 1, got {scenario.requests}"
+            )
+        if scenario.warmup_requests < 0:
+            raise ScenarioError(
+                "scenario.warmup_requests must be >= 0, got "
+                f"{scenario.warmup_requests}"
+            )
+        return scenario
+
+    # ------------------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        """Warmup + measured stream lifecycles."""
+        return self.warmup_requests + self.requests
+
+    def replace(self, **overrides: Any) -> "Scenario":
+        """A copy with ``overrides`` applied (e.g. backend/seed flips)."""
+        return _dc_replace(self, **overrides)
+
+    def tenant_weights(self) -> np.ndarray:
+        weights = np.asarray([t.weight for t in self.tenants], dtype=float)
+        return weights / weights.sum()
+
+    def build_fleet(self) -> Tuple[Tuple[DFA, ...], Tuple[bytes, ...]]:
+        """``(dfas, trainings)``, one per tenant, seeded by the scenario.
+
+        ``drifting_phase`` tenants train on calm traffic (matching the
+        drift-workload convention); everything else trains on seeded
+        lowercase bytes.
+        """
+        dfas = tuple(t.build_dfa() for t in self.tenants)
+        trainings = []
+        for i, (tenant, dfa) in enumerate(zip(self.tenants, dfas)):
+            if tenant.fsm.get("kind") == "drifting_phase":
+                trainings.append(
+                    classic.drifting_phase_input(
+                        max(self.training_len, 256),
+                        drift_at=1.0,
+                        seed=self.seed * 31 + i,
+                    )
+                )
+            else:
+                rng = np.random.default_rng(self.seed * 31 + i)
+                trainings.append(
+                    bytes(
+                        rng.integers(
+                            97, 123, size=self.training_len
+                        ).astype(np.uint8)
+                    )
+                )
+        return dfas, tuple(trainings)
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+def scenario_from_text(text: str, *, source: str = "<string>") -> Scenario:
+    """Parse scenario text: JSON always, YAML when PyYAML is available."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"{source}: invalid JSON: {exc}") from exc
+    else:
+        try:
+            import yaml  # optional dependency, gated on purpose
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise ScenarioError(
+                f"{source}: YAML scenarios need PyYAML (pip install pyyaml) "
+                "— or write the scenario as JSON"
+            ) from exc
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(f"{source}: invalid YAML: {exc}") from exc
+    if not isinstance(data, Mapping):
+        raise ScenarioError(f"{source}: scenario must be a mapping/object")
+    return Scenario.from_dict(data)
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Load and validate a scenario document from ``path``."""
+    path = Path(path)
+    if not path.exists():
+        raise ScenarioError(f"no scenario file at {path}")
+    return scenario_from_text(path.read_text(), source=str(path))
+
+
+# ----------------------------------------------------------------------
+# builtins (the CI regression scenarios; gates sized with generous
+# headroom so shared runners do not flake)
+# ----------------------------------------------------------------------
+BUILTIN_SCENARIOS: Dict[str, Dict[str, Any]] = {
+    "smoke": {
+        "id": "smoke",
+        "label": "2-tenant poisson mix, end-to-end over localhost",
+        "seed": 42,
+        "clients": 4,
+        "requests": 32,
+        "warmup_requests": 8,
+        "arrival": {"kind": "poisson", "rate_per_s": 400.0},
+        "tenants": [
+            {
+                "name": "kw-token",
+                "weight": 0.6,
+                "fsm": {"kind": "keyword", "keyword": "token"},
+            },
+            {
+                "name": "div7",
+                "weight": 0.4,
+                "fsm": {"kind": "divisibility", "modulus": 7},
+            },
+        ],
+        "segments": {
+            "min_len": 32,
+            "max_len": 128,
+            "per_stream_min": 1,
+            "per_stream_max": 3,
+        },
+        "pool": {"max_streams": 32, "open_timeout": 1.0},
+        "gates": {
+            "p99_open_ms": 5_000.0,
+            "p99_feed_ms": 2_000.0,
+            "min_throughput_sym_per_s": 200.0,
+        },
+    },
+    "capacity": {
+        "id": "capacity",
+        "label": "admission backpressure: tiny pool, bursty arrivals, retries",
+        "seed": 7,
+        "clients": 6,
+        "requests": 36,
+        "warmup_requests": 0,
+        "arrival": {
+            "kind": "bursty",
+            "rate_per_s": 600.0,
+            "burst_size": 6,
+            "burst_pause_s": 0.02,
+        },
+        "tenants": [
+            {
+                "name": "kw-flood",
+                "weight": 1.0,
+                "fsm": {"kind": "keyword", "keyword": "flood"},
+            }
+        ],
+        "segments": {
+            "min_len": 24,
+            "max_len": 64,
+            "per_stream_min": 1,
+            "per_stream_max": 2,
+        },
+        "pool": {"max_streams": 2, "open_timeout": 0.0},
+        "retry": {"max_attempts": 16, "backoff_s": 0.01},
+        "gates": {"max_reject_rate": 0.95},
+        "require_all_completed": False,
+    },
+    "bursty-mix": {
+        "id": "bursty-mix",
+        "label": "4-tenant bursty mix incl. a drifting-phase class",
+        "seed": 1234,
+        "clients": 6,
+        "requests": 40,
+        "warmup_requests": 8,
+        "arrival": {
+            "kind": "bursty",
+            "rate_per_s": 300.0,
+            "burst_size": 5,
+            "burst_pause_s": 0.03,
+            "jitter": 0.2,
+        },
+        "tenants": [
+            {
+                "name": "kw-alpha",
+                "weight": 0.35,
+                "fsm": {"kind": "keyword", "keyword": "alpha"},
+            },
+            {
+                "name": "div11",
+                "weight": 0.25,
+                "fsm": {"kind": "divisibility", "modulus": 11},
+            },
+            {
+                "name": "rotator",
+                "weight": 0.2,
+                "fsm": {"kind": "cyclic_rotator", "n_states": 48},
+            },
+            {
+                "name": "drifty",
+                "weight": 0.2,
+                "fsm": {"kind": "drifting_phase", "n_states": 64},
+            },
+        ],
+        "segments": {
+            "min_len": 48,
+            "max_len": 192,
+            "per_stream_min": 2,
+            "per_stream_max": 5,
+        },
+        "pool": {"max_streams": 48, "open_timeout": 1.0},
+        "gates": {
+            "p99_feed_ms": 3_000.0,
+            "min_throughput_sym_per_s": 200.0,
+        },
+    },
+}
+
+
+def builtin_scenario(name: str) -> Scenario:
+    """A validated copy of one of :data:`BUILTIN_SCENARIOS`."""
+    if name not in BUILTIN_SCENARIOS:
+        raise ScenarioError(
+            f"unknown builtin scenario {name!r} "
+            f"(have: {', '.join(sorted(BUILTIN_SCENARIOS))})"
+        )
+    return Scenario.from_dict(BUILTIN_SCENARIOS[name])
+
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "BUILTIN_SCENARIOS",
+    "FSM_KINDS",
+    "ArrivalSpec",
+    "GateSpec",
+    "PoolSpec",
+    "RetrySpec",
+    "Scenario",
+    "SegmentsSpec",
+    "TenantSpec",
+    "builtin_scenario",
+    "load_scenario",
+    "scenario_from_text",
+]

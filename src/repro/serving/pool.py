@@ -235,8 +235,12 @@ class MatcherPool:
         self._opened = 0
         self._closed = 0
         self._rejected = 0
+        #: admission slots reserved by opens that are still compiling —
+        #: they count against ``max_streams`` but have no entry yet.
+        self._reserved = 0
         self._lock = threading.RLock()
-        #: signalled whenever a close frees a stream slot.
+        #: signalled whenever a close (or an abandoned reservation) frees
+        #: a stream slot.
         self._slot_freed = threading.Condition(self._lock)
 
     # ------------------------------------------------------------------
@@ -273,6 +277,7 @@ class MatcherPool:
                 "opened": self._opened,
                 "closed": self._closed,
                 "rejected": self._rejected,
+                "reserved": self._reserved,
                 "matchers": len(self._matchers),
                 "revising": len(self._revising),
                 "cache": self.cache.stats(),
@@ -344,21 +349,64 @@ class MatcherPool:
         At capacity, the call raises a retryable
         ``ServingError(code="capacity")`` — or, when ``open_timeout`` is
         set, waits up to that many seconds for another stream to close
-        before rejecting.
+        before rejecting.  Admission runs *before* any compile work: a
+        rejected open costs the caller nothing (rejections must be cheap
+        — they are the wire-level backpressure signal), and the compile
+        itself runs outside the pool lock against a reserved slot that is
+        released if the compile fails.
         """
         GSpecPal.validate_scheme_name(scheme, spec_k=self._spec_k(plan))
-        if plan is None:
-            if dfa is None:
-                raise ServingError(
-                    "open() needs a dfa or a precompiled plan",
-                    code="invalid_argument",
+        if plan is None and dfa is None:
+            raise ServingError(
+                "open() needs a dfa or a precompiled plan",
+                code="invalid_argument",
+            )
+        # Admission first: reserve a slot (bounded wait with open_timeout)
+        # before paying for a compile, so a tenant rejected at capacity
+        # never burns a cold compile on a stream it cannot open.
+        self._reserve_slot(plan.fingerprint if plan is not None else None)
+        try:
+            if plan is None:
+                plan = self.cache.get_or_compile(
+                    dfa, training_input, self.config
                 )
-            plan = self.cache.get_or_compile(dfa, training_input, self.config)
-        else:
-            self.cache.put(plan)
+            else:
+                self.cache.put(plan)
+        except BaseException:
+            self._release_slot()
+            raise
+        with self._slot_freed:
+            try:
+                matcher = self._matcher_for(plan)
+                session = matcher.stream(scheme=scheme)
+            except BaseException:
+                self._reserved -= 1
+                self._slot_freed.notify()
+                raise
+            # Convert the reservation into the entry (net slot count is
+            # unchanged, so no waiter is woken).
+            self._reserved -= 1
+            stream_id = self._next_id
+            self._next_id += 1
+            self._opened += 1
+            self._entries[stream_id] = _StreamEntry(
+                session, plan.fingerprint, plan.canonical_fingerprint
+            )
+            self._metric_inc("serving.pool.opened")
+            self._metric_active()
+            return stream_id
+
+    def _reserve_slot(self, fingerprint: Optional[str] = None) -> None:
+        """Claim one admission slot or raise the retryable capacity error.
+
+        Reserved slots count against ``max_streams`` alongside live
+        entries, so concurrent opens cannot over-admit while their
+        compiles are in flight.  ``fingerprint`` only annotates the error
+        (it is known when the caller brought a precompiled plan).
+        """
         with self._slot_freed:
             deadline = None
-            while len(self._entries) >= self.max_streams:
+            while len(self._entries) + self._reserved >= self.max_streams:
                 if self.open_timeout is not None and self.open_timeout > 0:
                     if deadline is None:
                         deadline = perf_counter() + self.open_timeout
@@ -373,19 +421,16 @@ class MatcherPool:
                     "close a stream before opening another",
                     code="capacity",
                     retryable=True,
-                    fingerprint=plan.fingerprint,
+                    fingerprint=fingerprint,
                 )
-            matcher = self._matcher_for(plan)
-            session = matcher.stream(scheme=scheme)
-            stream_id = self._next_id
-            self._next_id += 1
-            self._opened += 1
-            self._entries[stream_id] = _StreamEntry(
-                session, plan.fingerprint, plan.canonical_fingerprint
-            )
-            self._metric_inc("serving.pool.opened")
-            self._metric_active()
-            return stream_id
+            self._reserved += 1
+
+    def _release_slot(self) -> None:
+        """Abandon a reservation (the open failed before creating its
+        entry) and wake one waiter blocked on admission."""
+        with self._slot_freed:
+            self._reserved -= 1
+            self._slot_freed.notify()
 
     def _missing_stream_error(self, stream_id, next_id: int) -> ServingError:
         """Classify a miss: an id below the allocation cursor was opened
@@ -541,16 +586,33 @@ class MatcherPool:
             with self._lock:
                 self._revising.pop(canonical, None)
 
-    def drain_revisions(self, timeout: Optional[float] = None) -> None:
+    def drain_revisions(self, timeout: Optional[float] = None) -> int:
         """Block until in-flight background revises finish (tests, shutdown).
 
-        ``timeout`` bounds the wait per thread; synchronous-mode pools have
-        nothing to drain.
+        ``timeout`` bounds the *total* wait across every in-flight revise
+        thread (one shared deadline, not N per-thread waits), so a
+        graceful shutdown with ``timeout=5`` takes at most ~5 seconds no
+        matter how many revises are running.  Returns the number of
+        revise threads still alive when the wait ended — 0 on a clean
+        drain — so callers (the gateway's shutdown path, the stress
+        harness) can log or fail on stragglers instead of silently
+        leaving live threads behind.  Synchronous-mode pools have nothing
+        to drain.
         """
         with self._lock:
             threads = [t for t in self._revising.values() if t is not None]
+        deadline = (
+            None if timeout is None else perf_counter() + float(timeout)
+        )
         for thread in threads:
-            thread.join(timeout)
+            if deadline is None:
+                thread.join()
+            else:
+                remaining = deadline - perf_counter()
+                if remaining <= 0 and thread.is_alive():
+                    continue
+                thread.join(max(remaining, 0.0))
+        return sum(1 for thread in threads if thread.is_alive())
 
     # ------------------------------------------------------------------
     # gang scheduling (fused cross-stream dispatch)

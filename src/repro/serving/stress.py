@@ -498,7 +498,11 @@ def run_stress(
         t.join()
     # Let in-flight background revises land before auditing — the swaps
     # themselves raced live traffic; only the bookkeeping waits here.
-    pool.drain_revisions(timeout=60.0)
+    stragglers = pool.drain_revisions(timeout=60.0)
+    if stragglers:
+        errors.append(
+            f"{stragglers} revise threads still running after the drain"
+        )
     elapsed = perf_counter() - started
 
     # ------------------------------------------------------------------

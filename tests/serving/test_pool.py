@@ -131,3 +131,97 @@ def test_close_all(fsms, training, config):
     summaries = pool.close_all()
     assert len(summaries) == 3
     assert pool.active == 0
+
+
+# ----------------------------------------------------------------------
+# admission-before-compile + drain deadline regressions
+# ----------------------------------------------------------------------
+def test_rejected_open_triggers_zero_compiles(fsms, training, config):
+    """Admission runs before the compile: a tenant rejected at capacity
+    must not pay (or even start) a cold compile for a stream it cannot
+    open — rejections are the cheap backpressure signal."""
+    cache = PlanCache(capacity=4, config=config)
+    pool = MatcherPool(cache, config=config, max_streams=1)
+    pool.open(fsms[0], training_input=training)
+    assert cache.stats()["compiles"] == 1
+    with pytest.raises(ServingError) as excinfo:
+        pool.open(fsms[1], training_input=training)  # distinct, uncompiled
+    assert excinfo.value.code == "capacity"
+    stats = cache.stats()
+    assert stats["compiles"] == 1  # fsms[1] never compiled
+    assert stats["misses"] == 1  # ...and was never even looked up
+    assert fsms[1].fingerprint() not in cache
+    assert pool.stats()["reserved"] == 0  # no reservation leaked
+
+
+def test_failed_open_releases_its_reserved_slot(fsms, training, config):
+    """A compile failure inside open() must hand the reserved slot back,
+    otherwise the pool leaks admission capacity on every failed open."""
+    pool = MatcherPool(config=config, max_streams=1)
+    with pytest.raises(ServingError) as excinfo:
+        pool.open(fsms[0])  # cold cache, no training input: compile fails
+    assert excinfo.value.code == "no_training_input"
+    assert pool.stats()["reserved"] == 0
+    sid = pool.open(fsms[0], training_input=training)  # slot still usable
+    pool.close(sid)
+
+
+def test_concurrent_opens_cannot_overadmit_during_compile(
+    fsms, training, config
+):
+    """Reserved slots count against max_streams while compiles are in
+    flight: two racing opens on a one-slot pool admit exactly one."""
+    import threading
+
+    pool = MatcherPool(config=config, max_streams=1)
+    results, errors = [], []
+    barrier = threading.Barrier(2)
+
+    def racer():
+        try:
+            barrier.wait(timeout=10)
+            results.append(pool.open(fsms[0], training_input=training))
+        except ServingError as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=racer) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(results) == 1 and len(errors) == 1
+    assert errors[0].code == "capacity"
+    assert pool.active == 1
+
+
+def test_drain_revisions_shared_deadline_and_straggler_count(config):
+    """drain_revisions(timeout=...) bounds the *total* wait (one shared
+    deadline, not N per-thread timeouts) and reports how many revise
+    threads were still alive when it gave up."""
+    import threading
+    from time import perf_counter, sleep
+
+    pool = MatcherPool(config=config)
+    release = threading.Event()
+    workers = [
+        threading.Thread(target=release.wait, args=(5.0,), daemon=True)
+        for _ in range(4)
+    ]
+    for i, worker in enumerate(workers):
+        worker.start()
+        pool._revising[f"fake-{i}"] = worker
+    try:
+        started = perf_counter()
+        stragglers = pool.drain_revisions(timeout=0.2)
+        elapsed = perf_counter() - started
+        assert stragglers == 4
+        # Per-thread timeouts would wait ~4 x 0.2s; the shared deadline
+        # caps the whole drain near 0.2s.
+        assert elapsed < 0.6
+    finally:
+        release.set()
+        for worker in workers:
+            worker.join(timeout=5)
+        pool._revising.clear()
+    sleep(0.01)
+    assert pool.drain_revisions(timeout=0.2) == 0

@@ -1,0 +1,227 @@
+"""Scenario schema + runner: seeded documents, gated JSONL results.
+
+Covers the declarative layer (validation errors name the offending
+field, builtins validate, JSON/YAML interchangeability, seeded schedule
+determinism) and the runner end-to-end: a small scenario through an
+embedded gateway over real sockets must be oracle-exact, write one JSONL
+line per request, and fail its report when a regression gate trips.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    BUILTIN_SCENARIOS,
+    Scenario,
+    build_schedule,
+    builtin_scenario,
+    load_scenario,
+    run_scenario,
+    scenario_from_text,
+)
+
+
+def small_scenario(**overrides):
+    doc = {
+        "id": "unit",
+        "seed": 11,
+        "clients": 2,
+        "requests": 6,
+        "warmup_requests": 2,
+        "arrival": {"kind": "uniform", "rate_per_s": 500.0},
+        "tenants": [
+            {"name": "kw", "weight": 0.5, "fsm": {"kind": "keyword", "keyword": "abc"}},
+            {"name": "par", "weight": 0.5, "fsm": {"kind": "parity"}},
+        ],
+        "segments": {
+            "min_len": 16,
+            "max_len": 48,
+            "per_stream_min": 1,
+            "per_stream_max": 2,
+        },
+        "pool": {"max_streams": 8},
+        "backend": "sim",
+    }
+    doc.update(overrides)
+    return Scenario.from_dict(doc)
+
+
+# ----------------------------------------------------------------------
+# schema validation
+# ----------------------------------------------------------------------
+def test_builtin_scenarios_validate_and_build():
+    assert set(BUILTIN_SCENARIOS) == {"smoke", "capacity", "bursty-mix"}
+    for name in BUILTIN_SCENARIOS:
+        scenario = builtin_scenario(name)
+        assert scenario.id == name
+        assert scenario.total_requests > 0
+        dfas, trainings = scenario.build_fleet()
+        assert len(dfas) == len(scenario.tenants)
+        assert len(trainings) == len(scenario.tenants)
+        for dfa, training in zip(dfas, trainings):
+            assert dfa.n_states >= 2
+            assert len(training) == scenario.training_len
+
+    with pytest.raises(ScenarioError, match="unknown builtin"):
+        builtin_scenario("nope")
+
+
+@pytest.mark.parametrize(
+    "mutation, match",
+    [
+        ({"bogus_field": 1}, "unknown field"),
+        ({"arrival": {"kind": "fractal"}}, "arrival.kind"),
+        ({"tenants": []}, "non-empty list"),
+        ({"backend": "gpu"}, "backend"),
+        ({"requests": 0}, "requests"),
+        (
+            {"tenants": [{"name": "t", "fsm": {"kind": "wat"}}]},
+            "fsm.kind",
+        ),
+        (
+            {
+                "tenants": [
+                    {
+                        "name": "t",
+                        "weight": 0,
+                        "fsm": {"kind": "parity"},
+                    }
+                ]
+            },
+            "weight",
+        ),
+        ({"segments": {"min_len": 0}}, "min_len"),
+        ({"pool": {"max_streams": 0}}, "max_streams"),
+    ],
+)
+def test_schema_rejects_bad_documents(mutation, match):
+    doc = {
+        "id": "bad",
+        "tenants": [{"name": "t", "fsm": {"kind": "parity"}}],
+    }
+    doc.update(mutation)
+    with pytest.raises(ScenarioError, match=match):
+        Scenario.from_dict(doc)
+
+
+def test_json_text_and_file_loading(tmp_path):
+    doc = {
+        "id": "from-json",
+        "tenants": [{"name": "t", "fsm": {"kind": "divisibility", "modulus": 5}}],
+    }
+    scenario = scenario_from_text(json.dumps(doc))
+    assert scenario.id == "from-json"
+
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(doc))
+    assert load_scenario(path).id == "from-json"
+
+    with pytest.raises(ScenarioError, match="invalid JSON"):
+        scenario_from_text("{broken")
+    with pytest.raises(ScenarioError, match="no scenario file"):
+        load_scenario(tmp_path / "missing.yaml")
+
+
+def test_yaml_loading_matches_json(tmp_path):
+    pytest.importorskip("yaml")
+    text = """
+id: from-yaml
+seed: 3
+tenants:
+  - name: kw
+    fsm: {kind: keyword, keyword: abc}
+"""
+    scenario = scenario_from_text(text)
+    assert scenario.id == "from-yaml"
+    assert scenario.seed == 3
+    path = tmp_path / "scenario.yaml"
+    path.write_text(text)
+    assert load_scenario(path) == scenario
+
+
+def test_replace_returns_validated_copy():
+    scenario = small_scenario()
+    flipped = scenario.replace(backend="fast", seed=99)
+    assert (flipped.backend, flipped.seed) == ("fast", 99)
+    assert (scenario.backend, scenario.seed) == ("sim", 11)  # frozen original
+    assert flipped.tenants == scenario.tenants
+
+
+# ----------------------------------------------------------------------
+# seeded schedule
+# ----------------------------------------------------------------------
+def test_schedule_is_deterministic_per_seed():
+    scenario = small_scenario()
+    first, second = build_schedule(scenario), build_schedule(scenario)
+    assert len(first) == scenario.total_requests
+    for a, b in zip(first, second):
+        assert a.tenant_index == b.tenant_index
+        assert a.segments == b.segments
+        assert a.gap_s == b.gap_s
+    assert [s.phase for s in first[:2]] == ["warmup", "warmup"]
+    assert all(s.phase == "measure" for s in first[2:])
+
+    reseeded = build_schedule(small_scenario(seed=12))
+    assert any(
+        a.segments != b.segments for a, b in zip(first, reseeded)
+    )
+
+
+# ----------------------------------------------------------------------
+# runner end-to-end (embedded gateway, real sockets)
+# ----------------------------------------------------------------------
+def test_runner_smoke_writes_gated_jsonl(tmp_path):
+    out = tmp_path / "results.jsonl"
+    scenario = small_scenario()
+    report = run_scenario(scenario, out_path=str(out))
+    assert report.ok, report.summary()
+    assert report.completed == scenario.requests
+    assert report.failed == 0
+    assert not report.oracle_failures
+    assert report.drain_stragglers == 0
+    assert report.gateway_stats["pool"]["active_streams"] == 0
+
+    lines = [json.loads(line) for line in out.read_text().splitlines()]
+    assert len(lines) == scenario.total_requests
+    assert [line["request"] for line in lines] == list(
+        range(scenario.total_requests)
+    )
+    phases = {line["phase"] for line in lines}
+    assert phases == {"warmup", "measure"}
+    for line in lines:
+        assert line["scenario"] == "unit"
+        assert line["ok"] is True
+        assert line["oracle_ok"] is True
+        assert line["tenant"] in {"kw", "par"}
+        assert line["symbols"] >= 16
+
+
+def test_runner_reports_gate_violation():
+    scenario = small_scenario(
+        gates={"min_throughput_sym_per_s": 1e12}
+    )
+    report = run_scenario(scenario)
+    assert not report.ok
+    assert report.gate_failures
+    assert "min_throughput_sym_per_s" in report.gate_failures[0]
+    # The traffic itself was still healthy — only the gate tripped.
+    assert report.completed == scenario.requests
+    assert not report.oracle_failures
+
+
+def test_runner_counts_capacity_rejects():
+    scenario = small_scenario(
+        clients=4,
+        requests=12,
+        warmup_requests=0,
+        pool={"max_streams": 1, "open_timeout": 0.0},
+        retry={"max_attempts": 64, "backoff_s": 0.002},
+        arrival={"kind": "bursty", "rate_per_s": 500.0, "burst_size": 4},
+    )
+    report = run_scenario(scenario)
+    assert report.ok, report.summary()
+    assert report.completed == 12
+    assert report.reject_attempts > 0
+    assert 0.0 < report.reject_rate < 1.0
